@@ -1,0 +1,101 @@
+// Experiment E10 (paper §3.2 complexity): the B term — candidate-buffer
+// behaviour as predicate resolution moves later in the stream.
+//
+// Document: <a> blocks whose predicate marker <k> appears before, between
+// or after n candidate <c> elements. The later the marker, the longer
+// candidates stay buffered; TwigM's cost is O(|D|·|Q|·(|Q|+B)), so time and
+// peak candidate counts grow with B, not with pattern-match counts.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "twigm/engine.h"
+
+namespace {
+
+// mode 0: marker first (B ~ 0 resolution lag)
+// mode 1: marker last (all candidates buffered until the end of the block)
+// mode 2: no marker (all candidates buffered, then pruned)
+std::string MakeDoc(int blocks, int candidates_per_block, int mode) {
+  std::string doc = "<r>";
+  for (int b = 0; b < blocks; ++b) {
+    doc += "<a>";
+    if (mode == 0) doc += "<k/>";
+    for (int c = 0; c < candidates_per_block; ++c) {
+      doc += "<c>payload-";
+      doc += std::to_string(c);
+      doc += "</c>";
+    }
+    if (mode == 1) doc += "<k/>";
+    doc += "</a>";
+  }
+  doc += "</r>";
+  return doc;
+}
+
+const char* ModeName(int mode) {
+  static const char* kNames[] = {"marker_first", "marker_last", "no_marker"};
+  return kNames[mode];
+}
+
+void BM_CandidateBuffering(benchmark::State& state) {
+  int mode = static_cast<int>(state.range(0));
+  int per_block = static_cast<int>(state.range(1));
+  std::string doc = MakeDoc(200, per_block, mode);
+  uint64_t peak_live = 0, pruned = 0, emitted = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create("//a[k]//c", &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    peak_live = engine->machine().candidate_stats().peak_live;
+    pruned = engine->machine().candidate_stats().pruned;
+    emitted = engine->machine().candidate_stats().emitted;
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.SetLabel(std::string(ModeName(mode)) + "/B=" +
+                 std::to_string(per_block));
+  state.counters["peak_live_candidates"] = static_cast<double>(peak_live);
+  state.counters["pruned"] = static_cast<double>(pruned);
+  state.counters["emitted"] = static_cast<double>(emitted);
+}
+BENCHMARK(BM_CandidateBuffering)
+    ->ArgsProduct({{0, 1, 2}, {1, 8, 64}});
+
+// Candidate size effect: larger buffered fragments cost proportionally.
+void BM_CandidateFragmentSize(benchmark::State& state) {
+  int payload = static_cast<int>(state.range(0));
+  std::string doc = "<r>";
+  for (int b = 0; b < 100; ++b) {
+    doc += "<a><c>";
+    doc += std::string(payload, 'x');
+    doc += "</c><k/></a>";
+  }
+  doc += "</r>";
+  size_t peak_bytes = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create("//a[k]//c", &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    peak_bytes = engine->machine().candidate_stats().peak_bytes;
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.counters["payload"] = payload;
+  state.counters["peak_candidate_kb"] =
+      static_cast<double>(peak_bytes) / 1024.0;
+}
+BENCHMARK(BM_CandidateFragmentSize)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Experiment E7 (paper §1 / Figure 1): the number of explicit pattern
+// matches vs TwigM's compact stack encoding, as recursion depth grows.
+//
+// Fixed query //a[p]//a[p]//a[p]//v (k=3); depth sweep. Naive instances
+// grow as Θ(depth³); TwigM peak entries grow as Θ(depth).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "baseline/naive_matcher.h"
+#include "twigm/engine.h"
+#include "workload/recursive_generator.h"
+#include "xml/sax_parser.h"
+
+namespace {
+
+std::string DocOfDepth(int depth) {
+  vitex::workload::RecursiveOptions options;
+  options.depth = depth;
+  return vitex::workload::GenerateRecursiveString(options).value();
+}
+
+constexpr int kSteps = 3;
+
+void BM_ExplosionNaive(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  std::string doc = DocOfDepth(depth);
+  auto compiled = vitex::xpath::ParseAndCompile(
+      vitex::workload::RecursiveChainQuery(kSteps));
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  uint64_t instances = 0, peak = 0;
+  for (auto _ : state) {
+    vitex::baseline::NaiveStreamMatcher naive(&compiled.value(), nullptr);
+    vitex::Status s = vitex::xml::ParseString(doc, &naive);
+    if (!s.ok() && !s.IsResourceExhausted()) {
+      state.SkipWithError(s.ToString().c_str());
+    }
+    instances = naive.stats().instances_created;
+    peak = naive.stats().peak_live_instances;
+  }
+  state.counters["depth"] = depth;
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["peak_live"] = static_cast<double>(peak);
+}
+BENCHMARK(BM_ExplosionNaive)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ExplosionTwigM(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  std::string doc = DocOfDepth(depth);
+  uint64_t peak_entries = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(
+        vitex::workload::RecursiveChainQuery(kSteps), &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    peak_entries = engine->machine().stats().peak_stack_entries;
+  }
+  state.counters["depth"] = depth;
+  state.counters["peak_entries"] = static_cast<double>(peak_entries);
+}
+BENCHMARK(BM_ExplosionTwigM)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

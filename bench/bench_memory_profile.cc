@@ -1,0 +1,123 @@
+// Experiment E2 (paper §2 feature 3): "the memory requirement of ViteX when
+// processing queries on a 75 MB Protein dataset is stable at 1MB".
+//
+// This harness streams progressively larger PSD documents and reports the
+// engine's peak live memory. The paper's shape: peak memory is flat in the
+// document size (it depends on depth and candidate backlog only). We also
+// sample live memory during the stream to show stability over time.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "twigm/engine.h"
+#include "workload/protein_generator.h"
+#include "xml/dom.h"
+
+namespace {
+
+void BM_PeakMemoryVsDocSize(benchmark::State& state) {
+  vitex::workload::ProteinOptions options;
+  options.entries = static_cast<uint64_t>(state.range(0));
+  auto doc = vitex::workload::GenerateProteinString(options);
+  if (!doc.ok()) {
+    state.SkipWithError(doc.status().ToString().c_str());
+    return;
+  }
+  size_t peak = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(
+        "//ProteinEntry[reference]/@id", &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc.value());
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    peak = engine->machine().memory().peak_bytes();
+  }
+  state.SetBytesProcessed(state.iterations() * doc->size());
+  state.counters["doc_mb"] = static_cast<double>(doc->size()) / (1 << 20);
+  state.counters["peak_kb"] = static_cast<double>(peak) / 1024.0;
+}
+// 1x .. 64x document size; peak_kb must stay flat.
+BENCHMARK(BM_PeakMemoryVsDocSize)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Arg(32000);
+
+// Live-memory samples during one long stream: the "stable at 1MB" claim.
+void BM_LiveMemoryStability(benchmark::State& state) {
+  vitex::workload::ProteinOptions options;
+  options.entries = 20000;
+  auto doc = vitex::workload::GenerateProteinString(options);
+  if (!doc.ok()) {
+    state.SkipWithError(doc.status().ToString().c_str());
+    return;
+  }
+  size_t max_sample = 0, min_sample = SIZE_MAX;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(
+        "//ProteinEntry[reference]/@id", &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    max_sample = 0;
+    min_sample = SIZE_MAX;
+    const size_t kChunk = 1 << 20;  // sample once per MB of input
+    for (size_t pos = 0; pos < doc->size(); pos += kChunk) {
+      size_t len = std::min(kChunk, doc->size() - pos);
+      vitex::Status s =
+          engine->Feed(std::string_view(doc.value()).substr(pos, len));
+      if (!s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+        break;
+      }
+      size_t live = engine->machine().memory().live_bytes();
+      max_sample = std::max(max_sample, live);
+      min_sample = std::min(min_sample, live);
+    }
+    (void)engine->Finish();
+  }
+  state.SetBytesProcessed(state.iterations() * doc->size());
+  state.counters["live_max_kb"] = static_cast<double>(max_sample) / 1024.0;
+  state.counters["live_min_kb"] =
+      static_cast<double>(min_sample == SIZE_MAX ? 0 : min_sample) / 1024.0;
+}
+BENCHMARK(BM_LiveMemoryStability);
+
+// Contrast: what a DOM-building consumer would hold live for the same data
+// (the memory ViteX avoids). Reported as dom_kb vs twigm peak_kb above.
+void BM_DomMemoryContrast(benchmark::State& state) {
+  vitex::workload::ProteinOptions options;
+  options.entries = 8000;
+  auto doc = vitex::workload::GenerateProteinString(options);
+  if (!doc.ok()) {
+    state.SkipWithError(doc.status().ToString().c_str());
+    return;
+  }
+  size_t dom_bytes = 0;
+  for (auto _ : state) {
+    auto dom = vitex::xml::ParseIntoDom(doc.value());
+    if (!dom.ok()) {
+      state.SkipWithError(dom.status().ToString().c_str());
+      break;
+    }
+    dom_bytes = dom->arena()->allocated_bytes();
+    benchmark::DoNotOptimize(dom);
+  }
+  state.SetBytesProcessed(state.iterations() * doc->size());
+  state.counters["dom_kb"] = static_cast<double>(dom_bytes) / 1024.0;
+}
+BENCHMARK(BM_DomMemoryContrast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Experiment E11 (extension): many standing queries over one stream.
+//
+// The paper's motivating applications are pub/sub feeds with many
+// subscribers. MultiQueryEngine parses once and fans events out to n TwigM
+// machines; the marginal cost per additional query must be far below the
+// cost of a separate parse (what n independent Engines would pay).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "twigm/engine.h"
+#include "twigm/multi_query.h"
+#include "workload/xmark_generator.h"
+
+namespace {
+
+const std::string& Doc() {
+  static std::string doc = [] {
+    vitex::workload::XmarkOptions options;
+    options.items_per_region = 100;
+    return vitex::workload::GenerateXmarkString(options).value();
+  }();
+  return doc;
+}
+
+// A family of distinct standing queries over the xmark schema.
+std::string QueryN(int i) {
+  switch (i % 8) {
+    case 0:
+      return "//item[incategory]/name";
+    case 1:
+      return "//open_auction[bidder]/current";
+    case 2:
+      return "//person[profile/income > " + std::to_string(20000 + i * 997) +
+             "]/name";
+    case 3:
+      return "//item[quantity = " + std::to_string(1 + i % 9) + "]/@id";
+    case 4:
+      return "//open_auction[initial > " + std::to_string(50 + i) + "]/@id";
+    case 5:
+      return "//person[profile[interest]]//emailaddress";
+    case 6:
+      return "//item[description//listitem]//incategory/@category";
+    default:
+      return "//bidder/increase/text()";
+  }
+}
+
+void BM_MultiQuerySharedParse(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const std::string& doc = Doc();
+  for (auto _ : state) {
+    vitex::twigm::MultiQueryEngine engine;
+    std::vector<std::unique_ptr<vitex::twigm::CountingResultHandler>> handlers;
+    for (int i = 0; i < n; ++i) {
+      handlers.push_back(
+          std::make_unique<vitex::twigm::CountingResultHandler>());
+      auto id = engine.AddQuery(QueryN(i), handlers.back().get());
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+    }
+    vitex::Status s = engine.RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.counters["queries"] = n;
+}
+BENCHMARK(BM_MultiQuerySharedParse)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// The alternative a user would otherwise write: n independent engines, each
+// re-parsing the stream.
+void BM_IndependentEngines(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const std::string& doc = Doc();
+  for (auto _ : state) {
+    for (int i = 0; i < n; ++i) {
+      vitex::twigm::CountingResultHandler results;
+      auto engine = vitex::twigm::Engine::Create(QueryN(i), &results);
+      if (!engine.ok()) {
+        state.SkipWithError(engine.status().ToString().c_str());
+        return;
+      }
+      vitex::Status s = engine->RunString(doc);
+      if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size() * n);
+  state.counters["queries"] = n;
+}
+BENCHMARK(BM_IndependentEngines)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Experiment E8 (paper §3, SAX module): throughput of the SAX substrate in
+// isolation — the paper's 4.43 s component. Measured across the workload
+// generators (different markup densities) and chunk sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "workload/book_generator.h"
+#include "workload/protein_generator.h"
+#include "workload/recursive_generator.h"
+#include "workload/xmark_generator.h"
+#include "xml/dom.h"
+#include "xml/sax_parser.h"
+
+namespace {
+
+std::string MakeDoc(int which) {
+  switch (which) {
+    case 0: {  // protein: text-heavy
+      vitex::workload::ProteinOptions options;
+      options.entries = 4000;
+      return vitex::workload::GenerateProteinString(options).value();
+    }
+    case 1: {  // xmark: attribute-heavy
+      vitex::workload::XmarkOptions options;
+      options.items_per_region = 200;
+      return vitex::workload::GenerateXmarkString(options).value();
+    }
+    case 2: {  // book: markup-heavy
+      vitex::workload::BookOptions options;
+      options.chains = 2000;
+      options.section_depth = 4;
+      options.table_depth = 3;
+      return vitex::workload::GenerateBookString(options).value();
+    }
+    default: {  // deep recursion
+      vitex::workload::RecursiveOptions options;
+      options.depth = 1000;
+      options.width = 40;
+      return vitex::workload::GenerateRecursiveString(options).value();
+    }
+  }
+}
+
+const char* DocName(int which) {
+  static const char* kNames[] = {"protein", "xmark", "book", "recursive"};
+  return kNames[which];
+}
+
+void BM_SaxThroughput(benchmark::State& state) {
+  std::string doc = MakeDoc(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    vitex::xml::ContentHandler discard;
+    vitex::Status s = vitex::xml::ParseString(doc, &discard);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.SetLabel(DocName(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SaxThroughput)->DenseRange(0, 3);
+
+void BM_SaxChunked(benchmark::State& state) {
+  static std::string doc = MakeDoc(0);
+  size_t chunk = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    vitex::xml::ContentHandler discard;
+    vitex::xml::SaxParser parser(&discard);
+    vitex::Status s;
+    for (size_t pos = 0; pos < doc.size() && s.ok(); pos += chunk) {
+      s = parser.Feed(
+          std::string_view(doc).substr(pos, std::min(chunk, doc.size() - pos)));
+    }
+    if (s.ok()) s = parser.Finish();
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.counters["chunk"] = static_cast<double>(chunk);
+}
+BENCHMARK(BM_SaxChunked)->Arg(256)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_DomBuild(benchmark::State& state) {
+  static std::string doc = MakeDoc(0);
+  for (auto _ : state) {
+    auto dom = vitex::xml::ParseIntoDom(doc);
+    if (!dom.ok()) state.SkipWithError(dom.status().ToString().c_str());
+    benchmark::DoNotOptimize(dom);
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+}
+BENCHMARK(BM_DomBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

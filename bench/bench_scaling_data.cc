@@ -1,0 +1,81 @@
+// Experiment E4 (paper §2 feature 1): processing time is linear in the
+// document size. Shape: bytes_per_second constant across the sweep.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "twigm/engine.h"
+#include "workload/book_generator.h"
+#include "workload/protein_generator.h"
+
+namespace {
+
+const std::string& ProteinDoc(uint64_t entries) {
+  static std::map<uint64_t, std::string> cache;
+  auto it = cache.find(entries);
+  if (it == cache.end()) {
+    vitex::workload::ProteinOptions options;
+    options.entries = entries;
+    it = cache
+             .emplace(entries, vitex::workload::GenerateProteinString(options)
+                                   .value())
+             .first;
+  }
+  return it->second;
+}
+
+void RunQuery(benchmark::State& state, const char* query,
+              const std::string& doc) {
+  uint64_t results_count = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(query, &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    results_count = results.count();
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.counters["doc_mb"] = static_cast<double>(doc.size()) / (1 << 20);
+  state.counters["results"] = static_cast<double>(results_count);
+}
+
+void BM_DataScalingProtein(benchmark::State& state) {
+  RunQuery(state, "//ProteinEntry[reference]/@id",
+           ProteinDoc(static_cast<uint64_t>(state.range(0))));
+}
+BENCHMARK(BM_DataScalingProtein)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Arg(16000);
+
+void BM_DataScalingBook(benchmark::State& state) {
+  static std::map<int, std::string> cache;
+  int chains = static_cast<int>(state.range(0));
+  auto it = cache.find(chains);
+  if (it == cache.end()) {
+    vitex::workload::BookOptions options;
+    options.chains = chains;
+    options.section_depth = 5;
+    options.table_depth = 4;
+    options.author_probability = 0.5;
+    options.position_probability = 0.5;
+    it = cache.emplace(chains,
+                       vitex::workload::GenerateBookString(options).value())
+             .first;
+  }
+  RunQuery(state, "//section[author]//table[position]//cell", it->second);
+}
+BENCHMARK(BM_DataScalingBook)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Experiment E5 (paper §2 feature 1): processing time is polynomial (near
+// linear) in the query size, at fixed data. Shape: time grows gently and
+// smoothly with |Q| — no blowup.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "twigm/engine.h"
+#include "workload/protein_generator.h"
+
+namespace {
+
+const std::string& Doc() {
+  static std::string doc = [] {
+    vitex::workload::ProteinOptions options;
+    options.entries = 4000;
+    return vitex::workload::GenerateProteinString(options).value();
+  }();
+  return doc;
+}
+
+// Queries of growing twig size over the protein schema.
+std::string QueryOfSize(int variant) {
+  switch (variant) {
+    case 0:
+      return "//ProteinEntry";  // |Q| = 1
+    case 1:
+      return "//ProteinEntry/@id";  // 2
+    case 2:
+      return "//ProteinEntry[reference]/@id";  // 3
+    case 3:
+      return "//ProteinEntry[reference][organism]/@id";  // 4
+    case 4:
+      return "//ProteinEntry[reference/refinfo][organism/source]/@id";  // 6
+    case 5:
+      return "//ProteinEntry[reference/refinfo/authors/author]"
+             "[organism/source][protein/name]/@id";  // 9
+    case 6:
+      return "//ProteinEntry[reference/refinfo[authors/author][year]]"
+             "[organism[source][common]][protein/classification]"
+             "[summary/type]/@id";  // 13
+    default:
+      return "//ProteinEntry";
+  }
+}
+
+void BM_QuerySizeScaling(benchmark::State& state) {
+  std::string query = QueryOfSize(static_cast<int>(state.range(0)));
+  const std::string& doc = Doc();
+  size_t query_size = 0;
+  uint64_t results_count = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(query, &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    query_size = engine->query().size();
+    results_count = results.count();
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.SetLabel(query);
+  state.counters["twig_nodes"] = static_cast<double>(query_size);
+  state.counters["results"] = static_cast<double>(results_count);
+}
+BENCHMARK(BM_QuerySizeScaling)->DenseRange(0, 6);
+
+// Long main paths (wildcard chains) at fixed data.
+void BM_MainPathLength(benchmark::State& state) {
+  int steps = static_cast<int>(state.range(0));
+  std::string query;
+  query += "//ProteinEntry";
+  for (int i = 1; i < steps; ++i) query += "//*";
+  const std::string& doc = Doc();
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(query, &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.counters["steps"] = steps;
+}
+BENCHMARK(BM_MainPathLength)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

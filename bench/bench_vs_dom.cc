@@ -1,0 +1,99 @@
+// Experiment E9 (paper §1, implied): the streaming engine vs the
+// non-streaming DOM baseline. Shape: comparable or better end-to-end time,
+// and O(1) memory vs O(document) memory.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "baseline/dom_evaluator.h"
+#include "twigm/engine.h"
+#include "workload/protein_generator.h"
+#include "workload/xmark_generator.h"
+
+namespace {
+
+struct Case {
+  const char* name;
+  const char* query;
+};
+
+const Case kCases[] = {
+    {"protein_id", "//ProteinEntry[reference]/@id"},
+    {"protein_author", "//ProteinEntry[reference]//author"},
+    {"xmark_name", "//item[incategory]/name"},
+    {"xmark_current", "//open_auction[bidder]/current"},
+};
+
+const std::string& DocFor(int c) {
+  static std::string protein = [] {
+    vitex::workload::ProteinOptions options;
+    options.entries = 4000;
+    return vitex::workload::GenerateProteinString(options).value();
+  }();
+  static std::string xmark = [] {
+    vitex::workload::XmarkOptions options;
+    options.items_per_region = 400;
+    return vitex::workload::GenerateXmarkString(options).value();
+  }();
+  return c < 2 ? protein : xmark;
+}
+
+void BM_StreamingTwigM(benchmark::State& state) {
+  const Case& c = kCases[state.range(0)];
+  const std::string& doc = DocFor(static_cast<int>(state.range(0)));
+  size_t peak = 0;
+  uint64_t results_count = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(c.query, &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    peak = engine->machine().memory().peak_bytes();
+    results_count = results.count();
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.SetLabel(c.name);
+  state.counters["peak_kb"] = static_cast<double>(peak) / 1024.0;
+  state.counters["results"] = static_cast<double>(results_count);
+}
+BENCHMARK(BM_StreamingTwigM)->DenseRange(0, 3);
+
+void BM_DomBaseline(benchmark::State& state) {
+  const Case& c = kCases[state.range(0)];
+  const std::string& doc = DocFor(static_cast<int>(state.range(0)));
+  auto query = vitex::xpath::ParseAndCompile(c.query);
+  if (!query.ok()) {
+    state.SkipWithError(query.status().ToString().c_str());
+    return;
+  }
+  size_t dom_bytes = 0;
+  uint64_t results_count = 0;
+  for (auto _ : state) {
+    // End-to-end: parse into DOM, then evaluate (what a non-streaming
+    // system must do).
+    auto dom = vitex::xml::ParseIntoDom(doc);
+    if (!dom.ok()) {
+      state.SkipWithError(dom.status().ToString().c_str());
+      break;
+    }
+    vitex::baseline::DomEvaluator eval(&dom.value());
+    auto nodes = eval.Evaluate(query.value());
+    benchmark::DoNotOptimize(nodes);
+    results_count = nodes.size();
+    dom_bytes = dom->arena()->allocated_bytes();
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.SetLabel(c.name);
+  state.counters["dom_kb"] = static_cast<double>(dom_bytes) / 1024.0;
+  state.counters["results"] = static_cast<double>(results_count);
+}
+BENCHMARK(BM_DomBaseline)->DenseRange(0, 3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

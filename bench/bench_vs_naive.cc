@@ -1,0 +1,81 @@
+// Experiment E3 (paper §1): TwigM's polynomial time vs the naive
+// pattern-match enumeration's exponential time, as the query size grows on
+// recursive data.
+//
+// Data: one spine of depth 18, every level marked. Query: the k-step chain
+// //a[p]//a[p]//...//v. Naive instance count is C(depth, k)-shaped; TwigM
+// work is linear in k. The paper's shape: the naive curve explodes past
+// k≈4-6 while TwigM's grows gently.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "baseline/naive_matcher.h"
+#include "twigm/engine.h"
+#include "workload/recursive_generator.h"
+#include "xml/sax_parser.h"
+
+namespace {
+
+const std::string& RecursiveDoc() {
+  static std::string doc = [] {
+    vitex::workload::RecursiveOptions options;
+    options.depth = 18;
+    return vitex::workload::GenerateRecursiveString(options).value();
+  }();
+  return doc;
+}
+
+void BM_TwigMChainQuery(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string query = vitex::workload::RecursiveChainQuery(k);
+  const std::string& doc = RecursiveDoc();
+  uint64_t peak_entries = 0;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(query, &results);
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    vitex::Status s = engine->RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    peak_entries = engine->machine().stats().peak_stack_entries;
+  }
+  state.counters["k"] = k;
+  state.counters["peak_entries"] = static_cast<double>(peak_entries);
+}
+BENCHMARK(BM_TwigMChainQuery)->DenseRange(1, 8);
+
+void BM_NaiveChainQuery(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string query = vitex::workload::RecursiveChainQuery(k);
+  const std::string& doc = RecursiveDoc();
+  auto compiled = vitex::xpath::ParseAndCompile(query);
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  uint64_t instances = 0;
+  bool blew_budget = false;
+  for (auto _ : state) {
+    vitex::twigm::CountingResultHandler results;
+    vitex::baseline::NaiveStreamMatcher naive(&compiled.value(), &results);
+    vitex::Status s = vitex::xml::ParseString(doc, &naive);
+    instances = naive.stats().instances_created;
+    if (s.IsResourceExhausted()) {
+      blew_budget = true;  // the expected exponential blowup
+    } else if (!s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+    }
+  }
+  state.counters["k"] = k;
+  state.counters["instances"] = static_cast<double>(instances);
+  state.counters["blew_budget"] = blew_budget ? 1 : 0;
+}
+BENCHMARK(BM_NaiveChainQuery)->DenseRange(1, 8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

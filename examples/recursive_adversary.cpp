@@ -1,0 +1,91 @@
+// The paper's §1 walkthrough, executable: Figure 1's document against
+// //section[author]//table[position]//cell, narrated step by step, followed
+// by the match-explosion comparison between TwigM and the naive
+// pattern-match enumeration on deeper recursive data.
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/naive_matcher.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "twigm/engine.h"
+#include "workload/book_generator.h"
+#include "workload/recursive_generator.h"
+#include "xml/sax_parser.h"
+
+namespace {
+
+void Banner(const char* text) { std::printf("\n=== %s ===\n", text); }
+
+void Figure1Walkthrough() {
+  Banner("Paper Figure 1 walkthrough");
+  const char* query = "//section[author]//table[position]//cell";
+  vitex::twigm::VectorResultCollector results;
+  auto engine = vitex::twigm::Engine::Create(query, &results);
+  if (!engine.ok()) return;
+
+  std::printf("query: %s\n", query);
+  // Feed up to the <cell> start tag — the moment the paper counts 9
+  // pattern matches.
+  engine->Feed(
+      "<book><section><section><section><table><table><table><cell>");
+  std::printf(
+      "\nat line 8 (<cell> open): 3 sections x 3 tables = 9 naive pattern "
+      "matches\nTwigM stack entries instead: %zu\n",
+      engine->machine().live_stack_entries());
+  std::printf("%s", engine->machine().DebugString().c_str());
+
+  engine->Feed("A</cell></table></table><position>B</position></table>"
+               "</section></section><author>C</author></section></book>");
+  engine->Finish();
+  std::printf("solutions: %zu (expected 1)\n", results.size());
+  for (const auto& r : results.results()) {
+    std::printf("  %s\n", r.fragment.c_str());
+  }
+  const auto& cs = engine->machine().candidate_stats();
+  std::printf("candidates: created=%llu emitted=%llu pruned=%llu\n",
+              static_cast<unsigned long long>(cs.created),
+              static_cast<unsigned long long>(cs.emitted),
+              static_cast<unsigned long long>(cs.pruned));
+}
+
+void MatchExplosion() {
+  Banner("Match explosion on recursive data (depth 24, query //a[p] x k)");
+  vitex::workload::RecursiveOptions options;
+  options.depth = 24;
+  auto doc = vitex::workload::GenerateRecursiveString(options);
+  if (!doc.ok()) return;
+
+  std::printf("%-6s %20s %20s\n", "k", "naive instances", "TwigM entries");
+  for (int k = 1; k <= 6; ++k) {
+    std::string query = vitex::workload::RecursiveChainQuery(k);
+    auto compiled = vitex::xpath::ParseAndCompile(query);
+    if (!compiled.ok()) return;
+
+    vitex::baseline::NaiveStreamMatcher naive(&compiled.value(), nullptr);
+    vitex::Status ns = vitex::xml::ParseString(doc.value(), &naive);
+    std::string naive_cell =
+        ns.ok() ? vitex::WithThousandsSeparators(naive.stats().instances_created)
+                : "(budget blown)";
+
+    vitex::twigm::CountingResultHandler results;
+    auto engine = vitex::twigm::Engine::Create(query, &results);
+    if (!engine.ok()) return;
+    engine->RunString(doc.value());
+    std::printf("%-6d %20s %20s\n", k, naive_cell.c_str(),
+                vitex::WithThousandsSeparators(
+                    engine->machine().stats().peak_stack_entries)
+                    .c_str());
+  }
+  std::printf("\nnaive grows binomially (exponential in k); TwigM stays "
+              "linear in depth x k.\n");
+}
+
+}  // namespace
+
+int main() {
+  Figure1Walkthrough();
+  MatchExplosion();
+  return 0;
+}

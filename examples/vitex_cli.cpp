@@ -1,0 +1,91 @@
+// vitex_cli: a command-line XPath-over-stream tool — the shape in which a
+// downstream user would actually deploy ViteX.
+//
+//   vitex_cli QUERY [FILE]          stream FILE (or stdin) through QUERY
+//   vitex_cli --count QUERY [FILE]  print only the match count and stats
+//
+// Examples:
+//   ./vitex_cli '//book[author]//title' catalog.xml
+//   cat feed.xml | ./vitex_cli --count '//trade[volume > 5000]'
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "twigm/engine.h"
+
+namespace {
+
+class PrintingHandler : public vitex::twigm::ResultHandler {
+ public:
+  void OnResult(std::string_view fragment, uint64_t sequence) override {
+    (void)sequence;
+    std::fwrite(fragment.data(), 1, fragment.size(), stdout);
+    std::fputc('\n', stdout);
+    ++count;
+  }
+  uint64_t count = 0;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: vitex_cli [--count] QUERY [FILE]\n"
+               "Streams FILE (or stdin) through the XPath QUERY and prints\n"
+               "each matching fragment as it qualifies.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool count_only = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--count") == 0) {
+    count_only = true;
+    ++arg;
+  }
+  if (arg >= argc) return Usage();
+  const char* query = argv[arg++];
+  const char* file = arg < argc ? argv[arg] : nullptr;
+
+  PrintingHandler printer;
+  vitex::twigm::CountingResultHandler counter;
+  vitex::twigm::ResultHandler* handler =
+      count_only ? static_cast<vitex::twigm::ResultHandler*>(&counter)
+                 : &printer;
+
+  auto engine = vitex::twigm::Engine::Create(query, handler);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "query error: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  vitex::Stopwatch timer;
+  vitex::Status status;
+  if (file != nullptr) {
+    status = engine->RunFile(file);
+  } else {
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) {
+      status = engine->Feed(std::string_view(buf, n));
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = engine->Finish();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "stream error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  uint64_t total = count_only ? counter.count() : printer.count;
+  std::fprintf(stderr,
+               "-- %llu matches in %.3f s; peak engine memory %s\n",
+               static_cast<unsigned long long>(total), timer.ElapsedSeconds(),
+               vitex::HumanBytes(engine->machine().memory().peak_bytes())
+                   .c_str());
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "baseline/dom_evaluator.h"
+
+#include <algorithm>
+
+#include "xpath/parser.h"
+
+namespace vitex::baseline {
+
+using xml::DomNode;
+using xpath::Axis;
+using xpath::Formula;
+using xpath::QueryNode;
+
+template <typename Fn>
+void DomEvaluator::ForEachChildElement(const DomNode* e, Fn fn) {
+  for (const DomNode* c = e->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->IsElement()) fn(c);
+  }
+}
+
+template <typename Fn>
+void DomEvaluator::ForEachDescendantElement(const DomNode* e, Fn fn) {
+  for (const DomNode* c = e->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->IsElement()) {
+      fn(c);
+      ForEachDescendantElement(c, fn);
+    }
+  }
+}
+
+template <typename Fn>
+void DomEvaluator::ForEachTextNode(const DomNode* e, bool descendant, Fn fn) {
+  for (const DomNode* c = e->first_child; c != nullptr; c = c->next_sibling) {
+    if (c->IsText()) {
+      fn(c);
+    } else if (descendant && c->IsElement()) {
+      ForEachTextNode(c, true, fn);
+    }
+  }
+}
+
+bool DomEvaluator::ChildAtomHolds(const DomNode* e, const QueryNode* child) {
+  switch (child->axis) {
+    case Axis::kAttribute: {
+      // Child form: e's own attributes. Descendant form: e or any
+      // descendant element (the machine's descendant-or-self semantics).
+      auto check = [&](const DomNode* owner) {
+        for (const DomNode* a = owner->first_attribute; a != nullptr;
+             a = a->next_sibling) {
+          if (child->MatchesAttributeName(a->name) &&
+              child->CompareValue(a->value)) {
+            return true;
+          }
+        }
+        return false;
+      };
+      if (check(e)) return true;
+      if (!child->descendant_attribute) return false;
+      bool found = false;
+      ForEachDescendantElement(e, [&](const DomNode* d) {
+        if (!found && check(d)) found = true;
+      });
+      return found;
+    }
+    case Axis::kChild:
+    case Axis::kDescendant: {
+      bool descendant = child->axis == Axis::kDescendant;
+      if (child->IsTextNode()) {
+        bool found = false;
+        ForEachTextNode(e, descendant, [&](const DomNode* t) {
+          if (!found && child->CompareValue(t->value)) found = true;
+        });
+        return found;
+      }
+      bool found = false;
+      auto visit = [&](const DomNode* c) {
+        if (!found && child->MatchesTag(c->name) && Satisfied(c, child)) {
+          found = true;
+        }
+      };
+      if (descendant) {
+        ForEachDescendantElement(e, visit);
+      } else {
+        ForEachChildElement(e, visit);
+      }
+      return found;
+    }
+    case Axis::kSelf:
+      return false;
+  }
+  return false;
+}
+
+bool DomEvaluator::EvalFormula(const DomNode* e, const QueryNode* q,
+                               const Formula& f) {
+  switch (f.kind) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kAtom:
+      return ChildAtomHolds(e, q->children[f.atom_child]);
+    case Formula::Kind::kAnd:
+      for (const Formula& op : f.operands) {
+        if (!EvalFormula(e, q, op)) return false;
+      }
+      return true;
+    case Formula::Kind::kOr:
+      for (const Formula& op : f.operands) {
+        if (EvalFormula(e, q, op)) return true;
+      }
+      return false;
+    case Formula::Kind::kNot:
+      return !EvalFormula(e, q, f.operands[0]);
+  }
+  return false;
+}
+
+bool DomEvaluator::Satisfied(const DomNode* e, const QueryNode* q) {
+  std::vector<int8_t>& states = memo_[e];
+  if (states.empty()) states.assign(query_size_, -1);
+  int8_t& state = states[q->id];
+  if (state >= 0) return state == 1;
+  ++sat_checks_;
+  bool ok = EvalFormula(e, q, q->formula);
+  state = ok ? 1 : 0;
+  return ok;
+}
+
+void DomEvaluator::CollectMainPath(const DomNode* context, const QueryNode* q,
+                                   std::vector<const DomNode*>* out) {
+  // Find matches of `q` relative to `context` (an element or the document
+  // node); recurse into the main-path child or collect at the output node.
+  const QueryNode* next = nullptr;
+  for (const QueryNode* c : q->children) {
+    if (c->on_main_path) next = c;
+  }
+  auto handle = [&](const DomNode* m) {
+    if (!q->MatchesTag(m->name) || !Satisfied(m, q)) return;
+    if (q->is_output) {
+      out->push_back(m);
+    } else {
+      CollectMainPath(m, next, out);
+    }
+  };
+  if (q->IsAttributeNode()) {
+    // Output attribute step (attributes on the main path are always last).
+    auto collect = [&](const DomNode* owner) {
+      for (const DomNode* a = owner->first_attribute; a != nullptr;
+           a = a->next_sibling) {
+        if (q->MatchesAttributeName(a->name) && q->CompareValue(a->value)) {
+          out->push_back(a);
+        }
+      }
+    };
+    if (context->kind == xml::NodeKind::kDocument) {
+      if (q->descendant_attribute) {
+        ForEachDescendantElement(context, collect);
+      }
+      return;
+    }
+    collect(context);
+    if (q->descendant_attribute) ForEachDescendantElement(context, collect);
+    return;
+  }
+  if (q->IsTextNode()) {
+    // Output text() step.
+    if (context->kind == xml::NodeKind::kDocument) {
+      if (q->axis == Axis::kDescendant) {
+        ForEachTextNode(context, true, [&](const DomNode* t) {
+          if (q->CompareValue(t->value)) out->push_back(t);
+        });
+      }
+      return;
+    }
+    ForEachTextNode(context, q->axis == Axis::kDescendant,
+                    [&](const DomNode* t) {
+                      if (q->CompareValue(t->value)) out->push_back(t);
+                    });
+    return;
+  }
+  if (q->axis == Axis::kDescendant) {
+    ForEachDescendantElement(context, handle);
+  } else {
+    ForEachChildElement(context, handle);
+  }
+}
+
+std::vector<const DomNode*> DomEvaluator::Evaluate(const xpath::Query& query) {
+  memo_.clear();
+  sat_checks_ = 0;
+  query_size_ = query.size();
+  std::vector<const DomNode*> out;
+  CollectMainPath(doc_->document_node(), query.root(), &out);
+  std::sort(out.begin(), out.end(),
+            [](const DomNode* a, const DomNode* b) {
+              return a->order < b->order;
+            });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<std::string> DomEvaluator::EvaluateToFragments(
+    const xpath::Query& query) {
+  std::vector<const DomNode*> nodes = Evaluate(query);
+  std::vector<std::string> out;
+  out.reserve(nodes.size());
+  for (const DomNode* n : nodes) {
+    if (n->IsAttribute() || n->IsText()) {
+      out.emplace_back(n->value);
+    } else {
+      out.push_back(xml::Document::Serialize(n));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> EvaluateOnDocument(std::string_view xml_text,
+                                                    std::string_view xpath) {
+  VITEX_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseIntoDom(xml_text));
+  VITEX_ASSIGN_OR_RETURN(xpath::Query query, xpath::ParseAndCompile(xpath));
+  DomEvaluator eval(&doc);
+  return eval.EvaluateToFragments(query);
+}
+
+}  // namespace vitex::baseline

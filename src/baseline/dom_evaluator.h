@@ -1,0 +1,75 @@
+// DomEvaluator: the non-streaming baseline of paper §1.
+//
+// "These challenges are not present in a non-streaming XML query evaluation
+// algorithm since predicates can be checked immediately by randomly
+// accessing XML nodes." This evaluator materializes the document as a DOM
+// and evaluates the compiled query twig with random access and memoization
+// — polynomial, simple, and the correctness oracle for TwigM in the test
+// suite. Its cost is what ViteX avoids: O(document) memory.
+
+#ifndef VITEX_BASELINE_DOM_EVALUATOR_H_
+#define VITEX_BASELINE_DOM_EVALUATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xpath/query.h"
+
+namespace vitex::baseline {
+
+class DomEvaluator {
+ public:
+  /// @param doc must outlive the evaluator.
+  explicit DomEvaluator(const xml::Document* doc) : doc_(doc) {}
+
+  /// Returns the solution nodes in document order (no duplicates).
+  std::vector<const xml::DomNode*> Evaluate(const xpath::Query& query);
+
+  /// Returns serialized solutions in document order, byte-identical to what
+  /// TwigMachine emits for the same query and document (element results as
+  /// canonical subtree XML, attribute/text results as raw values).
+  std::vector<std::string> EvaluateToFragments(const xpath::Query& query);
+
+  /// Number of (element, query-node) satisfaction checks performed by the
+  /// last Evaluate call (work metric for benchmarks).
+  uint64_t sat_checks() const { return sat_checks_; }
+
+ private:
+  // Satisfaction of the subquery rooted at `q` when matched at element `e`
+  // (test already assumed to hold). Memoized.
+  bool Satisfied(const xml::DomNode* e, const xpath::QueryNode* q);
+  // Whether child atom `child` of `q` holds relative to element `e`.
+  bool ChildAtomHolds(const xml::DomNode* e, const xpath::QueryNode* child);
+  bool EvalFormula(const xml::DomNode* e, const xpath::QueryNode* q,
+                   const xpath::Formula& f);
+
+  // Collects output matches of the main path below `context`.
+  void CollectMainPath(const xml::DomNode* context,
+                       const xpath::QueryNode* q,
+                       std::vector<const xml::DomNode*>* out);
+
+  // Enumeration helpers.
+  template <typename Fn>
+  void ForEachChildElement(const xml::DomNode* e, Fn fn);
+  template <typename Fn>
+  void ForEachDescendantElement(const xml::DomNode* e, Fn fn);
+  template <typename Fn>
+  void ForEachTextNode(const xml::DomNode* e, bool descendant, Fn fn);
+
+  const xml::Document* doc_;
+  // Memo: element -> per-query-node tri-state (-1 unknown / 0 no / 1 yes).
+  std::unordered_map<const xml::DomNode*, std::vector<int8_t>> memo_;
+  size_t query_size_ = 0;
+  uint64_t sat_checks_ = 0;
+};
+
+/// Convenience: parse a document and evaluate one query over it.
+Result<std::vector<std::string>> EvaluateOnDocument(std::string_view xml,
+                                                    std::string_view xpath);
+
+}  // namespace vitex::baseline
+
+#endif  // VITEX_BASELINE_DOM_EVALUATOR_H_

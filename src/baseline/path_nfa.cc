@@ -1,0 +1,89 @@
+#include "baseline/path_nfa.h"
+
+namespace vitex::baseline {
+
+using xpath::Axis;
+using xpath::NodeTestKind;
+using xpath::QueryNode;
+
+PathNfa::PathNfa(const xpath::Query* query, twigm::ResultHandler* results)
+    : results_(results) {
+  const QueryNode* q = query->root();
+  while (q != nullptr) {
+    StepInfo info;
+    info.descendant = q->axis == Axis::kDescendant;
+    info.wildcard = q->test == NodeTestKind::kWildcard;
+    info.name = q->name;
+    steps_.push_back(std::move(info));
+    const QueryNode* next = nullptr;
+    for (const QueryNode* c : q->children) {
+      if (c->on_main_path) next = c;
+    }
+    q = next;
+  }
+  step_count_ = steps_.size();
+}
+
+Result<PathNfa> PathNfa::Create(const xpath::Query* query,
+                                twigm::ResultHandler* results) {
+  if (query->size() > 63) {
+    return Status::InvalidArgument("path too long for the NFA bitmask");
+  }
+  for (const auto& qn : query->nodes()) {
+    if (!qn->on_main_path) {
+      return Status::InvalidArgument(
+          "PathNfa supports predicate-free queries only");
+    }
+    if (qn->IsAttributeNode() || qn->IsTextNode()) {
+      return Status::InvalidArgument(
+          "PathNfa supports element paths only (no attributes or text())");
+    }
+  }
+  return PathNfa(query, results);
+}
+
+Status PathNfa::StartDocument() {
+  state_stack_.clear();
+  matches_ = 0;
+  peak_depth_ = 0;
+  sequence_counter_ = 0;
+  return Status::OK();
+}
+
+Status PathNfa::StartElement(const xml::StartElementEvent& event) {
+  uint64_t seq = sequence_counter_++;
+  // State 0 is active at the virtual document root.
+  uint64_t parent = state_stack_.empty() ? 1ull : state_stack_.back();
+  uint64_t next = 0;
+  for (size_t s = 0; s < step_count_; ++s) {
+    if ((parent & (1ull << s)) == 0) continue;
+    const StepInfo& step = steps_[s];
+    // Advance on a test match.
+    if (step.wildcard || step.name == event.name) {
+      next |= 1ull << (s + 1);
+    }
+    // A descendant step lets the pending state ride down through
+    // non-matching (and matching) elements alike.
+    if (step.descendant) {
+      next |= 1ull << s;
+    }
+  }
+  state_stack_.push_back(next);
+  if (state_stack_.size() > peak_depth_) peak_depth_ = state_stack_.size();
+  if ((next & (1ull << step_count_)) != 0) {
+    ++matches_;
+    if (results_ != nullptr) {
+      results_->OnResult(event.name, seq);
+    }
+  }
+  return Status::OK();
+}
+
+Status PathNfa::EndElement(std::string_view name, int depth) {
+  (void)name;
+  (void)depth;
+  if (!state_stack_.empty()) state_stack_.pop_back();
+  return Status::OK();
+}
+
+}  // namespace vitex::baseline

@@ -1,0 +1,70 @@
+// PathNfa: an NFA-based streaming evaluator for predicate-free path queries
+// (the YFilter/XFilter family of techniques that predate ViteX).
+//
+// Path queries like //a//b/c need no candidate buffering: a match is known
+// the instant the final step's element opens. The NFA keeps, per open
+// element, the set of active states (a bitmask), pushed and popped with the
+// element. Its existence in this repo demonstrates *why* TwigM is needed:
+// the moment a query has a predicate, matches become conditional on future
+// events and the stack-of-state-sets approach no longer suffices.
+
+#ifndef VITEX_BASELINE_PATH_NFA_H_
+#define VITEX_BASELINE_PATH_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "twigm/result.h"
+#include "xml/sax_event.h"
+#include "xpath/query.h"
+
+namespace vitex::baseline {
+
+/// Streaming matcher for queries that are pure element paths (child and
+/// descendant axes, name and wildcard tests, no predicates, no attributes,
+/// no text()). Emits one result per matching element: the element's tag as
+/// the fragment and its document-order sequence as the key (fragments are
+/// not serialized — this baseline measures pure matching throughput).
+class PathNfa : public xml::ContentHandler {
+ public:
+  /// Fails with InvalidArgument if the query is not a pure path.
+  static Result<PathNfa> Create(const xpath::Query* query,
+                                twigm::ResultHandler* results);
+
+  Status StartDocument() override;
+  Status StartElement(const xml::StartElementEvent& event) override;
+  Status EndElement(std::string_view name, int depth) override;
+
+  uint64_t matches() const { return matches_; }
+  /// Maximum number of simultaneously live state sets (== max depth).
+  size_t peak_stack_depth() const { return peak_depth_; }
+
+ private:
+  PathNfa(const xpath::Query* query, twigm::ResultHandler* results);
+
+  struct StepInfo {
+    bool descendant = false;
+    bool wildcard = false;
+    std::string name;
+  };
+
+  // steps_[i] describes the transition from state i to state i+1; state
+  // step_count_ is the accept state.
+  std::vector<StepInfo> steps_;
+  size_t step_count_ = 0;
+  twigm::ResultHandler* results_;
+
+  // Stack of active state sets, one per open element; state i active means
+  // "the first i steps matched a chain of ancestors".
+  std::vector<uint64_t> state_stack_;
+  uint64_t matches_ = 0;
+  size_t peak_depth_ = 0;
+  uint64_t sequence_counter_ = 0;
+};
+
+}  // namespace vitex::baseline
+
+#endif  // VITEX_BASELINE_PATH_NFA_H_

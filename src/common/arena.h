@@ -1,0 +1,101 @@
+// Arena: a bump-pointer allocator for parse-tree and machine-node lifetimes.
+//
+// The XPath AST, the DOM-lite tree and the TwigM machine all have
+// build-once / free-together lifetimes, which is exactly what an arena is
+// for: allocation is a pointer bump, deallocation is dropping the arena.
+
+#ifndef VITEX_COMMON_ARENA_H_
+#define VITEX_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace vitex {
+
+/// A growable bump allocator. Not thread-safe; one arena per parser/machine.
+///
+/// Objects allocated with Create<T>() must be trivially destructible: the
+/// arena never runs destructors. This is asserted at compile time.
+class Arena {
+ public:
+  /// @param block_bytes size of each internal block; allocations larger than
+  ///        this get a dedicated block.
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocates `bytes` bytes aligned to `align`. Never returns nullptr
+  /// (allocation failure terminates, as it does for operator new).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    size_t pos = Align(pos_, align);
+    if (pos + bytes > cap_) {
+      Grow(bytes + align);
+      pos = Align(pos_, align);
+    }
+    void* out = cur_ + pos;
+    pos_ = pos + bytes;
+    allocated_bytes_ += bytes;
+    return out;
+  }
+
+  /// Allocates and constructs a trivially-destructible T.
+  template <typename T, typename... Args>
+  T* Create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view CopyString(std::string_view s) {
+    if (s.empty()) return {};
+    char* mem = static_cast<char*>(Allocate(s.size(), 1));
+    std::memcpy(mem, s.data(), s.size());
+    return std::string_view(mem, s.size());
+  }
+
+  /// Total bytes handed out (excludes block slack).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+
+  /// Total bytes reserved from the system (includes slack).
+  size_t reserved_bytes() const { return reserved_bytes_; }
+
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+ private:
+  static size_t Align(size_t pos, size_t align) {
+    return (pos + align - 1) & ~(align - 1);
+  }
+
+  void Grow(size_t min_bytes) {
+    size_t block = block_bytes_ > min_bytes ? block_bytes_ : min_bytes;
+    blocks_.push_back(std::make_unique<char[]>(block));
+    cur_ = blocks_.back().get();
+    pos_ = 0;
+    cap_ = block;
+    reserved_bytes_ += block;
+  }
+
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cur_ = nullptr;
+  size_t pos_ = 0;
+  size_t cap_ = 0;
+  size_t allocated_bytes_ = 0;
+  size_t reserved_bytes_ = 0;
+};
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_ARENA_H_

@@ -1,0 +1,53 @@
+// MemoryTracker: live/peak byte accounting for the paper's memory experiment.
+//
+// The demo paper's feature 3 reports that "the memory requirement of ViteX
+// when processing queries on a 75 MB Protein dataset is stable at 1MB".
+// Reproducing that claim (experiment E2 in DESIGN.md) requires the engine to
+// account for its own state precisely: every stack entry, candidate buffer
+// and pending output fragment reports its size here.
+
+#ifndef VITEX_COMMON_MEMORY_TRACKER_H_
+#define VITEX_COMMON_MEMORY_TRACKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vitex {
+
+/// Tracks live and peak byte usage of one engine instance.
+///
+/// Not thread-safe: TwigM is a single-threaded stream operator, and each
+/// machine owns its own tracker.
+class MemoryTracker {
+ public:
+  /// Records an allocation of `bytes`.
+  void Add(size_t bytes) {
+    live_ += bytes;
+    if (live_ > peak_) peak_ = live_;
+  }
+
+  /// Records a release of `bytes`. Releasing more than is live clamps to 0
+  /// (and indicates an accounting bug; callers should keep Add/Release
+  /// balanced).
+  void Release(size_t bytes) {
+    live_ = bytes > live_ ? 0 : live_ - bytes;
+  }
+
+  /// Bytes currently accounted as live.
+  size_t live_bytes() const { return live_; }
+
+  /// High-water mark since construction or the last ResetPeak().
+  size_t peak_bytes() const { return peak_; }
+
+  /// Resets the peak to the current live value (used between benchmark
+  /// iterations).
+  void ResetPeak() { peak_ = live_; }
+
+ private:
+  size_t live_ = 0;
+  size_t peak_ = 0;
+};
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_MEMORY_TRACKER_H_

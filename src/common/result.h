@@ -1,0 +1,82 @@
+// Result<T>: a value-or-Status, the companion of Status for functions that
+// produce a value on success.
+
+#ifndef VITEX_COMMON_RESULT_H_
+#define VITEX_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace vitex {
+
+/// Holds either a successfully produced T or a non-OK Status.
+///
+/// Typical usage:
+///
+///     Result<Query> q = ParseXPath("//a[b]//c");
+///     if (!q.ok()) return q.status();
+///     Use(q.value());
+///
+/// Constructing a Result from an OK status is a programming error (there
+/// would be no value), enforced by an assertion.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Success: wraps a value.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Failure: wraps a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a failed Result, or binds its value to `lhs`.
+#define VITEX_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto VITEX_CONCAT_(_vitex_res_, __LINE__) = (expr);     \
+  if (!VITEX_CONCAT_(_vitex_res_, __LINE__).ok())         \
+    return VITEX_CONCAT_(_vitex_res_, __LINE__).status(); \
+  lhs = std::move(VITEX_CONCAT_(_vitex_res_, __LINE__)).value()
+
+#define VITEX_CONCAT_(a, b) VITEX_CONCAT_IMPL_(a, b)
+#define VITEX_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_RESULT_H_

@@ -1,0 +1,126 @@
+// Status: error-handling primitive used throughout ViteX.
+//
+// ViteX follows the RocksDB/Arrow idiom: fallible operations on the data path
+// return a Status (or a Result<T>, see result.h) instead of throwing. This
+// keeps the streaming hot loop exception-free and makes every failure site
+// explicit at the call site.
+
+#ifndef VITEX_COMMON_STATUS_H_
+#define VITEX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vitex {
+
+/// Error category for a failed operation.
+///
+/// Codes are deliberately coarse: fine-grained context belongs in the
+/// message, which every constructor requires for non-OK statuses.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// Caller passed an argument that violates the API contract.
+  kInvalidArgument = 1,
+  /// Input data (XML or XPath text) is syntactically malformed.
+  kParseError = 2,
+  /// Input is well-formed but violates a semantic rule (e.g. an XPath
+  /// feature outside the supported XP{/,//,*,[]} fragment).
+  kUnsupported = 3,
+  /// An internal invariant was violated; indicates a bug in ViteX itself.
+  kInternal = 4,
+  /// An operating-system level failure (file not found, read error, ...).
+  kIoError = 5,
+  /// A configured resource limit (memory budget, depth limit) was exceeded.
+  kResourceExhausted = 6,
+};
+
+/// Returns the canonical spelling of a code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail.
+///
+/// A Status is cheap to copy in the OK case (a single tagged pointer-sized
+/// word; the message string is empty). Statuses must be checked; the
+/// [[nodiscard]] attribute makes accidentally dropped errors a compiler
+/// warning.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Prepends context to the message of a non-OK status, returning a new
+  /// status: `s.WithContext("while parsing line 7")`.
+  Status WithContext(std::string_view context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller.
+#define VITEX_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::vitex::Status _vitex_status = (expr);        \
+    if (!_vitex_status.ok()) return _vitex_status; \
+  } while (0)
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Stopwatch: wall-clock timing for the benchmark harness and examples.
+
+#ifndef VITEX_COMMON_STOPWATCH_H_
+#define VITEX_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace vitex {
+
+/// A restartable wall-clock stopwatch with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_STOPWATCH_H_

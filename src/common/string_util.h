@@ -1,0 +1,50 @@
+// Small string helpers shared by the XML and XPath front ends.
+
+#ifndef VITEX_COMMON_STRING_UTIL_H_
+#define VITEX_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vitex {
+
+/// Returns `s` with leading/trailing ASCII whitespace removed.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True iff `s` consists solely of ASCII whitespace (or is empty).
+bool IsAllWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view s, char sep);
+
+/// True iff `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-sensitive containment test.
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// Joins `pieces` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Formats a byte count as a human-readable string, e.g. "75.1 MB".
+std::string HumanBytes(size_t bytes);
+
+/// Formats `n` with thousands separators, e.g. "1,234,567".
+std::string WithThousandsSeparators(uint64_t n);
+
+/// True for XML NameStartChar in the ASCII+beyond subset we accept
+/// (letters, '_', ':' and any byte >= 0x80, i.e. multi-byte UTF-8).
+bool IsNameStartChar(unsigned char c);
+
+/// True for XML NameChar (NameStartChar plus digits, '-', '.').
+bool IsNameChar(unsigned char c);
+
+/// True iff `name` is a syntactically valid XML name under the rules above.
+bool IsValidXmlName(std::string_view name);
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_STRING_UTIL_H_

@@ -1,0 +1,195 @@
+#include "synopsis/path_synopsis.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace vitex::synopsis {
+
+namespace {
+constexpr char kTruncMarker[] = "/...";
+}  // namespace
+
+Status PathSynopsis::StartElement(const xml::StartElementEvent& event) {
+  stack_.emplace_back(event.name);
+  ++total_elements_;
+  std::string key;
+  if (max_depth_ > 0 && static_cast<int>(stack_.size()) > max_depth_) {
+    truncated_ = true;
+    for (int i = 0; i < max_depth_; ++i) {
+      key += '/';
+      key += stack_[i];
+    }
+    key += kTruncMarker;
+  } else {
+    for (const std::string& tag : stack_) {
+      key += '/';
+      key += tag;
+    }
+  }
+  ++counts_[key];
+  return Status::OK();
+}
+
+Status PathSynopsis::EndElement(std::string_view name, int depth) {
+  (void)name;
+  (void)depth;
+  if (!stack_.empty()) stack_.pop_back();
+  return Status::OK();
+}
+
+Result<PathSynopsis> PathSynopsis::Build(std::string_view document,
+                                         int max_depth) {
+  PathSynopsis synopsis(max_depth);
+  VITEX_RETURN_IF_ERROR(xml::ParseString(document, &synopsis));
+  return synopsis;
+}
+
+uint64_t PathSynopsis::PathCount(std::string_view path) const {
+  auto it = counts_.find(std::string(path));
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>> PathSynopsis::Rows() const {
+  return std::vector<std::pair<std::string, uint64_t>>(counts_.begin(),
+                                                       counts_.end());
+}
+
+size_t PathSynopsis::memory_bytes() const {
+  size_t bytes = 0;
+  for (const auto& [path, count] : counts_) {
+    (void)count;
+    bytes += path.size() + sizeof(uint64_t) + 32;  // node overhead estimate
+  }
+  return bytes;
+}
+
+bool PathSynopsis::PathMatchesQuery(
+    const std::vector<std::string_view>& tags, const xpath::Query& query) {
+  // Collect the main-path element steps (the chain the estimator prices);
+  // an attribute/text output contributes its owner chain only.
+  struct StepInfo {
+    bool descendant;
+    bool wildcard;
+    std::string_view name;
+  };
+  std::vector<StepInfo> steps;
+  for (const xpath::QueryNode* q = query.root(); q != nullptr;) {
+    if (q->IsElementNode()) {
+      steps.push_back(StepInfo{q->axis == xpath::Axis::kDescendant,
+                               q->test == xpath::NodeTestKind::kWildcard,
+                               q->name});
+    }
+    const xpath::QueryNode* next = nullptr;
+    for (const xpath::QueryNode* c : q->children) {
+      if (c->on_main_path) next = c;
+    }
+    q = next;
+  }
+  if (steps.empty()) return false;
+
+  size_t m = steps.size(), n = tags.size();
+  if (n < m) return false;
+  // match[i][j]: steps[i..] can embed into tags with step i at a position
+  // constrained to start at j (== j for child, >= j for descendant), and
+  // the final step landing exactly on the last tag.
+  std::vector<std::vector<int8_t>> memo(m + 1,
+                                        std::vector<int8_t>(n + 1, -1));
+  // Recursive lambda with memoization.
+  std::function<bool(size_t, size_t)> fits = [&](size_t i, size_t j) -> bool {
+    if (i == m) return j == n;  // all steps placed; consumed through the end
+    if (j >= n) return false;
+    int8_t& slot = memo[i][j];
+    if (slot >= 0) return slot == 1;
+    bool ok = false;
+    if (steps[i].descendant) {
+      for (size_t p = j; p < n && !ok; ++p) {
+        if ((steps[i].wildcard || steps[i].name == tags[p]) &&
+            fits(i + 1, p + 1)) {
+          ok = true;
+        }
+      }
+    } else {
+      if ((steps[i].wildcard || steps[i].name == tags[j]) && fits(i + 1, j + 1)) {
+        ok = true;
+      }
+    }
+    slot = ok ? 1 : 0;
+    return ok;
+  };
+  // The last step must land on the last tag: encode by requiring full
+  // consumption — fits(i==m) checks j == n, and intermediate steps advance
+  // one tag each, so descendant gaps absorb the slack *before* each
+  // descendant step. A trailing gap would violate "output = last tag".
+  return fits(0, 0);
+}
+
+uint64_t PathSynopsis::EstimateCardinality(const xpath::Query& query) const {
+  uint64_t total = 0;
+  for (const auto& [path, count] : counts_) {
+    if (EndsWith(path, kTruncMarker)) {
+      // Depth-capped bucket: we no longer know the full path; count it in
+      // as an upper bound.
+      total += count;
+      continue;
+    }
+    std::vector<std::string_view> tags = SplitString(path, '/');
+    // Leading '/' produces one empty piece; drop it.
+    if (!tags.empty() && tags.front().empty()) tags.erase(tags.begin());
+    if (PathMatchesQuery(tags, query)) total += count;
+  }
+  return total;
+}
+
+double PathSynopsis::EstimateSelectivity(const xpath::Query& query) const {
+  if (total_elements_ == 0) return 0.0;
+  return static_cast<double>(EstimateCardinality(query)) /
+         static_cast<double>(total_elements_);
+}
+
+std::string PathSynopsis::ExplainEstimate(const xpath::Query& query) const {
+  // Rebuild the main-path prefixes as standalone queries and price each.
+  std::string out;
+  std::string prefix_text;
+  int step_index = 0;
+  bool has_predicates = false;
+  for (const xpath::QueryNode* q = query.root(); q != nullptr;) {
+    for (const xpath::QueryNode* c : q->children) {
+      if (!c->on_main_path) has_predicates = true;
+    }
+    if (q->IsElementNode()) {
+      ++step_index;
+      prefix_text += q->axis == xpath::Axis::kDescendant ? "//" : "/";
+      if (q->test == xpath::NodeTestKind::kWildcard) {
+        prefix_text += "*";
+      } else {
+        prefix_text += q->name;
+      }
+      auto compiled = xpath::ParseAndCompile(prefix_text);
+      out += "step " + std::to_string(step_index) + ": " + prefix_text +
+             "  ~ ";
+      if (compiled.ok()) {
+        out += WithThousandsSeparators(EstimateCardinality(compiled.value()));
+        out += " elements";
+      } else {
+        out += "?";
+      }
+      out += "\n";
+    }
+    const xpath::QueryNode* next = nullptr;
+    for (const xpath::QueryNode* c : q->children) {
+      if (c->on_main_path) next = c;
+    }
+    q = next;
+  }
+  if (has_predicates) {
+    out += "(query has predicates: final estimate is an upper bound)\n";
+  }
+  if (truncated()) {
+    out += "(synopsis depth-capped: estimates include truncated buckets)\n";
+  }
+  return out;
+}
+
+}  // namespace vitex::synopsis

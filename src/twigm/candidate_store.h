@@ -1,0 +1,128 @@
+// CandidateStore: shared, reference-counted storage for candidate solutions.
+//
+// A candidate solution (paper §3.2) is an XML node that matches the output
+// query node but whose qualification depends on predicates that are still
+// undetermined. One candidate may be reachable through several pattern
+// matches — TwigM's compactness comes from *sharing* the candidate across
+// all of them instead of duplicating it per match. The store keeps one slot
+// per candidate; stack entries hold references. A candidate is emitted at
+// most once (first qualifying pattern match wins) and is reclaimed when the
+// last reference drops.
+
+#ifndef VITEX_TWIGM_CANDIDATE_STORE_H_
+#define VITEX_TWIGM_CANDIDATE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/memory_tracker.h"
+
+namespace vitex::twigm {
+
+/// Index of a candidate slot in the store.
+using CandidateId = uint32_t;
+
+/// Aggregate counters for the candidate lifecycle (experiment E10).
+struct CandidateStats {
+  uint64_t created = 0;
+  uint64_t emitted = 0;
+  uint64_t pruned = 0;  ///< discarded: no pattern match qualified them
+  uint64_t peak_live = 0;
+  uint64_t peak_bytes = 0;
+};
+
+class CandidateStore {
+ public:
+  explicit CandidateStore(MemoryTracker* memory) : memory_(memory) {}
+
+  /// Creates a candidate holding `fragment` with one initial reference.
+  CandidateId Create(std::string fragment, uint64_t sequence) {
+    CandidateId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      id = static_cast<CandidateId>(slots_.size());
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[id];
+    s.refs = 1;
+    s.emitted = false;
+    s.sequence = sequence;
+    s.fragment = std::move(fragment);
+    ++stats_.created;
+    ++live_;
+    live_bytes_ += s.fragment.size();
+    memory_->Add(s.fragment.size() + sizeof(Slot));
+    if (live_ > stats_.peak_live) stats_.peak_live = live_;
+    if (live_bytes_ > stats_.peak_bytes) stats_.peak_bytes = live_bytes_;
+    return id;
+  }
+
+  /// Adds a reference (the candidate is now also held by another entry).
+  void Ref(CandidateId id) { ++slots_[id].refs; }
+
+  /// Drops a reference; reclaims the slot when it was the last one. A
+  /// candidate reclaimed without ever being emitted counts as pruned.
+  void Unref(CandidateId id) {
+    Slot& s = slots_[id];
+    if (--s.refs == 0) {
+      if (!s.emitted) ++stats_.pruned;
+      --live_;
+      live_bytes_ -= s.fragment.size();
+      memory_->Release(s.fragment.size() + sizeof(Slot));
+      s.fragment.clear();
+      s.fragment.shrink_to_fit();
+      free_list_.push_back(id);
+    }
+  }
+
+  /// The fragment text of a live candidate.
+  const std::string& fragment(CandidateId id) const {
+    return slots_[id].fragment;
+  }
+  uint64_t sequence(CandidateId id) const { return slots_[id].sequence; }
+
+  /// Marks emission; returns false if it had already been emitted (the
+  /// caller must emit only on true).
+  bool MarkEmitted(CandidateId id) {
+    Slot& s = slots_[id];
+    if (s.emitted) return false;
+    s.emitted = true;
+    ++stats_.emitted;
+    return true;
+  }
+
+  /// Number of live (referenced) candidates.
+  uint64_t live() const { return live_; }
+  uint64_t live_bytes() const { return live_bytes_; }
+  const CandidateStats& stats() const { return stats_; }
+
+  void Reset() {
+    slots_.clear();
+    free_list_.clear();
+    stats_ = CandidateStats();
+    live_ = 0;
+    live_bytes_ = 0;
+  }
+
+ private:
+  struct Slot {
+    std::string fragment;
+    uint64_t sequence = 0;
+    uint32_t refs = 0;
+    bool emitted = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::vector<CandidateId> free_list_;
+  CandidateStats stats_;
+  uint64_t live_ = 0;
+  uint64_t live_bytes_ = 0;
+  MemoryTracker* memory_;
+};
+
+}  // namespace vitex::twigm
+
+#endif  // VITEX_TWIGM_CANDIDATE_STORE_H_

@@ -1,0 +1,62 @@
+#include "twigm/engine.h"
+
+#include <cstdio>
+
+namespace vitex::twigm {
+
+Result<Engine> Engine::Create(std::string_view xpath,
+                              ResultHandler* results) {
+  return Create(xpath, results, Options());
+}
+
+Result<Engine> Engine::Create(std::string_view xpath, ResultHandler* results,
+                              Options options) {
+  VITEX_ASSIGN_OR_RETURN(BuiltMachine built,
+                         TwigMBuilder::Build(xpath, results, options.machine));
+  auto built_ptr = std::make_unique<BuiltMachine>(std::move(built));
+  auto sax = std::make_unique<xml::SaxParser>(&built_ptr->machine(),
+                                              options.sax);
+  return Engine(std::move(built_ptr), std::move(sax));
+}
+
+Status Engine::Feed(std::string_view chunk) { return sax_->Feed(chunk); }
+
+Status Engine::Finish() { return sax_->Finish(); }
+
+void Engine::ResetStream() {
+  sax_->Reset();
+  built_->machine().Reset();
+}
+
+Status Engine::RunString(std::string_view document) {
+  VITEX_RETURN_IF_ERROR(Feed(document));
+  return Finish();
+}
+
+Status Engine::RunFile(const std::string& path, size_t chunk_bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::unique_ptr<char[]> buf(new char[chunk_bytes]);
+  Status status;
+  while (true) {
+    size_t n = std::fread(buf.get(), 1, chunk_bytes, f);
+    if (n > 0) {
+      status = Feed(std::string_view(buf.get(), n));
+      if (!status.ok()) break;
+    }
+    if (n < chunk_bytes) {
+      if (std::ferror(f) != 0) {
+        status = Status::IoError("read error on '" + path + "'");
+      } else {
+        status = Finish();
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return status;
+}
+
+}  // namespace vitex::twigm

@@ -1,0 +1,75 @@
+// Engine: the one-call public API of ViteX.
+//
+// Wires the four modules of the paper's Figure 2 together: XPath parser →
+// TwigM builder → SAX parser → TwigM machine. Feed XML bytes in, get query
+// solutions out, incrementally.
+//
+//   vitex::twigm::VectorResultCollector results;
+//   auto engine = vitex::twigm::Engine::Create(
+//       "//ProteinEntry[reference]//@id", &results);
+//   if (!engine.ok()) { ... }
+//   engine->Feed(chunk1);
+//   engine->Feed(chunk2);
+//   engine->Finish();
+//   for (const auto& r : results.results()) { ... }
+
+#ifndef VITEX_TWIGM_ENGINE_H_
+#define VITEX_TWIGM_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "twigm/builder.h"
+#include "twigm/machine.h"
+#include "twigm/result.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::twigm {
+
+class Engine {
+ public:
+  struct Options {
+    xml::SaxParserOptions sax;
+    TwigMachine::Options machine;
+  };
+
+  /// Compiles the query and assembles the pipeline. `results` must outlive
+  /// the engine (may be null to discard results).
+  static Result<Engine> Create(std::string_view xpath, ResultHandler* results,
+                               Options options);
+  static Result<Engine> Create(std::string_view xpath, ResultHandler* results);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+  /// Pushes the next chunk of the XML stream.
+  Status Feed(std::string_view chunk);
+  /// Signals end of stream.
+  Status Finish();
+  /// Streams a whole file through the engine.
+  Status RunFile(const std::string& path, size_t chunk_bytes = 1 << 16);
+  /// Parses a whole in-memory document.
+  Status RunString(std::string_view document);
+
+  /// Prepares the engine for a new document with the same query.
+  void ResetStream();
+
+  const xpath::Query& query() const { return built_->query(); }
+  const TwigMachine& machine() const { return built_->machine(); }
+  TwigMachine& machine() { return built_->machine(); }
+  const xml::SaxParser& sax() const { return *sax_; }
+
+ private:
+  Engine(std::unique_ptr<BuiltMachine> built,
+         std::unique_ptr<xml::SaxParser> sax)
+      : built_(std::move(built)), sax_(std::move(sax)) {}
+
+  std::unique_ptr<BuiltMachine> built_;
+  std::unique_ptr<xml::SaxParser> sax_;
+};
+
+}  // namespace vitex::twigm
+
+#endif  // VITEX_TWIGM_ENGINE_H_

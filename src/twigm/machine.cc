@@ -1,0 +1,517 @@
+#include "twigm/machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "xml/escape.h"
+
+namespace vitex::twigm {
+
+using xpath::Axis;
+using xpath::QueryNode;
+
+TwigMachine::TwigMachine(const xpath::Query* query, ResultHandler* results)
+    : TwigMachine(query, results, Options()) {}
+
+TwigMachine::TwigMachine(const xpath::Query* query, ResultHandler* results,
+                         Options options)
+    : query_(query),
+      results_(results),
+      options_(options),
+      candidates_(&memory_) {
+  nodes_.resize(query_->size());
+  for (const auto& qn : query_->nodes()) {
+    MachineNode& m = nodes_[qn->id];
+    m.query = qn.get();
+    m.parent_id = qn->parent == nullptr ? -1 : qn->parent->id;
+    if (qn->IsAttributeNode()) {
+      attribute_nodes_.push_back(qn->id);
+    } else if (qn->IsTextNode()) {
+      text_nodes_.push_back(qn->id);
+    } else if (qn->test == xpath::NodeTestKind::kWildcard) {
+      element_wildcards_.push_back(qn->id);
+    } else {
+      element_by_name_[qn->name].push_back(qn->id);
+    }
+  }
+  output_is_element_ = query_->output()->IsElementNode();
+}
+
+void TwigMachine::Reset() {
+  for (MachineNode& m : nodes_) m.stack.clear();
+  candidates_.Reset();
+  stats_ = MachineStats();
+  memory_ = MemoryTracker();
+  live_entries_ = 0;
+  pending_text_.clear();
+  pending_text_depth_ = -1;
+  recordings_.clear();
+  completed_fragment_.clear();
+  has_completed_fragment_ = false;
+  sequence_counter_ = 0;
+}
+
+Status TwigMachine::StartDocument() {
+  Reset();
+  return Status::OK();
+}
+
+Status TwigMachine::CheckMemoryLimit() const {
+  if (options_.memory_limit_bytes != 0 &&
+      memory_.live_bytes() > options_.memory_limit_bytes) {
+    return Status::ResourceExhausted(
+        "TwigM live memory exceeds the configured limit");
+  }
+  return Status::OK();
+}
+
+bool TwigMachine::AxisSatisfiable(const MachineNode& node, int level) const {
+  const QueryNode* q = node.query;
+  if (node.parent_id < 0) {
+    // The machine root matches against a virtual document-root entry at
+    // level 0: '/a' requires level 1, '//a' accepts any level.
+    return q->axis == Axis::kDescendant || level == 1;
+  }
+  const std::vector<StackEntry>& st = nodes_[node.parent_id].stack;
+  if (st.empty()) return false;
+  if (q->axis == Axis::kDescendant) {
+    // A strict ancestor: some open entry at a smaller level. Entries are
+    // sorted by level, so the bottom one is the smallest.
+    return st.front().level < level;
+  }
+  // Child axis: an open entry exactly one level up. The only entry that can
+  // sit above it is one pushed for this same element (level == level), so a
+  // bounded scan from the top suffices.
+  for (size_t i = st.size(); i-- > 0;) {
+    if (st[i].level == level - 1) return true;
+    if (st[i].level < level - 1) return false;
+  }
+  return false;
+}
+
+template <typename Fn>
+void TwigMachine::ForEachPropagationTarget(const MachineNode& node, int level,
+                                           Fn fn) {
+  if (node.parent_id < 0) return;
+  std::vector<StackEntry>& st = nodes_[node.parent_id].stack;
+  const QueryNode* q = node.query;
+  switch (q->axis) {
+    case Axis::kChild:
+      for (size_t i = st.size(); i-- > 0;) {
+        if (st[i].level == level - 1) {
+          fn(st[i]);
+          return;
+        }
+        if (st[i].level < level - 1) return;
+      }
+      return;
+    case Axis::kDescendant:
+      // Every strict ancestor entry (levels < level). Entries at `level`
+      // belong to this element itself and are excluded.
+      for (StackEntry& e : st) {
+        if (e.level >= level) break;
+        fn(e);
+      }
+      return;
+    case Axis::kAttribute:
+      if (q->descendant_attribute) {
+        // Descendant-or-self: the owner element or any open ancestor.
+        for (StackEntry& e : st) {
+          if (e.level > level) break;
+          fn(e);
+        }
+      } else {
+        // The owner element's entry only (same level, pushed this event).
+        if (!st.empty() && st.back().level == level) fn(st.back());
+      }
+      return;
+    case Axis::kSelf:
+      return;  // kSelf never reaches the machine (compiled away)
+  }
+}
+
+void TwigMachine::PushEntry(MachineNode& node, int level, uint64_t sequence) {
+  node.stack.push_back(StackEntry{level, 0, sequence, {}});
+  ++live_entries_;
+  ++stats_.pushes;
+  if (live_entries_ > stats_.peak_stack_entries) {
+    stats_.peak_stack_entries = live_entries_;
+  }
+  memory_.Add(sizeof(StackEntry));
+}
+
+StackEntry TwigMachine::PopEntry(MachineNode& node) {
+  StackEntry e = std::move(node.stack.back());
+  node.stack.pop_back();
+  --live_entries_;
+  ++stats_.pops;
+  memory_.Release(sizeof(StackEntry));
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Recordings: serialize the subtree of every open output-node match.
+// ---------------------------------------------------------------------------
+
+void TwigMachine::RecordingsOnStart(const xml::StartElementEvent& event,
+                                    bool output_pushed) {
+  if (output_pushed && output_is_element_) {
+    recordings_.push_back(Recording{event.depth, std::string(), false});
+  }
+  if (recordings_.empty()) return;
+  // Build the tag once, then append to every active recording.
+  std::string tag;
+  tag.push_back('<');
+  tag.append(event.name);
+  for (const xml::Attribute& a : event.attributes) {
+    tag.push_back(' ');
+    tag.append(a.name);
+    tag.append("=\"");
+    tag.append(xml::EscapeAttribute(a.value));
+    tag.push_back('"');
+  }
+  for (Recording& r : recordings_) {
+    size_t before = r.buffer.size();
+    if (r.start_tag_open) {
+      r.buffer.push_back('>');
+      r.start_tag_open = false;
+    }
+    r.buffer.append(tag);
+    r.start_tag_open = true;
+    memory_.Add(r.buffer.size() - before);
+  }
+}
+
+void TwigMachine::RecordingsOnText(std::string_view text) {
+  if (recordings_.empty()) return;
+  std::string escaped = xml::EscapeText(text);
+  for (Recording& r : recordings_) {
+    size_t before = r.buffer.size();
+    if (r.start_tag_open) {
+      r.buffer.push_back('>');
+      r.start_tag_open = false;
+    }
+    r.buffer.append(escaped);
+    memory_.Add(r.buffer.size() - before);
+  }
+}
+
+void TwigMachine::RecordingsOnEnd(std::string_view name, int depth) {
+  if (recordings_.empty()) return;
+  for (Recording& r : recordings_) {
+    size_t before = r.buffer.size();
+    if (r.start_tag_open) {
+      r.buffer.append("/>");
+      r.start_tag_open = false;
+    } else {
+      r.buffer.append("</");
+      r.buffer.append(name);
+      r.buffer.push_back('>');
+    }
+    memory_.Add(r.buffer.size() - before);
+  }
+  if (recordings_.back().level == depth) {
+    memory_.Release(recordings_.back().buffer.size());
+    completed_fragment_ = std::move(recordings_.back().buffer);
+    has_completed_fragment_ = true;
+    recordings_.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event processing.
+// ---------------------------------------------------------------------------
+
+Status TwigMachine::StartElement(const xml::StartElementEvent& event) {
+  VITEX_RETURN_IF_ERROR(FlushText());
+  ++stats_.start_events;
+  // Sequence numbering is query-independent: one number for the element,
+  // then one per attribute (matched or not), so machines running different
+  // queries over the same stream assign identical document-order keys.
+  uint64_t seq = sequence_counter_;
+  sequence_counter_ += 1 + event.attributes.size();
+  int level = event.depth;
+
+  // Collect matching element machine nodes in id (preorder) order so parent
+  // pushes land before child axis checks.
+  match_scratch_.clear();
+  auto it = element_by_name_.find(event.name);
+  if (it != element_by_name_.end()) {
+    match_scratch_ = it->second;
+  }
+  if (!element_wildcards_.empty()) {
+    match_scratch_.insert(match_scratch_.end(), element_wildcards_.begin(),
+                          element_wildcards_.end());
+    std::sort(match_scratch_.begin(), match_scratch_.end());
+  }
+
+  bool output_pushed = false;
+  for (int id : match_scratch_) {
+    MachineNode& node = nodes_[id];
+    if (AxisSatisfiable(node, level)) {
+      PushEntry(node, level, seq);
+      if (node.query->is_output) output_pushed = true;
+    }
+  }
+
+  RecordingsOnStart(event, output_pushed);
+
+  if (!event.attributes.empty() && !attribute_nodes_.empty()) {
+    VITEX_RETURN_IF_ERROR(ProcessAttributes(event, seq));
+  }
+  return CheckMemoryLimit();
+}
+
+Status TwigMachine::ProcessAttributes(const xml::StartElementEvent& event,
+                                      uint64_t element_seq) {
+  int level = event.depth;
+  for (int id : attribute_nodes_) {
+    MachineNode& node = nodes_[id];
+    const QueryNode* q = node.query;
+    for (size_t ai = 0; ai < event.attributes.size(); ++ai) {
+      const xml::Attribute& attr = event.attributes[ai];
+      if (!q->MatchesAttributeName(attr.name)) continue;
+      if (!q->CompareValue(attr.value)) continue;
+      // The attribute "matches and pops" instantly: bookkeep into the
+      // owning/ancestor entries of the parent machine node right away.
+      uint64_t attr_seq = element_seq + 1 + ai;
+      CandidateId cand = 0;
+      bool is_output = q->is_output;
+      if (node.parent_id < 0) {
+        // A bare attribute query. `//@id` (descendant-or-self of the
+        // document root) matches every id attribute and emits immediately;
+        // `/@id` asks for attributes of the document node, which cannot
+        // exist.
+        if (is_output && q->descendant_attribute) {
+          ++stats_.results_emitted;
+          if (results_ != nullptr) {
+            results_->OnResult(attr.value, attr_seq);
+          }
+        }
+        continue;
+      }
+      if (is_output) {
+        cand = candidates_.Create(std::string(attr.value), attr_seq);
+      }
+      bool delivered = false;
+      ForEachPropagationTarget(node, level, [&](StackEntry& target) {
+        target.child_bits |= 1ull << q->index_in_parent;
+        ++stats_.bit_propagations;
+        if (is_output) {
+          target.candidates.push_back(cand);
+          candidates_.Ref(cand);
+          ++stats_.candidate_transfers;
+          memory_.Add(sizeof(CandidateId));
+        }
+        delivered = true;
+      });
+      (void)delivered;
+      if (is_output) {
+        candidates_.Unref(cand);  // drop the creation reference
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status TwigMachine::Characters(std::string_view text, int depth) {
+  // Coalesce adjacent character events (chunk boundaries, CDATA seams) so a
+  // text node is evaluated exactly once, whole.
+  if (pending_text_.empty()) {
+    pending_text_.assign(text);
+    pending_text_depth_ = depth;
+  } else {
+    // Depth cannot change without an intervening tag, which flushes.
+    assert(depth == pending_text_depth_);
+    pending_text_.append(text);
+  }
+  memory_.Add(text.size());
+  return CheckMemoryLimit();
+}
+
+Status TwigMachine::FlushText() {
+  if (pending_text_.empty()) return Status::OK();
+  std::string text = std::move(pending_text_);
+  int depth = pending_text_depth_;
+  pending_text_.clear();
+  pending_text_depth_ = -1;
+  memory_.Release(text.size());
+  RecordingsOnText(text);
+  return ProcessTextNode(text, depth);
+}
+
+Status TwigMachine::ProcessTextNode(std::string_view text, int depth) {
+  ++stats_.text_events;
+  uint64_t seq = sequence_counter_++;
+  if (text_nodes_.empty()) return Status::OK();
+  for (int id : text_nodes_) {
+    MachineNode& node = nodes_[id];
+    const QueryNode* q = node.query;
+    if (!q->CompareValue(text)) continue;
+    if (node.parent_id < 0) {
+      // A bare text query. `//text()` matches every text node in the
+      // document; `/text()` asks for text children of the document node,
+      // which are not well-formed XML.
+      if (q->is_output && q->axis == Axis::kDescendant) {
+        ++stats_.results_emitted;
+        if (results_ != nullptr) results_->OnResult(text, seq);
+      }
+      continue;
+    }
+    std::vector<StackEntry>& stm = nodes_[node.parent_id].stack;
+    if (stm.empty()) continue;
+    bool is_output = q->is_output;
+    CandidateId cand = 0;
+    if (is_output) {
+      cand = candidates_.Create(std::string(text), seq);
+    }
+    // Targets: child axis — the enclosing element's entry (level == depth);
+    // descendant axis — every open entry (all are strict ancestors of the
+    // text node).
+    auto deliver = [&](StackEntry& target) {
+      target.child_bits |= 1ull << q->index_in_parent;
+      ++stats_.bit_propagations;
+      if (is_output) {
+        target.candidates.push_back(cand);
+        candidates_.Ref(cand);
+        ++stats_.candidate_transfers;
+        memory_.Add(sizeof(CandidateId));
+      }
+    };
+    if (q->axis == Axis::kChild) {
+      if (!stm.empty() && stm.back().level == depth) deliver(stm.back());
+    } else {
+      for (StackEntry& e : stm) {
+        if (e.level > depth) break;
+        deliver(e);
+      }
+    }
+    if (is_output) candidates_.Unref(cand);
+  }
+  return CheckMemoryLimit();
+}
+
+Status TwigMachine::EndElement(std::string_view name, int depth) {
+  VITEX_RETURN_IF_ERROR(FlushText());
+  ++stats_.end_events;
+  RecordingsOnEnd(name, depth);
+
+  // Pop in reverse preorder: child machine nodes bookkeep into parents
+  // before any same-event parent state is examined.
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    MachineNode& node = nodes_[i];
+    if (node.stack.empty() || node.stack.back().level != depth) continue;
+    if (!node.query->IsElementNode()) continue;
+    StackEntry entry = PopEntry(node);
+    bool satisfied = node.query->formula.Evaluate(entry.child_bits);
+    if (!satisfied) {
+      DropCandidates(entry);
+      continue;
+    }
+    ++stats_.satisfied_pops;
+    if (node.query->is_output) {
+      // The recording for this element completed in RecordingsOnEnd.
+      assert(has_completed_fragment_);
+      CandidateId cand = candidates_.Create(std::move(completed_fragment_),
+                                            entry.sequence);
+      completed_fragment_.clear();
+      has_completed_fragment_ = false;
+      entry.candidates.push_back(cand);
+      memory_.Add(sizeof(CandidateId));
+    }
+    PropagateSatisfiedPop(node, entry);
+  }
+  // A recording completed for an output entry that popped unsatisfied is
+  // discarded here.
+  if (has_completed_fragment_) {
+    completed_fragment_.clear();
+    has_completed_fragment_ = false;
+  }
+  return CheckMemoryLimit();
+}
+
+void TwigMachine::PropagateSatisfiedPop(MachineNode& node, StackEntry& entry) {
+  if (node.parent_id < 0) {
+    // Machine root: candidates are proven query solutions.
+    EmitCandidates(entry);
+    return;
+  }
+  const QueryNode* q = node.query;
+  ForEachPropagationTarget(node, entry.level, [&](StackEntry& target) {
+    target.child_bits |= 1ull << q->index_in_parent;
+    ++stats_.bit_propagations;
+    for (CandidateId cand : entry.candidates) {
+      target.candidates.push_back(cand);
+      candidates_.Ref(cand);
+      ++stats_.candidate_transfers;
+      memory_.Add(sizeof(CandidateId));
+    }
+  });
+  DropCandidates(entry);
+}
+
+void TwigMachine::EmitCandidates(StackEntry& entry) {
+  memory_.Release(entry.candidates.size() * sizeof(CandidateId));
+  for (CandidateId cand : entry.candidates) {
+    if (candidates_.MarkEmitted(cand)) {
+      ++stats_.results_emitted;
+      if (results_ != nullptr) {
+        results_->OnResult(candidates_.fragment(cand),
+                           candidates_.sequence(cand));
+      }
+    }
+    candidates_.Unref(cand);
+  }
+  entry.candidates.clear();
+}
+
+void TwigMachine::DropCandidates(StackEntry& entry) {
+  memory_.Release(entry.candidates.size() * sizeof(CandidateId));
+  for (CandidateId cand : entry.candidates) {
+    candidates_.Unref(cand);
+  }
+  entry.candidates.clear();
+}
+
+Status TwigMachine::EndDocument() {
+  VITEX_RETURN_IF_ERROR(FlushText());
+  for (const MachineNode& node : nodes_) {
+    if (!node.stack.empty()) {
+      return Status::Internal(
+          "TwigM invariant violation: nonempty stack at end of document");
+    }
+  }
+  if (!recordings_.empty()) {
+    return Status::Internal(
+        "TwigM invariant violation: open recording at end of document");
+  }
+  return Status::OK();
+}
+
+std::string TwigMachine::DebugString() const {
+  std::string out;
+  for (const MachineNode& node : nodes_) {
+    const QueryNode* q = node.query;
+    out += "node " + std::to_string(q->id) + " (";
+    if (q->IsAttributeNode()) out += "@";
+    if (q->test == xpath::NodeTestKind::kWildcard) {
+      out += "*";
+    } else if (q->IsTextNode()) {
+      out += "text()";
+    } else {
+      out += q->name;
+    }
+    out += "): [";
+    for (size_t i = 0; i < node.stack.size(); ++i) {
+      const StackEntry& e = node.stack[i];
+      if (i > 0) out += ", ";
+      out += "{L" + std::to_string(e.level) +
+             " bits=" + std::to_string(e.child_bits) +
+             " cands=" + std::to_string(e.candidates.size()) + "}";
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace vitex::twigm

@@ -1,0 +1,194 @@
+// TwigM: the streaming query processor of ViteX (paper §3.2).
+//
+// One machine node per query node, organized in the query's tree shape; each
+// machine node owns a stack. A stack entry is the paper's triplet:
+//
+//     ⟨ level of the matching XML node,
+//       match status of the node's children in the query tree (a bitset),
+//       candidate query solutions ⟩
+//
+// * startElement(tag, level): for every machine node whose test matches
+//   `tag` and whose incoming axis is satisfiable against the parent's stack
+//   (child ⇒ an open entry at level-1; descendant ⇒ an open entry at a
+//   strictly smaller level), push ⟨level, ∅, ∅⟩.
+// * endElement(tag, level): pop every entry at `level`. If the popped
+//   entry's satisfaction formula over its child-match bits holds, bookkeep
+//   the match into the parent's entries — the level-1 entry for a child
+//   edge, every open entry below for a descendant edge — and move the
+//   entry's candidate solutions up with it. An unsatisfied pop discards its
+//   candidate references.
+// * a satisfied pop at the machine root proves its candidates are query
+//   solutions; they are emitted immediately (lazy, incremental output).
+//
+// The stacks encode the worst-case-exponential set of pattern matches in
+// polynomial space: an XML node with k open ancestor matches per query node
+// never multiplies them out. Work per event is O(|Q|·(|Q|+B)) in the worst
+// case, giving the paper's O(|D|·|Q|·(|Q|+B)) total.
+
+#ifndef VITEX_TWIGM_MACHINE_H_
+#define VITEX_TWIGM_MACHINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+#include "twigm/candidate_store.h"
+#include "twigm/result.h"
+#include "xml/sax_event.h"
+#include "xpath/query.h"
+
+namespace vitex::twigm {
+
+/// One stack entry: the paper's ⟨level, child-match status, candidates⟩.
+struct StackEntry {
+  int level = 0;
+  /// Bit i set ⇔ child i of this query node has a satisfied match in the
+  /// subtree of this entry's XML node (final when the element closes).
+  uint64_t child_bits = 0;
+  /// Document-order sequence number of the matching XML node.
+  uint64_t sequence = 0;
+  /// Candidate solutions whose qualification depends on this entry's match.
+  std::vector<CandidateId> candidates;
+};
+
+/// One machine node: a query node plus its stack.
+struct MachineNode {
+  const xpath::QueryNode* query = nullptr;
+  int parent_id = -1;
+  std::vector<StackEntry> stack;
+};
+
+/// Counters for the machine's work (drive the complexity experiments).
+struct MachineStats {
+  uint64_t start_events = 0;
+  uint64_t end_events = 0;
+  uint64_t text_events = 0;
+  uint64_t pushes = 0;
+  uint64_t pops = 0;
+  uint64_t satisfied_pops = 0;
+  uint64_t bit_propagations = 0;
+  uint64_t candidate_transfers = 0;
+  uint64_t results_emitted = 0;
+  /// Peak of the total number of stack entries across all machine nodes —
+  /// the paper's "compact encoding" size (compare with the naive matcher's
+  /// pattern-match count, experiment E7).
+  uint64_t peak_stack_entries = 0;
+};
+
+/// The TwigM machine. It is an xml::ContentHandler: connect it directly to a
+/// SaxParser (or any event source) and read results from the ResultHandler.
+class TwigMachine : public xml::ContentHandler {
+ public:
+  struct Options {
+    /// Abort with ResourceExhausted when live engine memory exceeds this
+    /// many bytes (0 = unlimited).
+    size_t memory_limit_bytes = 0;
+  };
+
+  /// @param query must outlive the machine.
+  /// @param results must outlive the machine; may be null to discard.
+  TwigMachine(const xpath::Query* query, ResultHandler* results);
+  TwigMachine(const xpath::Query* query, ResultHandler* results,
+              Options options);
+
+  TwigMachine(const TwigMachine&) = delete;
+  TwigMachine& operator=(const TwigMachine&) = delete;
+
+  // --- ContentHandler interface ------------------------------------------
+  Status StartDocument() override;
+  Status StartElement(const xml::StartElementEvent& event) override;
+  Status EndElement(std::string_view name, int depth) override;
+  Status Characters(std::string_view text, int depth) override;
+  Status EndDocument() override;
+
+  // --- Introspection -------------------------------------------------------
+  const xpath::Query& query() const { return *query_; }
+  const MachineStats& stats() const { return stats_; }
+  const CandidateStats& candidate_stats() const { return candidates_.stats(); }
+  const MemoryTracker& memory() const { return memory_; }
+  /// Total stack entries currently live across all machine nodes.
+  size_t live_stack_entries() const { return live_entries_; }
+  /// Multi-line dump of every machine node's stack (debugging).
+  std::string DebugString() const;
+
+  /// Clears all run state (stacks, candidates, counters) for a new document.
+  void Reset();
+
+ private:
+  // A fragment being recorded for an open match of the output element node.
+  struct Recording {
+    int level = 0;
+    std::string buffer;
+    bool start_tag_open = false;
+  };
+
+  // Processes buffered character data as one complete text node.
+  Status FlushText();
+  Status ProcessTextNode(std::string_view text, int depth);
+  Status ProcessAttributes(const xml::StartElementEvent& event,
+                           uint64_t element_seq);
+
+  // True if an entry of `node` may be pushed at `level` given the parent's
+  // stack state.
+  bool AxisSatisfiable(const MachineNode& node, int level) const;
+
+  // Invokes fn(StackEntry&) on each parent-stack entry the popped/matched
+  // element at `level` must bookkeep into.
+  template <typename Fn>
+  void ForEachPropagationTarget(const MachineNode& node, int level, Fn fn);
+
+  // Handles a satisfied pop: bit + candidate propagation, or emission at
+  // the root.
+  void PropagateSatisfiedPop(MachineNode& node, StackEntry& entry);
+  void EmitCandidates(StackEntry& entry);
+  void DropCandidates(StackEntry& entry);
+
+  void PushEntry(MachineNode& node, int level, uint64_t sequence);
+  StackEntry PopEntry(MachineNode& node);
+
+  // Recording (output fragment capture).
+  void RecordingsOnStart(const xml::StartElementEvent& event,
+                         bool output_pushed);
+  void RecordingsOnText(std::string_view text);
+  // Appends the end tag to active recordings and, when the innermost
+  // recording closes at `depth`, moves its fragment to completed_fragment_.
+  void RecordingsOnEnd(std::string_view name, int depth);
+
+  Status CheckMemoryLimit() const;
+
+  const xpath::Query* query_;
+  ResultHandler* results_;
+  Options options_;
+
+  std::vector<MachineNode> nodes_;  // indexed by query node id
+  // Match indexes: query node ids by element name, plus wildcard lists.
+  std::unordered_map<std::string_view, std::vector<int>> element_by_name_;
+  std::vector<int> element_wildcards_;
+  std::vector<int> attribute_nodes_;
+  std::vector<int> text_nodes_;
+  bool output_is_element_ = false;
+
+  MemoryTracker memory_;
+  CandidateStore candidates_;
+  MachineStats stats_;
+  size_t live_entries_ = 0;
+
+  // Text coalescing: adjacent Characters events merge into one text node.
+  std::string pending_text_;
+  int pending_text_depth_ = -1;
+
+  std::vector<Recording> recordings_;
+  std::string completed_fragment_;
+  bool has_completed_fragment_ = false;
+
+  uint64_t sequence_counter_ = 0;
+  std::vector<int> match_scratch_;
+};
+
+}  // namespace vitex::twigm
+
+#endif  // VITEX_TWIGM_MACHINE_H_

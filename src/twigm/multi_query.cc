@@ -1,0 +1,92 @@
+#include "twigm/multi_query.h"
+
+namespace vitex::twigm {
+
+MultiQueryEngine::MultiQueryEngine(xml::SaxParserOptions sax_options)
+    : demux_(this),
+      sax_(std::make_unique<xml::SaxParser>(&demux_, sax_options)) {}
+
+Result<QueryId> MultiQueryEngine::AddQuery(std::string_view xpath,
+                                           ResultHandler* results,
+                                           TwigMachine::Options options) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "queries must be registered before the stream starts");
+  }
+  VITEX_ASSIGN_OR_RETURN(BuiltMachine built,
+                         TwigMBuilder::Build(xpath, results, options));
+  return AddBuilt(std::move(built));
+}
+
+Result<QueryId> MultiQueryEngine::AddBuilt(BuiltMachine built) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "queries must be registered before the stream starts");
+  }
+  machines_.push_back(std::make_unique<BuiltMachine>(std::move(built)));
+  return machines_.size() - 1;
+}
+
+Status MultiQueryEngine::Feed(std::string_view chunk) {
+  started_ = true;
+  return sax_->Feed(chunk);
+}
+
+Status MultiQueryEngine::Finish() { return sax_->Finish(); }
+
+Status MultiQueryEngine::RunString(std::string_view document) {
+  VITEX_RETURN_IF_ERROR(Feed(document));
+  return Finish();
+}
+
+void MultiQueryEngine::ResetStream() {
+  sax_->Reset();
+  for (auto& m : machines_) m->machine().Reset();
+  started_ = false;
+}
+
+size_t MultiQueryEngine::total_live_bytes() const {
+  size_t total = 0;
+  for (const auto& m : machines_) {
+    total += m->machine().memory().live_bytes();
+  }
+  return total;
+}
+
+Status MultiQueryEngine::Demux::StartDocument() {
+  for (auto& m : owner_->machines_) {
+    VITEX_RETURN_IF_ERROR(m->machine().StartDocument());
+  }
+  return Status::OK();
+}
+
+Status MultiQueryEngine::Demux::StartElement(
+    const xml::StartElementEvent& event) {
+  for (auto& m : owner_->machines_) {
+    VITEX_RETURN_IF_ERROR(m->machine().StartElement(event));
+  }
+  return Status::OK();
+}
+
+Status MultiQueryEngine::Demux::EndElement(std::string_view name, int depth) {
+  for (auto& m : owner_->machines_) {
+    VITEX_RETURN_IF_ERROR(m->machine().EndElement(name, depth));
+  }
+  return Status::OK();
+}
+
+Status MultiQueryEngine::Demux::Characters(std::string_view text, int depth) {
+  for (auto& m : owner_->machines_) {
+    VITEX_RETURN_IF_ERROR(m->machine().Characters(text, depth));
+  }
+  return Status::OK();
+}
+
+Status MultiQueryEngine::Demux::EndDocument() {
+  for (auto& m : owner_->machines_) {
+    VITEX_RETURN_IF_ERROR(m->machine().EndDocument());
+  }
+  return Status::OK();
+}
+
+}  // namespace vitex::twigm

@@ -1,0 +1,91 @@
+// MultiQueryEngine: evaluate many standing XPath queries over one XML
+// stream in a single pass.
+//
+// The paper's motivating applications — stock tickers, sports feeds,
+// personalized newspapers — are publish/subscribe systems: one stream, many
+// subscriptions. ViteX's demo runs one TwigM; this extension fans the SAX
+// event stream out to one TwigM machine per registered query, so the
+// O(document) parsing cost is paid once for all of them. Each query keeps
+// its own ResultHandler, stats and memory accounting.
+
+#ifndef VITEX_TWIGM_MULTI_QUERY_H_
+#define VITEX_TWIGM_MULTI_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "twigm/builder.h"
+#include "twigm/machine.h"
+#include "twigm/result.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::twigm {
+
+/// Identifier of a registered query within one MultiQueryEngine.
+using QueryId = size_t;
+
+class MultiQueryEngine {
+ public:
+  explicit MultiQueryEngine(xml::SaxParserOptions sax_options = {});
+
+  MultiQueryEngine(const MultiQueryEngine&) = delete;
+  MultiQueryEngine& operator=(const MultiQueryEngine&) = delete;
+
+  /// Registers a standing query. All registrations must happen before the
+  /// first Feed(). `results` must outlive the engine; may be null.
+  Result<QueryId> AddQuery(std::string_view xpath, ResultHandler* results,
+                           TwigMachine::Options options = {});
+
+  /// Registers an already-built machine (used by UnionEngine and callers
+  /// that compile queries themselves).
+  Result<QueryId> AddBuilt(BuiltMachine built);
+
+  size_t query_count() const { return machines_.size(); }
+
+  /// Pushes the next chunk of the stream to every registered query.
+  Status Feed(std::string_view chunk);
+  /// Signals end of stream.
+  Status Finish();
+  /// Convenience whole-document runs.
+  Status RunString(std::string_view document);
+
+  /// Prepares for a new document; registered queries stay.
+  void ResetStream();
+
+  const xpath::Query& query(QueryId id) const {
+    return machines_[id]->query();
+  }
+  const TwigMachine& machine(QueryId id) const {
+    return machines_[id]->machine();
+  }
+
+  /// Sum of live machine memory across all queries.
+  size_t total_live_bytes() const;
+
+ private:
+  // Fans each SAX event out to all machines.
+  class Demux : public xml::ContentHandler {
+   public:
+    explicit Demux(MultiQueryEngine* owner) : owner_(owner) {}
+    Status StartDocument() override;
+    Status StartElement(const xml::StartElementEvent& event) override;
+    Status EndElement(std::string_view name, int depth) override;
+    Status Characters(std::string_view text, int depth) override;
+    Status EndDocument() override;
+
+   private:
+    MultiQueryEngine* owner_;
+  };
+
+  std::vector<std::unique_ptr<BuiltMachine>> machines_;
+  Demux demux_;
+  std::unique_ptr<xml::SaxParser> sax_;
+  bool started_ = false;
+};
+
+}  // namespace vitex::twigm
+
+#endif  // VITEX_TWIGM_MULTI_QUERY_H_

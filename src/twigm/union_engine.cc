@@ -1,0 +1,37 @@
+#include "twigm/union_engine.h"
+
+#include "xpath/parser.h"
+#include "xpath/query.h"
+
+namespace vitex::twigm {
+
+Result<UnionEngine> UnionEngine::Create(std::string_view xpath_union,
+                                        ResultHandler* results) {
+  return Create(xpath_union, results, Options());
+}
+
+Result<UnionEngine> UnionEngine::Create(std::string_view xpath_union,
+                                        ResultHandler* results,
+                                        Options options) {
+  VITEX_ASSIGN_OR_RETURN(std::vector<xpath::Path> branches,
+                         xpath::ParseXPathUnion(xpath_union));
+  auto dedup = std::make_unique<DedupHandler>(results);
+  auto multi = std::make_unique<MultiQueryEngine>(options.sax);
+  for (const xpath::Path& branch : branches) {
+    std::string branch_text = xpath::PathToString(branch);
+    VITEX_ASSIGN_OR_RETURN(
+        xpath::Query compiled,
+        xpath::Query::Compile(branch, std::move(branch_text)));
+    // MultiQueryEngine re-parses from text; compile here instead to keep
+    // the branch ASTs authoritative.
+    auto owned = std::make_unique<xpath::Query>(std::move(compiled));
+    VITEX_ASSIGN_OR_RETURN(BuiltMachine built,
+                           TwigMBuilder::Build(std::move(owned), dedup.get(),
+                                               options.machine));
+    Result<QueryId> added = multi->AddBuilt(std::move(built));
+    if (!added.ok()) return added.status();
+  }
+  return UnionEngine(std::move(dedup), std::move(multi));
+}
+
+}  // namespace vitex::twigm

@@ -1,0 +1,91 @@
+// UnionEngine: evaluate an XPath union query `p1 | p2 | ...` over a stream.
+//
+// XPath 1.0 union semantics: the result is the set union of the branches'
+// result node-sets. Streaming implementation: one TwigM machine per branch
+// sharing one SAX parse (via MultiQueryEngine); a deduplicating handler
+// suppresses nodes selected by more than one branch. Sequence numbers are
+// query-independent (see TwigMachine::StartElement), so the same XML node
+// gets the same key in every branch and dedup is exact.
+
+#ifndef VITEX_TWIGM_UNION_ENGINE_H_
+#define VITEX_TWIGM_UNION_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "common/result.h"
+#include "twigm/multi_query.h"
+
+namespace vitex::twigm {
+
+class UnionEngine {
+ public:
+  struct Options {
+    xml::SaxParserOptions sax;
+    TwigMachine::Options machine;
+  };
+
+  /// Compiles `p1 | p2 | ...` (a single path is fine too). `results` must
+  /// outlive the engine; may be null.
+  static Result<UnionEngine> Create(std::string_view xpath_union,
+                                    ResultHandler* results, Options options);
+  static Result<UnionEngine> Create(std::string_view xpath_union,
+                                    ResultHandler* results);
+
+  UnionEngine(UnionEngine&&) = default;
+  UnionEngine& operator=(UnionEngine&&) = default;
+
+  Status Feed(std::string_view chunk) { return multi_->Feed(chunk); }
+  Status Finish() { return multi_->Finish(); }
+  Status RunString(std::string_view document) {
+    return multi_->RunString(document);
+  }
+  void ResetStream() {
+    multi_->ResetStream();
+    dedup_->Clear();
+  }
+
+  /// Number of union branches.
+  size_t branch_count() const { return multi_->query_count(); }
+  const xpath::Query& branch(size_t i) const { return multi_->query(i); }
+
+  /// Results suppressed because another branch selected the same node.
+  uint64_t duplicates_suppressed() const { return dedup_->suppressed(); }
+
+ private:
+  // Forwards the first emission per document-order key, counts the rest.
+  class DedupHandler : public ResultHandler {
+   public:
+    explicit DedupHandler(ResultHandler* out) : out_(out) {}
+    void OnResult(std::string_view fragment, uint64_t sequence) override {
+      if (!seen_.insert(sequence).second) {
+        ++suppressed_;
+        return;
+      }
+      if (out_ != nullptr) out_->OnResult(fragment, sequence);
+    }
+    void Clear() {
+      seen_.clear();
+      suppressed_ = 0;
+    }
+    uint64_t suppressed() const { return suppressed_; }
+
+   private:
+    ResultHandler* out_;
+    std::unordered_set<uint64_t> seen_;
+    uint64_t suppressed_ = 0;
+  };
+
+  UnionEngine(std::unique_ptr<DedupHandler> dedup,
+              std::unique_ptr<MultiQueryEngine> multi)
+      : dedup_(std::move(dedup)), multi_(std::move(multi)) {}
+
+  std::unique_ptr<DedupHandler> dedup_;
+  std::unique_ptr<MultiQueryEngine> multi_;
+};
+
+}  // namespace vitex::twigm
+
+#endif  // VITEX_TWIGM_UNION_ENGINE_H_

@@ -1,0 +1,97 @@
+#include "workload/book_generator.h"
+
+#include "common/random.h"
+#include "workload/text_corpus.h"
+
+namespace vitex::workload {
+
+namespace {
+
+Status WriteTables(xml::XmlWriter* w, Random* rng, const BookOptions& options,
+                   int remaining) {
+  if (remaining == 0) return Status::OK();
+  VITEX_RETURN_IF_ERROR(w->StartElement("table"));
+  if (remaining == 1) {
+    for (int c = 0; c < options.cells; ++c) {
+      VITEX_RETURN_IF_ERROR(w->TextElement("cell", RandomWord(rng)));
+    }
+  } else {
+    VITEX_RETURN_IF_ERROR(WriteTables(w, rng, options, remaining - 1));
+  }
+  if (rng->OneIn(options.position_probability)) {
+    VITEX_RETURN_IF_ERROR(w->TextElement("position", RandomWord(rng)));
+  }
+  return w->EndElement();
+}
+
+Status WriteSections(xml::XmlWriter* w, Random* rng,
+                     const BookOptions& options, int remaining) {
+  if (remaining == 0) return Status::OK();
+  VITEX_RETURN_IF_ERROR(w->StartElement("section"));
+  VITEX_RETURN_IF_ERROR(w->TextElement("title", RandomSentence(rng, 3)));
+  if (remaining == 1) {
+    VITEX_RETURN_IF_ERROR(WriteTables(w, rng, options, options.table_depth));
+  } else {
+    VITEX_RETURN_IF_ERROR(WriteSections(w, rng, options, remaining - 1));
+  }
+  if (rng->OneIn(options.author_probability)) {
+    VITEX_RETURN_IF_ERROR(w->TextElement("author", RandomPersonName(rng)));
+  }
+  return w->EndElement();
+}
+
+// Figure 1, tags only: position in the outermost table (after its nested
+// tables), author in the outermost section (after its nested sections).
+Status WriteFigure1(xml::XmlWriter* w) {
+  VITEX_RETURN_IF_ERROR(w->StartElement("book"));
+  VITEX_RETURN_IF_ERROR(w->StartElement("section"));    // line 2
+  VITEX_RETURN_IF_ERROR(w->StartElement("section"));    // line 3
+  VITEX_RETURN_IF_ERROR(w->StartElement("section"));    // line 4
+  VITEX_RETURN_IF_ERROR(w->StartElement("table"));      // line 5
+  VITEX_RETURN_IF_ERROR(w->StartElement("table"));      // line 6
+  VITEX_RETURN_IF_ERROR(w->StartElement("table"));      // line 7
+  VITEX_RETURN_IF_ERROR(w->TextElement("cell", "A"));   // line 8
+  VITEX_RETURN_IF_ERROR(w->EndElement());               // line 9  </table>
+  VITEX_RETURN_IF_ERROR(w->EndElement());               // line 10 </table>
+  VITEX_RETURN_IF_ERROR(w->TextElement("position", "B"));  // line 11
+  VITEX_RETURN_IF_ERROR(w->EndElement());               // line 12 </table>
+  VITEX_RETURN_IF_ERROR(w->EndElement());               // line 13 </section>
+  VITEX_RETURN_IF_ERROR(w->EndElement());               // line 14 </section>
+  VITEX_RETURN_IF_ERROR(w->TextElement("author", "C"));  // line 15
+  VITEX_RETURN_IF_ERROR(w->EndElement());               // line 16 </section>
+  return w->EndElement();                               // line 17 </book>
+}
+
+}  // namespace
+
+Status GenerateBook(const BookOptions& options, xml::OutputSink* sink) {
+  xml::XmlWriter writer(sink);
+  if (options.figure1_exact) {
+    VITEX_RETURN_IF_ERROR(WriteFigure1(&writer));
+    return writer.Finish();
+  }
+  Random rng(options.seed);
+  VITEX_RETURN_IF_ERROR(writer.StartElement("book"));
+  for (int i = 0; i < options.chains; ++i) {
+    VITEX_RETURN_IF_ERROR(
+        WriteSections(&writer, &rng, options, options.section_depth));
+  }
+  VITEX_RETURN_IF_ERROR(writer.EndElement());
+  return writer.Finish();
+}
+
+Result<std::string> GenerateBookString(const BookOptions& options) {
+  std::string out;
+  xml::StringSink sink(&out);
+  VITEX_RETURN_IF_ERROR(GenerateBook(options, &sink));
+  return out;
+}
+
+std::string Figure1Document() {
+  BookOptions options;
+  options.figure1_exact = true;
+  Result<std::string> doc = GenerateBookString(options);
+  return doc.ok() ? std::move(doc).value() : std::string();
+}
+
+}  // namespace vitex::workload

@@ -1,0 +1,53 @@
+// BookGenerator: recursive book/section/table data shaped like the paper's
+// Figure 1 — the workload where descendant axes meet recursive structure and
+// pattern matches multiply.
+//
+// A book contains a chain (or tree) of nested sections; sections contain
+// nested tables; tables contain cells; `position` elements appear inside
+// some tables and `author` elements inside some sections. The paper's
+// walkthrough query //section[author]//table[position]//cell is maximally
+// ambiguous on this shape: a single cell has (#open sections × #open
+// tables) pattern matches.
+
+#ifndef VITEX_WORKLOAD_BOOK_GENERATOR_H_
+#define VITEX_WORKLOAD_BOOK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "xml/writer.h"
+
+namespace vitex::workload {
+
+struct BookOptions {
+  /// Nesting depth of sections (the paper's figure uses 3).
+  int section_depth = 3;
+  /// Nesting depth of tables inside the innermost section (figure: 3).
+  int table_depth = 3;
+  /// Number of independent section chains under the book root.
+  int chains = 1;
+  /// Cells inside the innermost table.
+  int cells = 1;
+  /// Probability that a table directly contains a `position` element
+  /// (placed after its nested table, mirroring the figure where only the
+  /// outermost table has one).
+  double position_probability = 0.3;
+  /// Probability that a section directly contains an `author` element.
+  double author_probability = 0.3;
+  /// When true, reproduce Figure 1 exactly: 3 nested sections, 3 nested
+  /// tables, one cell, `position` only in the outermost table, `author`
+  /// only in the outermost section. Other knobs are ignored.
+  bool figure1_exact = false;
+  uint64_t seed = 7;
+};
+
+Status GenerateBook(const BookOptions& options, xml::OutputSink* sink);
+Result<std::string> GenerateBookString(const BookOptions& options);
+
+/// The exact document of paper Figure 1 (whitespace-free equivalent).
+std::string Figure1Document();
+
+}  // namespace vitex::workload
+
+#endif  // VITEX_WORKLOAD_BOOK_GENERATOR_H_

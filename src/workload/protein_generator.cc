@@ -1,0 +1,130 @@
+#include "workload/protein_generator.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "workload/text_corpus.h"
+
+namespace vitex::workload {
+
+namespace {
+
+Status WriteEntry(xml::XmlWriter* w, Random* rng, uint64_t index,
+                  const ProteinOptions& options) {
+  char idbuf[32];
+  std::snprintf(idbuf, sizeof(idbuf), "PE%07llu",
+                static_cast<unsigned long long>(index));
+  VITEX_RETURN_IF_ERROR(w->StartElement("ProteinEntry"));
+  VITEX_RETURN_IF_ERROR(w->AddAttribute("id", idbuf));
+
+  VITEX_RETURN_IF_ERROR(w->StartElement("header"));
+  char uid[32];
+  std::snprintf(uid, sizeof(uid), "%llu",
+                static_cast<unsigned long long>(9000000 + index));
+  VITEX_RETURN_IF_ERROR(w->TextElement("uid", uid));
+  char acc[32];
+  std::snprintf(acc, sizeof(acc), "A%06llu",
+                static_cast<unsigned long long>(index % 999983));
+  VITEX_RETURN_IF_ERROR(w->TextElement("accession", acc));
+  VITEX_RETURN_IF_ERROR(w->TextElement("created_date", "01-Jan-2001"));
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // header
+
+  VITEX_RETURN_IF_ERROR(w->StartElement("protein"));
+  VITEX_RETURN_IF_ERROR(w->TextElement("name", RandomSentence(rng, 3)));
+  VITEX_RETURN_IF_ERROR(w->StartElement("classification"));
+  VITEX_RETURN_IF_ERROR(
+      w->TextElement("superfamily", RandomSentence(rng, 2)));
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // classification
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // protein
+
+  VITEX_RETURN_IF_ERROR(w->StartElement("organism"));
+  VITEX_RETURN_IF_ERROR(w->TextElement("source", RandomSentence(rng, 2)));
+  VITEX_RETURN_IF_ERROR(w->TextElement("common", RandomWord(rng)));
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // organism
+
+  if (rng->OneIn(options.reference_probability)) {
+    int refs = 1 + static_cast<int>(rng->Uniform(3));
+    for (int r = 0; r < refs; ++r) {
+      VITEX_RETURN_IF_ERROR(w->StartElement("reference"));
+      VITEX_RETURN_IF_ERROR(w->StartElement("refinfo"));
+      char refid[48];
+      std::snprintf(refid, sizeof(refid), "R%07llu.%d",
+                    static_cast<unsigned long long>(index), r);
+      VITEX_RETURN_IF_ERROR(w->AddAttribute("refid", refid));
+      VITEX_RETURN_IF_ERROR(w->StartElement("authors"));
+      int authors = 1 + static_cast<int>(rng->Uniform(4));
+      for (int a = 0; a < authors; ++a) {
+        VITEX_RETURN_IF_ERROR(
+            w->TextElement("author", RandomPersonName(rng)));
+      }
+      VITEX_RETURN_IF_ERROR(w->EndElement());  // authors
+      VITEX_RETURN_IF_ERROR(
+          w->TextElement("citation", RandomSentence(rng, 5)));
+      char year[8];
+      std::snprintf(year, sizeof(year), "%d",
+                    1985 + static_cast<int>(rng->Uniform(20)));
+      VITEX_RETURN_IF_ERROR(w->TextElement("year", year));
+      VITEX_RETURN_IF_ERROR(w->EndElement());  // refinfo
+      VITEX_RETURN_IF_ERROR(w->EndElement());  // reference
+    }
+  }
+
+  VITEX_RETURN_IF_ERROR(w->StartElement("genetics"));
+  VITEX_RETURN_IF_ERROR(w->TextElement("gene", RandomWord(rng)));
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // genetics
+
+  int len = options.sequence_length / 2 +
+            static_cast<int>(rng->Uniform(
+                static_cast<uint64_t>(options.sequence_length) + 1));
+  VITEX_RETURN_IF_ERROR(w->StartElement("summary"));
+  char lenbuf[16];
+  std::snprintf(lenbuf, sizeof(lenbuf), "%d", len);
+  VITEX_RETURN_IF_ERROR(w->TextElement("length", lenbuf));
+  VITEX_RETURN_IF_ERROR(w->TextElement("type", "complete"));
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // summary
+
+  VITEX_RETURN_IF_ERROR(w->TextElement("sequence", RandomResidues(rng, len)));
+  return w->EndElement();  // ProteinEntry
+}
+
+}  // namespace
+
+Status GenerateProtein(const ProteinOptions& options, xml::OutputSink* sink) {
+  Random rng(options.seed);
+  xml::XmlWriter writer(sink);
+  VITEX_RETURN_IF_ERROR(writer.StartElement("ProteinDatabase"));
+  for (uint64_t i = 0; i < options.entries; ++i) {
+    VITEX_RETURN_IF_ERROR(WriteEntry(&writer, &rng, i, options));
+  }
+  VITEX_RETURN_IF_ERROR(writer.EndElement());
+  return writer.Finish();
+}
+
+Result<std::string> GenerateProteinString(const ProteinOptions& options) {
+  std::string out;
+  xml::StringSink sink(&out);
+  VITEX_RETURN_IF_ERROR(GenerateProtein(options, &sink));
+  return out;
+}
+
+Result<uint64_t> GenerateProteinFile(const std::string& path,
+                                     uint64_t target_bytes, uint64_t seed) {
+  xml::FileSink sink;
+  VITEX_RETURN_IF_ERROR(sink.Open(path));
+  Random rng(seed);
+  ProteinOptions options;
+  options.seed = seed;
+  xml::XmlWriter writer(&sink);
+  VITEX_RETURN_IF_ERROR(writer.StartElement("ProteinDatabase"));
+  uint64_t entries = 0;
+  while (sink.bytes_written() < target_bytes) {
+    VITEX_RETURN_IF_ERROR(WriteEntry(&writer, &rng, entries, options));
+    ++entries;
+  }
+  VITEX_RETURN_IF_ERROR(writer.EndElement());
+  VITEX_RETURN_IF_ERROR(writer.Finish());
+  VITEX_RETURN_IF_ERROR(sink.Close());
+  return entries;
+}
+
+}  // namespace vitex::workload

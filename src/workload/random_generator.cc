@@ -1,0 +1,163 @@
+#include "workload/random_generator.h"
+
+#include "xml/escape.h"
+
+namespace vitex::workload {
+
+namespace {
+
+std::string Tag(int i) { return "t" + std::to_string(i); }
+
+std::string Value(const int vocabulary, Random* rng) {
+  return std::to_string(rng->Uniform(static_cast<uint64_t>(vocabulary)));
+}
+
+struct DocBuilder {
+  const RandomDocOptions& options;
+  Random* rng;
+  std::string out;
+  int elements = 0;
+
+  void Element(int depth) {
+    if (elements >= options.max_elements) return;
+    ++elements;
+    std::string tag = Tag(static_cast<int>(
+        rng->Uniform(static_cast<uint64_t>(options.alphabet))));
+    out += "<" + tag;
+    if (rng->OneIn(options.attribute_probability)) {
+      out += " x=\"" + Value(options.value_vocabulary, rng) + "\"";
+    }
+    if (rng->OneIn(options.attribute_probability * 0.5)) {
+      out += " y=\"" + Value(options.value_vocabulary, rng) + "\"";
+    }
+    out += ">";
+    if (rng->OneIn(options.text_probability)) {
+      out += Value(options.value_vocabulary, rng);
+    }
+    if (depth < options.max_depth) {
+      // Geometric-ish branching: flip a coin weighted to mean_children.
+      double continue_p =
+          options.mean_children / (options.mean_children + 1.0);
+      while (rng->OneIn(continue_p) && elements < options.max_elements) {
+        Element(depth + 1);
+        if (rng->OneIn(options.text_probability * 0.5)) {
+          out += Value(options.value_vocabulary, rng);
+        }
+      }
+    }
+    out += "</" + tag + ">";
+  }
+};
+
+struct QueryBuilder {
+  const RandomQueryOptions& options;
+  Random* rng;
+
+  std::string RandomTag() {
+    if (rng->OneIn(options.wildcard_probability)) return "*";
+    return Tag(static_cast<int>(
+        rng->Uniform(static_cast<uint64_t>(options.alphabet))));
+  }
+
+  std::string CompareSuffix() {
+    const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+    std::string op = ops[rng->Uniform(6)];
+    return " " + op + " " +
+           (rng->OneIn(0.5)
+                ? Value(options.value_vocabulary, rng)
+                : "'" + Value(options.value_vocabulary, rng) + "'");
+  }
+
+  // A relative path for use inside a predicate.
+  std::string RelativePath(int depth) {
+    std::string out;
+    int steps = 1 + static_cast<int>(rng->Uniform(2));
+    for (int i = 0; i < steps; ++i) {
+      bool descendant = rng->OneIn(options.descendant_probability);
+      if (i == 0) {
+        if (descendant) out += "//";
+      } else {
+        out += descendant ? "//" : "/";
+      }
+      out += RandomTag();
+      if (depth < options.max_predicate_depth &&
+          rng->OneIn(options.predicate_probability * 0.5)) {
+        out += "[" + Predicate(depth + 1) + "]";
+      }
+    }
+    // Possibly end in an attribute or text().
+    double r = rng->NextDouble();
+    if (r < 0.2) {
+      out += rng->OneIn(options.descendant_probability) ? "//@" : "/@";
+      out += rng->OneIn(0.5) ? "x" : "y";
+    } else if (r < 0.35) {
+      out += rng->OneIn(options.descendant_probability) ? "//text()"
+                                                        : "/text()";
+    }
+    return out;
+  }
+
+  std::string Predicate(int depth) {
+    double r = rng->NextDouble();
+    if (depth < options.max_predicate_depth) {
+      if (r < options.not_probability) {
+        return "not(" + Predicate(depth + 1) + ")";
+      }
+      if (r < options.not_probability + options.or_probability) {
+        return Predicate(depth + 1) + " or " + Predicate(depth + 1);
+      }
+      if (r < options.not_probability + 2 * options.or_probability) {
+        return Predicate(depth + 1) + " and " + Predicate(depth + 1);
+      }
+    }
+    std::string path = RelativePath(depth);
+    if (rng->OneIn(options.value_predicate_probability)) {
+      return path + CompareSuffix();
+    }
+    return path;
+  }
+
+  std::string Query() {
+    std::string out;
+    int steps = 1 + static_cast<int>(rng->Uniform(
+                        static_cast<uint64_t>(options.max_main_steps)));
+    for (int i = 0; i < steps; ++i) {
+      out += rng->OneIn(options.descendant_probability) ? "//" : "/";
+      out += RandomTag();
+      if (rng->OneIn(options.predicate_probability)) {
+        out += "[" + Predicate(0) + "]";
+      }
+      if (rng->OneIn(options.predicate_probability * 0.4)) {
+        out += "[" + Predicate(0) + "]";
+      }
+    }
+    if (rng->OneIn(options.attribute_output_probability)) {
+      out += rng->OneIn(0.5) ? "//@" : "/@";
+      out += rng->OneIn(0.5) ? "x" : "y";
+    } else if (rng->OneIn(0.1)) {
+      out += rng->OneIn(0.5) ? "//text()" : "/text()";
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string GenerateRandomDocument(const RandomDocOptions& options,
+                                   Random* rng) {
+  DocBuilder builder{options, rng, {}, 0};
+  // A fixed root keeps documents single-rooted regardless of the cap.
+  builder.out += "<root>";
+  int top = 1 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < top; ++i) builder.Element(1);
+  builder.out += "</root>";
+  return builder.out;
+}
+
+std::string GenerateRandomQuery(const RandomQueryOptions& options,
+                                Random* rng) {
+  QueryBuilder builder{options, rng};
+  return builder.Query();
+}
+
+}  // namespace vitex::workload

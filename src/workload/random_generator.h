@@ -1,0 +1,58 @@
+// Random document and query generators over a shared small tag alphabet —
+// the property-test workhorse. A random document and a random query drawn
+// from the same alphabet collide often enough that differential testing
+// (TwigM vs DOM oracle vs naive matcher) exercises real matching, not just
+// empty result sets.
+
+#ifndef VITEX_WORKLOAD_RANDOM_GENERATOR_H_
+#define VITEX_WORKLOAD_RANDOM_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace vitex::workload {
+
+struct RandomDocOptions {
+  /// Element names are drawn from {t0, t1, ..., t(alphabet-1)}.
+  int alphabet = 4;
+  int max_depth = 8;
+  /// Expected children per element (geometric-ish branching).
+  double mean_children = 2.0;
+  double attribute_probability = 0.3;
+  double text_probability = 0.4;
+  /// Attribute names are drawn from {x, y}; values and texts from a small
+  /// numeric vocabulary so value predicates hit.
+  int value_vocabulary = 5;
+  /// Hard cap on total elements to keep documents bounded.
+  int max_elements = 400;
+};
+
+/// Generates a random well-formed document.
+std::string GenerateRandomDocument(const RandomDocOptions& options,
+                                   Random* rng);
+
+struct RandomQueryOptions {
+  int alphabet = 4;       ///< must match the document generator's alphabet
+  int max_main_steps = 4;
+  double descendant_probability = 0.5;
+  double wildcard_probability = 0.15;
+  double predicate_probability = 0.5;
+  /// Maximum nesting of predicates within predicates.
+  int max_predicate_depth = 2;
+  double value_predicate_probability = 0.3;
+  double attribute_output_probability = 0.15;
+  double or_probability = 0.2;
+  double not_probability = 0.15;
+  int value_vocabulary = 5;
+};
+
+/// Generates a random XPath query inside the ViteX fragment. The result
+/// always parses and compiles.
+std::string GenerateRandomQuery(const RandomQueryOptions& options,
+                                Random* rng);
+
+}  // namespace vitex::workload
+
+#endif  // VITEX_WORKLOAD_RANDOM_GENERATOR_H_

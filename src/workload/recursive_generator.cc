@@ -1,0 +1,44 @@
+#include "workload/recursive_generator.h"
+
+#include "common/random.h"
+
+namespace vitex::workload {
+
+Status GenerateRecursive(const RecursiveOptions& options,
+                         xml::OutputSink* sink) {
+  Random rng(options.seed);
+  xml::XmlWriter writer(sink);
+  VITEX_RETURN_IF_ERROR(writer.StartElement("root"));
+  for (int s = 0; s < options.width; ++s) {
+    for (int d = 0; d < options.depth; ++d) {
+      VITEX_RETURN_IF_ERROR(writer.StartElement("a"));
+      if (rng.OneIn(options.marker_probability)) {
+        VITEX_RETURN_IF_ERROR(writer.TextElement("p", "m"));
+      }
+    }
+    VITEX_RETURN_IF_ERROR(writer.TextElement("v", "leaf"));
+    for (int d = 0; d < options.depth; ++d) {
+      VITEX_RETURN_IF_ERROR(writer.EndElement());
+    }
+  }
+  VITEX_RETURN_IF_ERROR(writer.EndElement());
+  return writer.Finish();
+}
+
+Result<std::string> GenerateRecursiveString(const RecursiveOptions& options) {
+  std::string out;
+  xml::StringSink sink(&out);
+  VITEX_RETURN_IF_ERROR(GenerateRecursive(options, &sink));
+  return out;
+}
+
+std::string RecursiveChainQuery(int steps, bool with_marker_predicate) {
+  std::string q;
+  for (int i = 0; i < steps; ++i) {
+    q += with_marker_predicate ? "//a[p]" : "//a";
+  }
+  q += "//v";
+  return q;
+}
+
+}  // namespace vitex::workload

@@ -1,0 +1,40 @@
+// RecursiveGenerator: the adversarial workload for match explosion.
+//
+// Emits `width` independent spines, each a chain of `depth` nested <a>
+// elements; every <a> carries a <p> marker child with probability
+// marker_probability, and the innermost <a> holds a <v> leaf. Against the
+// chain query //a[p]//a[p]//...//a[p]//v, the number of explicit pattern
+// matches grows as C(depth, k) — binomially, i.e. exponential in the query
+// size k — while TwigM's stacks hold at most depth·k entries (experiments
+// E3 and E7).
+
+#ifndef VITEX_WORKLOAD_RECURSIVE_GENERATOR_H_
+#define VITEX_WORKLOAD_RECURSIVE_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "xml/writer.h"
+
+namespace vitex::workload {
+
+struct RecursiveOptions {
+  int depth = 16;
+  int width = 1;
+  /// Probability that an <a> level carries the <p> marker. 1.0 makes every
+  /// level eligible and maximizes the match count.
+  double marker_probability = 1.0;
+  uint64_t seed = 11;
+};
+
+Status GenerateRecursive(const RecursiveOptions& options,
+                         xml::OutputSink* sink);
+Result<std::string> GenerateRecursiveString(const RecursiveOptions& options);
+
+/// Builds the chain query //a[p]//a[p]//...//a[p]//v with `steps` a-steps.
+std::string RecursiveChainQuery(int steps, bool with_marker_predicate = true);
+
+}  // namespace vitex::workload
+
+#endif  // VITEX_WORKLOAD_RECURSIVE_GENERATOR_H_

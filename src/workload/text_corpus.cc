@@ -1,0 +1,57 @@
+#include "workload/text_corpus.h"
+
+namespace vitex::workload {
+
+namespace {
+
+const char* const kWords[] = {
+    "stream",   "query",    "protein",  "binding", "structure", "analysis",
+    "pattern",  "match",    "sequence", "cell",    "table",     "section",
+    "data",     "result",   "index",    "engine",  "stack",     "machine",
+    "node",     "element",  "predicate", "axis",   "candidate", "solution",
+    "market",   "ticker",   "auction",  "bidder",  "category",  "region",
+    "report",   "summary",  "article",  "author",  "journal",   "volume",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+const char* const kSurnames[] = {
+    "Smith", "Chen",  "Davidson", "Zheng",  "Garcia", "Kim",
+    "Patel", "Okafor", "Novak",   "Tanaka", "Singh",  "Muller",
+};
+constexpr size_t kSurnameCount = sizeof(kSurnames) / sizeof(kSurnames[0]);
+
+const char kResidueAlphabet[] = "ACDEFGHIKLMNPQRSTVWY";
+
+}  // namespace
+
+const char* RandomWord(Random* rng) {
+  return kWords[rng->Uniform(kWordCount)];
+}
+
+std::string RandomSentence(Random* rng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out.push_back(' ');
+    out.append(RandomWord(rng));
+  }
+  return out;
+}
+
+std::string RandomPersonName(Random* rng) {
+  std::string out;
+  out.push_back(static_cast<char>('A' + rng->Uniform(26)));
+  out.append(". ");
+  out.append(kSurnames[rng->Uniform(kSurnameCount)]);
+  return out;
+}
+
+std::string RandomResidues(Random* rng, int length) {
+  std::string out;
+  out.reserve(length);
+  for (int i = 0; i < length; ++i) {
+    out.push_back(kResidueAlphabet[rng->Uniform(sizeof(kResidueAlphabet) - 1)]);
+  }
+  return out;
+}
+
+}  // namespace vitex::workload

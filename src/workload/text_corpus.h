@@ -1,0 +1,26 @@
+// Small deterministic text corpus shared by the data generators.
+
+#ifndef VITEX_WORKLOAD_TEXT_CORPUS_H_
+#define VITEX_WORKLOAD_TEXT_CORPUS_H_
+
+#include <string>
+
+#include "common/random.h"
+
+namespace vitex::workload {
+
+/// Returns a pseudo-English sentence of `words` words.
+std::string RandomSentence(Random* rng, int words);
+
+/// Returns a random word from the corpus.
+const char* RandomWord(Random* rng);
+
+/// Returns a random person name like "J. Smith".
+std::string RandomPersonName(Random* rng);
+
+/// Returns a random protein-style amino-acid sequence of `length` residues.
+std::string RandomResidues(Random* rng, int length);
+
+}  // namespace vitex::workload
+
+#endif  // VITEX_WORKLOAD_TEXT_CORPUS_H_

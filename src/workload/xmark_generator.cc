@@ -1,0 +1,148 @@
+#include "workload/xmark_generator.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "workload/text_corpus.h"
+
+namespace vitex::workload {
+
+namespace {
+
+const char* const kRegions[] = {"africa",        "asia",   "australia",
+                                "europe",        "namerica", "samerica"};
+constexpr int kRegionCount = 6;
+
+std::string Id(const char* prefix, uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%llu", prefix,
+                static_cast<unsigned long long>(n));
+  return buf;
+}
+
+Status WriteItem(xml::XmlWriter* w, Random* rng, uint64_t id) {
+  VITEX_RETURN_IF_ERROR(w->StartElement("item"));
+  VITEX_RETURN_IF_ERROR(w->AddAttribute("id", Id("item", id)));
+  VITEX_RETURN_IF_ERROR(w->TextElement("name", RandomSentence(rng, 2)));
+  VITEX_RETURN_IF_ERROR(w->StartElement("description"));
+  VITEX_RETURN_IF_ERROR(w->StartElement("parlist"));
+  int listitems = 1 + static_cast<int>(rng->Uniform(3));
+  for (int i = 0; i < listitems; ++i) {
+    VITEX_RETURN_IF_ERROR(
+        w->TextElement("listitem", RandomSentence(rng, 6)));
+  }
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // parlist
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // description
+  int cats = 1 + static_cast<int>(rng->Uniform(3));
+  for (int c = 0; c < cats; ++c) {
+    VITEX_RETURN_IF_ERROR(w->StartElement("incategory"));
+    VITEX_RETURN_IF_ERROR(
+        w->AddAttribute("category", Id("category", rng->Uniform(100))));
+    VITEX_RETURN_IF_ERROR(w->EndElement());
+  }
+  char qty[8];
+  std::snprintf(qty, sizeof(qty), "%d", 1 + static_cast<int>(rng->Uniform(9)));
+  VITEX_RETURN_IF_ERROR(w->TextElement("quantity", qty));
+  return w->EndElement();  // item
+}
+
+Status WritePerson(xml::XmlWriter* w, Random* rng, uint64_t id) {
+  VITEX_RETURN_IF_ERROR(w->StartElement("person"));
+  VITEX_RETURN_IF_ERROR(w->AddAttribute("id", Id("person", id)));
+  VITEX_RETURN_IF_ERROR(w->TextElement("name", RandomPersonName(rng)));
+  VITEX_RETURN_IF_ERROR(w->TextElement(
+      "emailaddress", "mailto:" + std::string(RandomWord(rng)) + "@example.org"));
+  if (rng->OneIn(0.6)) {
+    VITEX_RETURN_IF_ERROR(w->StartElement("profile"));
+    char income[16];
+    std::snprintf(income, sizeof(income), "%d",
+                  20000 + static_cast<int>(rng->Uniform(80000)));
+    VITEX_RETURN_IF_ERROR(w->TextElement("income", income));
+    if (rng->OneIn(0.5)) {
+      VITEX_RETURN_IF_ERROR(w->StartElement("interest"));
+      VITEX_RETURN_IF_ERROR(
+          w->AddAttribute("category", Id("category", rng->Uniform(100))));
+      VITEX_RETURN_IF_ERROR(w->EndElement());
+    }
+    VITEX_RETURN_IF_ERROR(w->EndElement());  // profile
+  }
+  return w->EndElement();  // person
+}
+
+Status WriteOpenAuction(xml::XmlWriter* w, Random* rng, uint64_t id,
+                        uint64_t item_count, uint64_t person_count) {
+  VITEX_RETURN_IF_ERROR(w->StartElement("open_auction"));
+  VITEX_RETURN_IF_ERROR(w->AddAttribute("id", Id("open_auction", id)));
+  char amount[16];
+  double initial = 1.0 + rng->NextDouble() * 200.0;
+  std::snprintf(amount, sizeof(amount), "%.2f", initial);
+  VITEX_RETURN_IF_ERROR(w->TextElement("initial", amount));
+  int bidders = static_cast<int>(rng->Uniform(5));
+  double current = initial;
+  for (int b = 0; b < bidders; ++b) {
+    VITEX_RETURN_IF_ERROR(w->StartElement("bidder"));
+    VITEX_RETURN_IF_ERROR(w->StartElement("personref"));
+    VITEX_RETURN_IF_ERROR(
+        w->AddAttribute("person", Id("person", rng->Uniform(person_count))));
+    VITEX_RETURN_IF_ERROR(w->EndElement());  // personref
+    double inc = 1.0 + rng->NextDouble() * 20.0;
+    current += inc;
+    std::snprintf(amount, sizeof(amount), "%.2f", inc);
+    VITEX_RETURN_IF_ERROR(w->TextElement("increase", amount));
+    VITEX_RETURN_IF_ERROR(w->EndElement());  // bidder
+  }
+  std::snprintf(amount, sizeof(amount), "%.2f", current);
+  VITEX_RETURN_IF_ERROR(w->TextElement("current", amount));
+  VITEX_RETURN_IF_ERROR(w->StartElement("itemref"));
+  VITEX_RETURN_IF_ERROR(
+      w->AddAttribute("item", Id("item", rng->Uniform(item_count))));
+  VITEX_RETURN_IF_ERROR(w->EndElement());  // itemref
+  return w->EndElement();                  // open_auction
+}
+
+}  // namespace
+
+Status GenerateXmark(const XmarkOptions& options, xml::OutputSink* sink) {
+  Random rng(options.seed);
+  xml::XmlWriter writer(sink);
+  uint64_t item_count = options.items_per_region * kRegionCount;
+  uint64_t person_count = options.items_per_region * 4;
+  uint64_t auction_count = options.items_per_region * 2;
+
+  VITEX_RETURN_IF_ERROR(writer.StartElement("site"));
+  VITEX_RETURN_IF_ERROR(writer.StartElement("regions"));
+  uint64_t item_id = 0;
+  for (int r = 0; r < kRegionCount; ++r) {
+    VITEX_RETURN_IF_ERROR(writer.StartElement(kRegions[r]));
+    for (uint64_t i = 0; i < options.items_per_region; ++i) {
+      VITEX_RETURN_IF_ERROR(WriteItem(&writer, &rng, item_id++));
+    }
+    VITEX_RETURN_IF_ERROR(writer.EndElement());
+  }
+  VITEX_RETURN_IF_ERROR(writer.EndElement());  // regions
+
+  VITEX_RETURN_IF_ERROR(writer.StartElement("people"));
+  for (uint64_t p = 0; p < person_count; ++p) {
+    VITEX_RETURN_IF_ERROR(WritePerson(&writer, &rng, p));
+  }
+  VITEX_RETURN_IF_ERROR(writer.EndElement());  // people
+
+  VITEX_RETURN_IF_ERROR(writer.StartElement("open_auctions"));
+  for (uint64_t a = 0; a < auction_count; ++a) {
+    VITEX_RETURN_IF_ERROR(
+        WriteOpenAuction(&writer, &rng, a, item_count, person_count));
+  }
+  VITEX_RETURN_IF_ERROR(writer.EndElement());  // open_auctions
+
+  VITEX_RETURN_IF_ERROR(writer.EndElement());  // site
+  return writer.Finish();
+}
+
+Result<std::string> GenerateXmarkString(const XmarkOptions& options) {
+  std::string out;
+  xml::StringSink sink(&out);
+  VITEX_RETURN_IF_ERROR(GenerateXmark(options, &sink));
+  return out;
+}
+
+}  // namespace vitex::workload

@@ -1,0 +1,29 @@
+// XMarkGenerator: a simplified version of the XMark auction benchmark
+// document (site/regions/items, people, open and closed auctions). XMark is
+// the standard data-centric XML benchmark contemporaneous with the paper;
+// we use it for the DOM-vs-streaming comparison (experiment E9) and for
+// realistic twig queries with value predicates.
+
+#ifndef VITEX_WORKLOAD_XMARK_GENERATOR_H_
+#define VITEX_WORKLOAD_XMARK_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "xml/writer.h"
+
+namespace vitex::workload {
+
+struct XmarkOptions {
+  /// Scale knob: items per region (6 regions), persons = 4×, auctions = 2×.
+  uint64_t items_per_region = 50;
+  uint64_t seed = 1234;
+};
+
+Status GenerateXmark(const XmarkOptions& options, xml::OutputSink* sink);
+Result<std::string> GenerateXmarkString(const XmarkOptions& options);
+
+}  // namespace vitex::workload
+
+#endif  // VITEX_WORKLOAD_XMARK_GENERATOR_H_

@@ -1,0 +1,134 @@
+#include "xml/escape.h"
+
+#include <cstdint>
+
+namespace vitex::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  // Attribute values additionally normalize tabs/newlines in full XML; for
+  // our writer it suffices to escape specials (we always double-quote).
+  return EscapeText(value);
+}
+
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp <= 0x7f) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7ff) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp <= 0xffff) {
+    if (cp >= 0xd800 && cp <= 0xdfff) return false;  // surrogates
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp <= 0x10ffff) {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Decodes the entity starting at text[pos] ('&'); on success appends the
+// decoded bytes to *out and returns the index just past the ';'.
+Result<size_t> DecodeOneEntity(std::string_view text, size_t pos,
+                               std::string* out) {
+  size_t end = text.find(';', pos);
+  if (end == std::string_view::npos || end == pos + 1) {
+    return Status::ParseError("unterminated or empty entity reference");
+  }
+  std::string_view body = text.substr(pos + 1, end - pos - 1);
+  if (body == "amp") {
+    out->push_back('&');
+  } else if (body == "lt") {
+    out->push_back('<');
+  } else if (body == "gt") {
+    out->push_back('>');
+  } else if (body == "apos") {
+    out->push_back('\'');
+  } else if (body == "quot") {
+    out->push_back('"');
+  } else if (body.size() > 1 && body[0] == '#') {
+    uint32_t cp = 0;
+    bool hex = body.size() > 2 && (body[1] == 'x' || body[1] == 'X');
+    std::string_view digits = body.substr(hex ? 2 : 1);
+    if (digits.empty()) {
+      return Status::ParseError("empty numeric character reference");
+    }
+    for (char c : digits) {
+      uint32_t d;
+      if (c >= '0' && c <= '9') {
+        d = c - '0';
+      } else if (hex && c >= 'a' && c <= 'f') {
+        d = 10 + (c - 'a');
+      } else if (hex && c >= 'A' && c <= 'F') {
+        d = 10 + (c - 'A');
+      } else {
+        return Status::ParseError("bad digit in numeric character reference");
+      }
+      cp = cp * (hex ? 16 : 10) + d;
+      if (cp > 0x10ffff) {
+        return Status::ParseError("numeric character reference out of range");
+      }
+    }
+    if (!AppendUtf8(cp, out)) {
+      return Status::ParseError("numeric character reference out of range");
+    }
+  } else {
+    return Status::ParseError("unknown entity reference '&" +
+                              std::string(body) + ";'");
+  }
+  return end + 1;
+}
+
+}  // namespace
+
+Result<std::string> DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t amp = text.find('&', pos);
+    if (amp == std::string_view::npos) {
+      out.append(text.substr(pos));
+      break;
+    }
+    out.append(text.substr(pos, amp - pos));
+    VITEX_ASSIGN_OR_RETURN(pos, DecodeOneEntity(text, amp, &out));
+  }
+  return out;
+}
+
+}  // namespace vitex::xml

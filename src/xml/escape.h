@@ -1,0 +1,31 @@
+// XML entity escaping and decoding.
+
+#ifndef VITEX_XML_ESCAPE_H_
+#define VITEX_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace vitex::xml {
+
+/// Escapes the five XML special characters in text content
+/// (& < > " ') with their predefined entities.
+std::string EscapeText(std::string_view text);
+
+/// Escapes text for use inside a double-quoted attribute value.
+std::string EscapeAttribute(std::string_view value);
+
+/// Decodes predefined entities (&amp; &lt; &gt; &apos; &quot;) and numeric
+/// character references (&#ddd; / &#xhh;, emitted as UTF-8). Returns a
+/// ParseError for unterminated or unknown references.
+Result<std::string> DecodeEntities(std::string_view text);
+
+/// Appends the UTF-8 encoding of `codepoint` to `out`. Returns false for
+/// values outside the Unicode scalar range.
+bool AppendUtf8(uint32_t codepoint, std::string* out);
+
+}  // namespace vitex::xml
+
+#endif  // VITEX_XML_ESCAPE_H_

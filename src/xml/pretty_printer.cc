@@ -1,0 +1,56 @@
+#include "xml/pretty_printer.h"
+
+#include "xml/sax_parser.h"
+
+namespace vitex::xml {
+
+namespace {
+XmlWriter::Options MakeOptions(int indent) {
+  XmlWriter::Options options;
+  options.indent = indent;
+  options.declaration = indent >= 0;
+  return options;
+}
+}  // namespace
+
+PrettyPrinter::PrettyPrinter(OutputSink* sink, int indent)
+    : writer_(sink, MakeOptions(indent)) {}
+
+Status PrettyPrinter::StartElement(const StartElementEvent& event) {
+  VITEX_RETURN_IF_ERROR(writer_.StartElement(event.name));
+  for (const Attribute& a : event.attributes) {
+    VITEX_RETURN_IF_ERROR(writer_.AddAttribute(a.name, a.value));
+  }
+  return Status::OK();
+}
+
+Status PrettyPrinter::EndElement(std::string_view name, int depth) {
+  (void)name;
+  (void)depth;
+  return writer_.EndElement();
+}
+
+Status PrettyPrinter::Characters(std::string_view text, int depth) {
+  (void)depth;
+  return writer_.Text(text);
+}
+
+Status PrettyPrinter::Comment(std::string_view text) {
+  return writer_.Comment(text);
+}
+
+Status PrettyPrinter::EndDocument() { return writer_.Finish(); }
+
+Result<std::string> PrettyPrint(std::string_view document, int indent) {
+  std::string out;
+  StringSink sink(&out);
+  PrettyPrinter printer(&sink, indent);
+  VITEX_RETURN_IF_ERROR(ParseString(document, &printer));
+  return out;
+}
+
+Result<std::string> Canonicalize(std::string_view document) {
+  return PrettyPrint(document, /*indent=*/-1);
+}
+
+}  // namespace vitex::xml

@@ -1,0 +1,43 @@
+// PrettyPrinter: a ContentHandler that re-serializes the event stream as
+// indented XML — a streaming canonicalizer built from the same two pieces
+// (SaxParser in, XmlWriter out) the engine uses. O(depth) memory.
+
+#ifndef VITEX_XML_PRETTY_PRINTER_H_
+#define VITEX_XML_PRETTY_PRINTER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "xml/sax_event.h"
+#include "xml/writer.h"
+
+namespace vitex::xml {
+
+class PrettyPrinter : public ContentHandler {
+ public:
+  /// @param sink where the formatted document goes; must outlive this.
+  /// @param indent spaces per level; pass a negative value for compact
+  ///        (canonical, whitespace-free) output.
+  explicit PrettyPrinter(OutputSink* sink, int indent = 2);
+
+  Status StartElement(const StartElementEvent& event) override;
+  Status EndElement(std::string_view name, int depth) override;
+  Status Characters(std::string_view text, int depth) override;
+  Status Comment(std::string_view text) override;
+  Status EndDocument() override;
+
+ private:
+  XmlWriter writer_;
+};
+
+/// Reformats a whole document in one call.
+Result<std::string> PrettyPrint(std::string_view document, int indent = 2);
+
+/// Canonicalizes a document: compact form, declaration stripped, attribute
+/// entities normalized. Two logically equal documents canonicalize to equal
+/// strings (modulo attribute order, which is preserved as written).
+Result<std::string> Canonicalize(std::string_view document);
+
+}  // namespace vitex::xml
+
+#endif  // VITEX_XML_PRETTY_PRINTER_H_

@@ -1,0 +1,107 @@
+// SAX event model: the contract between the SAX parser and every consumer
+// (TwigM, the DOM builder, the baselines).
+//
+// This mirrors the expat/SAX2 event set the original ViteX consumed, reduced
+// to what streaming XPath needs: start/end element with attributes and depth,
+// character data, and document boundaries.
+
+#ifndef VITEX_XML_SAX_EVENT_H_
+#define VITEX_XML_SAX_EVENT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace vitex::xml {
+
+/// One attribute of a start-element event. Views are valid only for the
+/// duration of the callback; consumers that need the data longer must copy.
+struct Attribute {
+  std::string_view name;
+  std::string_view value;
+};
+
+/// A start-element event.
+///
+/// `depth` is the 1-based depth of the element (the document root element
+/// has depth 1). TwigM's stack entries store this as the paper's "level".
+struct StartElementEvent {
+  std::string_view name;
+  std::vector<Attribute> attributes;
+  int depth = 0;
+  /// Byte offset in the stream of the '<' that opened this tag (diagnostics
+  /// and result-fragment bookkeeping).
+  uint64_t byte_offset = 0;
+
+  /// Returns the value of attribute `attr_name`, or nullptr if absent.
+  const std::string_view* FindAttribute(std::string_view attr_name) const {
+    for (const Attribute& a : attributes) {
+      if (a.name == attr_name) return &a.value;
+    }
+    return nullptr;
+  }
+};
+
+/// Receiver interface for SAX events.
+///
+/// Any callback may return a non-OK Status to abort the parse; the parser
+/// propagates the status to its caller unchanged. The default
+/// implementations accept and ignore every event, so handlers override only
+/// what they need.
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+
+  /// Called once before any other event.
+  virtual Status StartDocument() { return Status::OK(); }
+
+  /// Called for every start tag (and for the element part of an empty-element
+  /// tag `<a/>`, which is delivered as StartElement immediately followed by
+  /// EndElement).
+  virtual Status StartElement(const StartElementEvent& event) {
+    (void)event;
+    return Status::OK();
+  }
+
+  /// Called for every end tag. `depth` matches the corresponding
+  /// StartElement's depth.
+  virtual Status EndElement(std::string_view name, int depth) {
+    (void)name;
+    (void)depth;
+    return Status::OK();
+  }
+
+  /// Called for character data between tags, already entity-decoded.
+  /// May be called multiple times for one text node (chunk boundaries,
+  /// CDATA sections, entity boundaries); `depth` is the depth of the
+  /// enclosing element.
+  virtual Status Characters(std::string_view text, int depth) {
+    (void)text;
+    (void)depth;
+    return Status::OK();
+  }
+
+  /// Called for processing instructions `<?target data?>`. Ignored by
+  /// default; exposed so tooling (e.g. the pretty-printer) can round-trip.
+  virtual Status ProcessingInstruction(std::string_view target,
+                                       std::string_view data) {
+    (void)target;
+    (void)data;
+    return Status::OK();
+  }
+
+  /// Called for comments `<!-- ... -->`. Ignored by default.
+  virtual Status Comment(std::string_view text) {
+    (void)text;
+    return Status::OK();
+  }
+
+  /// Called once after the root element closes and trailing misc is consumed.
+  virtual Status EndDocument() { return Status::OK(); }
+};
+
+}  // namespace vitex::xml
+
+#endif  // VITEX_XML_SAX_EVENT_H_

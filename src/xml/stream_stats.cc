@@ -1,0 +1,36 @@
+#include "xml/stream_stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace vitex::xml {
+
+std::vector<std::pair<std::string, uint64_t>> StreamStatsHandler::TopTags(
+    size_t limit) const {
+  std::vector<std::pair<std::string, uint64_t>> out(tag_counts_.begin(),
+                                                    tag_counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::string StreamStatsHandler::Report() const {
+  std::string out;
+  out += "elements:      " + WithThousandsSeparators(elements_) + "\n";
+  out += "attributes:    " + WithThousandsSeparators(attributes_) + "\n";
+  out += "text nodes:    " + WithThousandsSeparators(text_nodes_) + " (" +
+         HumanBytes(text_bytes_) + ")\n";
+  out += "max depth:     " + std::to_string(max_depth_) + "\n";
+  out += "distinct tags: " + std::to_string(tag_counts_.size()) + "\n";
+  out += "top tags:\n";
+  for (const auto& [tag, count] : TopTags(8)) {
+    out += "  " + tag + ": " + WithThousandsSeparators(count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vitex::xml

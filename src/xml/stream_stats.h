@@ -1,0 +1,78 @@
+// StreamStatsHandler: one-pass structural statistics over an XML stream.
+//
+// Used to validate workload generators (tag distributions, depth profiles)
+// and as a cheap diagnostic consumer; demonstrates that arbitrary analyses
+// compose with the same ContentHandler interface TwigM uses.
+
+#ifndef VITEX_XML_STREAM_STATS_H_
+#define VITEX_XML_STREAM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/sax_event.h"
+
+namespace vitex::xml {
+
+class StreamStatsHandler : public ContentHandler {
+ public:
+  Status StartElement(const StartElementEvent& event) override {
+    ++elements_;
+    attributes_ += event.attributes.size();
+    ++tag_counts_[std::string(event.name)];
+    if (event.depth > max_depth_) max_depth_ = event.depth;
+    depth_sum_ += event.depth;
+    return Status::OK();
+  }
+
+  Status Characters(std::string_view text, int depth) override {
+    (void)depth;
+    ++text_nodes_;
+    text_bytes_ += text.size();
+    return Status::OK();
+  }
+
+  uint64_t elements() const { return elements_; }
+  uint64_t attributes() const { return attributes_; }
+  uint64_t text_nodes() const { return text_nodes_; }
+  uint64_t text_bytes() const { return text_bytes_; }
+  int max_depth() const { return max_depth_; }
+
+  /// Mean element depth (0 for an empty document).
+  double mean_depth() const {
+    return elements_ == 0
+               ? 0.0
+               : static_cast<double>(depth_sum_) / static_cast<double>(elements_);
+  }
+
+  /// Occurrences of a specific tag.
+  uint64_t tag_count(std::string_view tag) const {
+    auto it = tag_counts_.find(std::string(tag));
+    return it == tag_counts_.end() ? 0 : it->second;
+  }
+
+  /// Distinct tag names seen.
+  size_t distinct_tags() const { return tag_counts_.size(); }
+
+  /// The `limit` most frequent tags, descending.
+  std::vector<std::pair<std::string, uint64_t>> TopTags(size_t limit) const;
+
+  /// Multi-line human-readable report.
+  std::string Report() const;
+
+ private:
+  uint64_t elements_ = 0;
+  uint64_t attributes_ = 0;
+  uint64_t text_nodes_ = 0;
+  uint64_t text_bytes_ = 0;
+  uint64_t depth_sum_ = 0;
+  int max_depth_ = 0;
+  std::map<std::string, uint64_t> tag_counts_;
+};
+
+}  // namespace vitex::xml
+
+#endif  // VITEX_XML_STREAM_STATS_H_

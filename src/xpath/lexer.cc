@@ -1,0 +1,218 @@
+#include "xpath/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace vitex::xpath {
+
+std::string_view TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kDoubleSlash:
+      return "'//'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kName:
+      return "name";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+Status LexError(size_t offset, std::string msg) {
+  return Status::ParseError("XPath lexer: " + msg + " at offset " +
+                            std::to_string(offset));
+}
+
+bool IsNumberStart(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view q) {
+  std::vector<Token> out;
+  size_t i = 0;
+  while (i < q.size()) {
+    char c = q[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    switch (c) {
+      case '/':
+        if (i + 1 < q.size() && q[i + 1] == '/') {
+          tok.kind = TokenKind::kDoubleSlash;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kSlash;
+          ++i;
+        }
+        break;
+      case '*':
+        tok.kind = TokenKind::kStar;
+        ++i;
+        break;
+      case '@':
+        tok.kind = TokenKind::kAt;
+        ++i;
+        break;
+      case '[':
+        tok.kind = TokenKind::kLBracket;
+        ++i;
+        break;
+      case ']':
+        tok.kind = TokenKind::kRBracket;
+        ++i;
+        break;
+      case '(':
+        tok.kind = TokenKind::kLParen;
+        ++i;
+        break;
+      case ')':
+        tok.kind = TokenKind::kRParen;
+        ++i;
+        break;
+      case '|':
+        tok.kind = TokenKind::kPipe;
+        ++i;
+        break;
+      case '=':
+        tok.kind = TokenKind::kEq;
+        ++i;
+        break;
+      case '!':
+        if (i + 1 >= q.size() || q[i + 1] != '=') {
+          return LexError(i, "'!' must be followed by '='");
+        }
+        tok.kind = TokenKind::kNe;
+        i += 2;
+        break;
+      case '<':
+        if (i + 1 < q.size() && q[i + 1] == '=') {
+          tok.kind = TokenKind::kLe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kLt;
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < q.size() && q[i + 1] == '=') {
+          tok.kind = TokenKind::kGe;
+          i += 2;
+        } else {
+          tok.kind = TokenKind::kGt;
+          ++i;
+        }
+        break;
+      case '\'':
+      case '"': {
+        size_t end = q.find(c, i + 1);
+        if (end == std::string_view::npos) {
+          return LexError(i, "unterminated string literal");
+        }
+        tok.kind = TokenKind::kString;
+        tok.text = std::string(q.substr(i + 1, end - i - 1));
+        i = end + 1;
+        break;
+      }
+      case '.': {
+        // '.' is self unless it begins a number like ".5".
+        if (i + 1 < q.size() && IsNumberStart(q[i + 1])) {
+          size_t start = i;
+          ++i;
+          while (i < q.size() &&
+                 std::isdigit(static_cast<unsigned char>(q[i])) != 0) {
+            ++i;
+          }
+          tok.kind = TokenKind::kNumber;
+          tok.text = std::string(q.substr(start, i - start));
+          tok.number = std::strtod(tok.text.c_str(), nullptr);
+        } else {
+          tok.kind = TokenKind::kDot;
+          ++i;
+        }
+        break;
+      }
+      default: {
+        if (IsNumberStart(c) ||
+            (c == '-' && i + 1 < q.size() && IsNumberStart(q[i + 1]))) {
+          size_t start = i;
+          if (c == '-') ++i;
+          while (i < q.size() &&
+                 std::isdigit(static_cast<unsigned char>(q[i])) != 0) {
+            ++i;
+          }
+          if (i < q.size() && q[i] == '.') {
+            ++i;
+            while (i < q.size() &&
+                   std::isdigit(static_cast<unsigned char>(q[i])) != 0) {
+              ++i;
+            }
+          }
+          tok.kind = TokenKind::kNumber;
+          tok.text = std::string(q.substr(start, i - start));
+          tok.number = std::strtod(tok.text.c_str(), nullptr);
+          break;
+        }
+        if (IsNameStartChar(static_cast<unsigned char>(c))) {
+          size_t start = i;
+          ++i;
+          while (i < q.size() &&
+                 IsNameChar(static_cast<unsigned char>(q[i]))) {
+            ++i;
+          }
+          tok.kind = TokenKind::kName;
+          tok.text = std::string(q.substr(start, i - start));
+          break;
+        }
+        return LexError(i, std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = q.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace vitex::xpath

@@ -1,0 +1,21 @@
+// Lexer for XPath queries.
+
+#ifndef VITEX_XPATH_LEXER_H_
+#define VITEX_XPATH_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xpath/token.h"
+
+namespace vitex::xpath {
+
+/// Tokenizes the whole query up front (queries are tiny relative to data, so
+/// there is no reason to lex lazily). The returned vector always ends with a
+/// kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view query);
+
+}  // namespace vitex::xpath
+
+#endif  // VITEX_XPATH_LEXER_H_

@@ -1,0 +1,179 @@
+#include "xpath/rewrite.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xpath/parser.h"
+
+namespace vitex::xpath {
+
+namespace {
+
+class Rewriter {
+ public:
+  explicit Rewriter(RewriteStats* stats) : stats_(stats) {}
+
+  Path RewritePathRec(const Path& path) {
+    Path out;
+    out.absolute = path.absolute;
+    for (const Step& step : path.steps) {
+      out.steps.push_back(RewriteStep(step));
+    }
+    return out;
+  }
+
+ private:
+  void Count(uint64_t* field) {
+    if (stats_ != nullptr) ++*field;
+  }
+
+  Step RewriteStep(const Step& step) {
+    Step out;
+    out.axis = step.axis;
+    out.test = step.test;
+    out.name = step.name;
+    out.descendant_attribute = step.descendant_attribute;
+    std::vector<std::string> seen;
+    for (const auto& pred : step.predicates) {
+      std::unique_ptr<PredExpr> rewritten = RewriteExpr(*pred);
+      std::string key = PredExprToString(*rewritten);
+      if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+        Count(&stats_->duplicate_predicates_removed);
+        continue;
+      }
+      seen.push_back(std::move(key));
+      out.predicates.push_back(std::move(rewritten));
+    }
+    return out;
+  }
+
+  std::unique_ptr<PredExpr> RewriteExpr(const PredExpr& e) {
+    switch (e.kind) {
+      case PredExpr::Kind::kPath: {
+        auto out = std::make_unique<PredExpr>();
+        out->kind = PredExpr::Kind::kPath;
+        out->path = RewritePathRec(e.path);
+        return out;
+      }
+      case PredExpr::Kind::kCompare: {
+        auto out = ClonePredExpr(e);
+        out->path = RewritePathRec(e.path);
+        return out;
+      }
+      case PredExpr::Kind::kNot: {
+        std::unique_ptr<PredExpr> inner = RewriteExpr(*e.left);
+        if (inner->kind == PredExpr::Kind::kNot) {
+          // not(not(x)) -> x
+          Count(&stats_->double_negations_removed);
+          return std::move(inner->left);
+        }
+        auto out = std::make_unique<PredExpr>();
+        out->kind = PredExpr::Kind::kNot;
+        out->left = std::move(inner);
+        return out;
+      }
+      case PredExpr::Kind::kAnd:
+      case PredExpr::Kind::kOr:
+        return RewriteBoolean(e);
+    }
+    return ClonePredExpr(e);
+  }
+
+  // Flattens an and/or chain into operands, dedups, applies absorption,
+  // then rebuilds a left-leaning tree.
+  std::unique_ptr<PredExpr> RewriteBoolean(const PredExpr& e) {
+    PredExpr::Kind kind = e.kind;
+    std::vector<std::unique_ptr<PredExpr>> operands;
+    Flatten(e, kind, &operands);
+
+    // Dedup (idempotence): x and x -> x.
+    std::vector<std::unique_ptr<PredExpr>> unique;
+    std::vector<std::string> keys;
+    for (auto& op : operands) {
+      std::string key = PredExprToString(*op);
+      if (std::find(keys.begin(), keys.end(), key) != keys.end()) {
+        Count(&stats_->idempotent_operands_removed);
+        continue;
+      }
+      keys.push_back(std::move(key));
+      unique.push_back(std::move(op));
+    }
+
+    // Absorption: for AND, an operand (x or ...) containing another whole
+    // operand x is redundant; dually for OR.
+    PredExpr::Kind dual = kind == PredExpr::Kind::kAnd ? PredExpr::Kind::kOr
+                                                       : PredExpr::Kind::kAnd;
+    std::vector<bool> absorbed(unique.size(), false);
+    for (size_t i = 0; i < unique.size(); ++i) {
+      if (unique[i]->kind != dual) continue;
+      std::vector<std::string> inner_keys;
+      CollectKeys(*unique[i], dual, &inner_keys);
+      for (size_t j = 0; j < unique.size(); ++j) {
+        if (j == i || absorbed[j]) continue;
+        std::string key = PredExprToString(*unique[j]);
+        if (std::find(inner_keys.begin(), inner_keys.end(), key) !=
+            inner_keys.end()) {
+          absorbed[i] = true;
+          Count(&stats_->absorptions);
+          break;
+        }
+      }
+    }
+    std::vector<std::unique_ptr<PredExpr>> kept;
+    for (size_t i = 0; i < unique.size(); ++i) {
+      if (!absorbed[i]) kept.push_back(std::move(unique[i]));
+    }
+
+    if (kept.size() == 1) return std::move(kept[0]);
+    std::unique_ptr<PredExpr> out = std::move(kept[0]);
+    for (size_t i = 1; i < kept.size(); ++i) {
+      auto node = std::make_unique<PredExpr>();
+      node->kind = kind;
+      node->left = std::move(out);
+      node->right = std::move(kept[i]);
+      out = std::move(node);
+    }
+    return out;
+  }
+
+  // Recursively rewrites and collects the operands of a same-kind chain.
+  void Flatten(const PredExpr& e, PredExpr::Kind kind,
+               std::vector<std::unique_ptr<PredExpr>>* out) {
+    if (e.kind == kind) {
+      Flatten(*e.left, kind, out);
+      Flatten(*e.right, kind, out);
+      return;
+    }
+    out->push_back(RewriteExpr(e));
+  }
+
+  static void CollectKeys(const PredExpr& e, PredExpr::Kind kind,
+                          std::vector<std::string>* keys) {
+    if (e.kind == kind) {
+      CollectKeys(*e.left, kind, keys);
+      CollectKeys(*e.right, kind, keys);
+      return;
+    }
+    keys->push_back(PredExprToString(e));
+  }
+
+  RewriteStats* stats_;
+};
+
+}  // namespace
+
+Path RewritePath(const Path& path, RewriteStats* stats) {
+  RewriteStats local;
+  Rewriter rewriter(stats != nullptr ? stats : &local);
+  return rewriter.RewritePathRec(path);
+}
+
+Result<std::string> RewriteQueryText(std::string_view query,
+                                     RewriteStats* stats) {
+  VITEX_ASSIGN_OR_RETURN(Path path, ParseXPath(query));
+  return PathToString(RewritePath(path, stats));
+}
+
+}  // namespace vitex::xpath

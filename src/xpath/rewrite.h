@@ -1,0 +1,51 @@
+// Query rewriting: semantics-preserving simplifications applied to the AST
+// before twig compilation.
+//
+// Streaming cost is O(|D|·|Q|·(|Q|+B)), so shrinking |Q| pays on every
+// event of the stream. The rewriter performs the classic normalizations:
+//
+//   * duplicate-predicate elimination:        a[b][b]        -> a[b]
+//   * idempotent boolean operands:            [b and b]      -> [b]
+//                                             [b or b]       -> [b]
+//   * double negation:                        [not(not(b))]  -> [b]
+//   * De Morgan push-down is NOT applied (it does not shrink the twig).
+//   * absorption:                             [b and (b or c)] -> [b]
+//                                             [b or (b and c)] -> [b]
+//
+// Equality of subexpressions is syntactic (canonical rendering), which is
+// sound: syntactically equal predicates are trivially equivalent.
+
+#ifndef VITEX_XPATH_REWRITE_H_
+#define VITEX_XPATH_REWRITE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "xpath/ast.h"
+
+namespace vitex::xpath {
+
+/// Counters describing what the rewriter did.
+struct RewriteStats {
+  uint64_t duplicate_predicates_removed = 0;
+  uint64_t idempotent_operands_removed = 0;
+  uint64_t double_negations_removed = 0;
+  uint64_t absorptions = 0;
+
+  uint64_t total() const {
+    return duplicate_predicates_removed + idempotent_operands_removed +
+           double_negations_removed + absorptions;
+  }
+};
+
+/// Returns a simplified copy of `path`. The result selects exactly the same
+/// nodes on every document.
+Path RewritePath(const Path& path, RewriteStats* stats = nullptr);
+
+/// Convenience: parse, rewrite, render back to XPath text.
+Result<std::string> RewriteQueryText(std::string_view query,
+                                     RewriteStats* stats = nullptr);
+
+}  // namespace vitex::xpath
+
+#endif  // VITEX_XPATH_REWRITE_H_

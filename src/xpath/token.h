@@ -1,0 +1,55 @@
+// Token vocabulary for the XPath fragment XP{/,//,*,[]} plus attributes,
+// text() tests and value comparisons.
+
+#ifndef VITEX_XPATH_TOKEN_H_
+#define VITEX_XPATH_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vitex::xpath {
+
+enum class TokenKind : uint8_t {
+  kSlash,        // /
+  kDoubleSlash,  // //
+  kStar,         // *
+  kAt,           // @
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLParen,       // (
+  kRParen,       // )
+  kDot,          // .
+  kEq,           // =
+  kNe,           // !=
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+  kPipe,         // | (union of queries)
+  kName,         // XML name (also carries the keywords and/or/not/text)
+  kString,       // 'literal' or "literal" (value in text)
+  kNumber,       // numeric literal (value in number)
+  kEnd,          // end of input
+};
+
+/// Canonical spelling for error messages, e.g. "'//'" or "name".
+std::string_view TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Name text or decoded string-literal content.
+  std::string text;
+  /// Value of a kNumber token.
+  double number = 0.0;
+  /// Byte offset of the token start in the query string (for diagnostics).
+  size_t offset = 0;
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kName && text == kw;
+  }
+};
+
+}  // namespace vitex::xpath
+
+#endif  // VITEX_XPATH_TOKEN_H_

@@ -1,0 +1,123 @@
+#include "baseline/dom_evaluator.h"
+
+#include <gtest/gtest.h>
+
+namespace vitex::baseline {
+namespace {
+
+std::vector<std::string> Eval(std::string_view xml, std::string_view query) {
+  auto r = EvaluateOnDocument(xml, query);
+  EXPECT_TRUE(r.ok()) << query << ": " << r.status();
+  return r.ok() ? r.value() : std::vector<std::string>();
+}
+
+TEST(DomEvaluatorTest, SimplePath) {
+  auto r = Eval("<a><b/><c><b/></c></a>", "//b");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(DomEvaluatorTest, ChildAxisRespected) {
+  auto r = Eval("<a><b/><c><b/></c></a>", "/a/b");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<b/>");
+}
+
+TEST(DomEvaluatorTest, ExistencePredicate) {
+  auto r = Eval("<r><a><b/></a><a><c/></a></r>", "//a[b]");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><b/></a>");
+}
+
+TEST(DomEvaluatorTest, ResultsInDocumentOrderDeduplicated) {
+  // c is reachable via both a-ancestors; it must appear once.
+  auto r = Eval("<r><a><a><c/></a></a></r>", "//a//c");
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(DomEvaluatorTest, AttributeResults) {
+  auto r = Eval("<r><a id=\"1\"/><a id=\"2\"/></r>", "//a/@id");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "1");
+  EXPECT_EQ(r[1], "2");
+}
+
+TEST(DomEvaluatorTest, DescendantAttributeSelfOrBelow) {
+  auto r = Eval("<r><a id=\"s\"><b id=\"d\"/></a></r>", "//a//@id");
+  ASSERT_EQ(r.size(), 2u);
+}
+
+TEST(DomEvaluatorTest, TextResults) {
+  auto r = Eval("<r><a>x</a><a><b>y</b></a></r>", "//a/text()");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "x");
+}
+
+TEST(DomEvaluatorTest, ValuePredicates) {
+  const char* doc = "<r><a><p>5</p></a><a><p>15</p></a></r>";
+  EXPECT_EQ(Eval(doc, "//a[p > 10]").size(), 1u);
+  EXPECT_EQ(Eval(doc, "//a[p = 5]").size(), 1u);
+  EXPECT_EQ(Eval(doc, "//a[p = '5']").size(), 1u);
+  EXPECT_EQ(Eval(doc, "//a[p < 3]").size(), 0u);
+}
+
+TEST(DomEvaluatorTest, BooleanPredicates) {
+  const char* doc = "<r><a><b/><c/></a><a><b/></a><a><c/></a><a><d/></a></r>";
+  EXPECT_EQ(Eval(doc, "//a[b and c]").size(), 1u);
+  EXPECT_EQ(Eval(doc, "//a[b or c]").size(), 3u);
+  EXPECT_EQ(Eval(doc, "//a[not(b)]").size(), 2u);
+  EXPECT_EQ(Eval(doc, "//a[not(b or c)]").size(), 1u);
+}
+
+TEST(DomEvaluatorTest, PaperFigure1) {
+  const char* doc =
+      "<book><section><section><section><table><table><table>"
+      "<cell>A</cell></table></table><position>B</position></table>"
+      "</section></section><author>C</author></section></book>";
+  auto r = Eval(doc, "//section[author]//table[position]//cell");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<cell>A</cell>");
+}
+
+TEST(DomEvaluatorTest, MemoizationStillCorrectAcrossSharedSubtrees) {
+  // The same element is probed for satisfaction through two different
+  // ancestors; the memo must return consistent answers.
+  const char* doc = "<r><a><a><b><c/></b></a></a></r>";
+  auto r = Eval(doc, "//a[b/c]");
+  EXPECT_EQ(r.size(), 1u);  // only the inner a has b as a *child*
+}
+
+TEST(DomEvaluatorTest, SatChecksBounded) {
+  auto doc = xml::ParseIntoDom("<r><a><b/></a><a><b/></a><a><b/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  auto query = xpath::ParseAndCompile("//a[b]");
+  ASSERT_TRUE(query.ok());
+  DomEvaluator eval(&doc.value());
+  auto nodes = eval.Evaluate(query.value());
+  EXPECT_EQ(nodes.size(), 3u);
+  // With memoization, checks are at most nodes × query size.
+  EXPECT_LE(eval.sat_checks(), doc->node_count() * query->size());
+}
+
+TEST(DomEvaluatorTest, EvaluateReturnsNodesInDocumentOrder) {
+  auto doc = xml::ParseIntoDom("<r><b>1</b><a/><b>2</b></r>");
+  ASSERT_TRUE(doc.ok());
+  auto query = xpath::ParseAndCompile("//b");
+  ASSERT_TRUE(query.ok());
+  DomEvaluator eval(&doc.value());
+  auto nodes = eval.Evaluate(query.value());
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_LT(nodes[0]->order, nodes[1]->order);
+}
+
+TEST(DomEvaluatorTest, BadQueryPropagates) {
+  auto r = EvaluateOnDocument("<a/>", "not valid [");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DomEvaluatorTest, BadDocumentPropagates) {
+  auto r = EvaluateOnDocument("<a><b></a>", "//a");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace vitex::baseline

@@ -1,0 +1,132 @@
+#include "baseline/naive_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/book_generator.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::baseline {
+namespace {
+
+struct NaiveRun {
+  std::vector<std::string> fragments;
+  NaiveStats stats;
+  Status status;
+};
+
+NaiveRun EvalQuery(std::string_view query, std::string_view doc,
+             NaiveStreamMatcher::Options options = {}) {
+  NaiveRun out;
+  auto compiled = xpath::ParseAndCompile(query);
+  EXPECT_TRUE(compiled.ok()) << compiled.status();
+  twigm::VectorResultCollector results;
+  NaiveStreamMatcher naive(&compiled.value(), &results, options);
+  out.status = xml::ParseString(doc, &naive);
+  out.fragments = results.SortedFragments();
+  out.stats = naive.stats();
+  return out;
+}
+
+TEST(NaiveMatcherTest, SimpleMatch) {
+  auto r = EvalQuery("//a", "<a/>");
+  ASSERT_TRUE(r.status.ok()) << r.status;
+  ASSERT_EQ(r.fragments.size(), 1u);
+  EXPECT_EQ(r.fragments[0], "<a/>");
+}
+
+TEST(NaiveMatcherTest, PredicateFilter) {
+  auto r = EvalQuery("//a[b]", "<r><a><b/></a><a><c/></a></r>");
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.fragments.size(), 1u);
+  EXPECT_EQ(r.fragments[0], "<a><b/></a>");
+}
+
+TEST(NaiveMatcherTest, Figure1ProducesOneSolution) {
+  auto r = EvalQuery("//section[author]//table[position]//cell",
+               workload::Figure1Document());
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.fragments.size(), 1u);
+  EXPECT_EQ(r.fragments[0], "<cell>A</cell>");
+}
+
+TEST(NaiveMatcherTest, Figure1MaterializesNineCellMatches) {
+  // The paper counts 9 pattern matches for cell₈: 3 open sections × 3 open
+  // tables. Explicit instance accounting over the whole document:
+  //   sections (lines 2,3,4):           3 instances
+  //   tables (5,6,7), each extending 3
+  //     section instances:              9 instances
+  //   cell (8), extending all 9 table
+  //     instances:                      9 instances  <- the paper's count
+  //   position (11): table stack then
+  //     holds only table₅ (3 inst.):    3 instances
+  //   author (15): section stack then
+  //     holds only section₂ (1 inst.):  1 instance
+  // Total created: 3 + 9 + 9 + 3 + 1 = 25.
+  auto compiled =
+      xpath::ParseAndCompile("//section[author]//table[position]//cell");
+  ASSERT_TRUE(compiled.ok());
+  twigm::VectorResultCollector results;
+  NaiveStreamMatcher naive(&compiled.value(), &results);
+  ASSERT_TRUE(xml::ParseString(workload::Figure1Document(), &naive).ok());
+  EXPECT_EQ(naive.stats().instances_created, 25u);
+}
+
+TEST(NaiveMatcherTest, InstanceCapAborts) {
+  NaiveStreamMatcher::Options options;
+  options.max_live_instances = 10;
+  std::string doc = "<r>";
+  for (int i = 0; i < 12; ++i) doc += "<a>";
+  for (int i = 0; i < 12; ++i) doc += "</a>";
+  doc += "</r>";
+  auto r = EvalQuery("//a//a", doc, options);
+  EXPECT_TRUE(r.status.IsResourceExhausted()) << r.status;
+}
+
+TEST(NaiveMatcherTest, AttributeOutput) {
+  auto r = EvalQuery("//a[b]/@id", "<r><a id=\"k\"><b/></a><a id=\"m\"/></r>");
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.fragments.size(), 1u);
+  EXPECT_EQ(r.fragments[0], "k");
+}
+
+TEST(NaiveMatcherTest, TextOutput) {
+  auto r = EvalQuery("//a/text()", "<r><a>x</a><a>y</a></r>");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.fragments.size(), 2u);
+}
+
+TEST(NaiveMatcherTest, DuplicateEmissionPrevented) {
+  // The candidate qualifies via two ancestor paths; emitted once.
+  auto r = EvalQuery("//a[b]//c", "<r><a><b/><a><b/><c/></a></a></r>");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.fragments.size(), 1u);
+}
+
+TEST(NaiveMatcherTest, CandidateCopiesAreCounted) {
+  // Two open a-entries with one instance each: the text candidate is
+  // copied into both instances (no sharing — that is the point).
+  auto r = EvalQuery("//a[b]//c", "<r><a><a><c/><b/></a><b/></a></r>");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.fragments.size(), 1u);
+  EXPECT_GE(r.stats.candidate_copies, 2u);
+}
+
+TEST(NaiveMatcherTest, StatsTrackPeak) {
+  auto r = EvalQuery("//a//a", "<r><a><a><a/></a></a></r>");
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_GT(r.stats.peak_live_instances, 0u);
+  EXPECT_GE(r.stats.instances_created, 6u);  // 3 at step1 + 1+2 at step2
+}
+
+TEST(NaiveMatcherTest, ResetAllowsReuse) {
+  auto compiled = xpath::ParseAndCompile("//a");
+  ASSERT_TRUE(compiled.ok());
+  twigm::VectorResultCollector results;
+  NaiveStreamMatcher naive(&compiled.value(), &results);
+  ASSERT_TRUE(xml::ParseString("<a/>", &naive).ok());
+  ASSERT_TRUE(xml::ParseString("<r><a/><a/></r>", &naive).ok());
+  EXPECT_EQ(results.size(), 3u);
+}
+
+}  // namespace
+}  // namespace vitex::baseline

@@ -1,0 +1,105 @@
+#include "baseline/path_nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "twigm/engine.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::baseline {
+namespace {
+
+Result<uint64_t> CountMatches(std::string_view query, std::string_view doc) {
+  VITEX_ASSIGN_OR_RETURN(xpath::Query compiled,
+                         xpath::ParseAndCompile(query));
+  twigm::CountingResultHandler results;
+  VITEX_ASSIGN_OR_RETURN(PathNfa nfa, PathNfa::Create(&compiled, &results));
+  VITEX_RETURN_IF_ERROR(xml::ParseString(doc, &nfa));
+  return nfa.matches();
+}
+
+TEST(PathNfaTest, SingleStep) {
+  auto r = CountMatches("//a", "<a><a/><b/></a>");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value(), 2u);
+}
+
+TEST(PathNfaTest, ChildChain) {
+  auto r = CountMatches("/a/b/c", "<a><b><c/></b><c/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1u);
+}
+
+TEST(PathNfaTest, DescendantGap) {
+  auto r = CountMatches("//a//c", "<a><b><c/></b><c/></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2u);
+}
+
+TEST(PathNfaTest, DescendantIsStrict) {
+  EXPECT_EQ(CountMatches("//a//a", "<a/>").value(), 0u);
+  EXPECT_EQ(CountMatches("//a//a", "<a><a/></a>").value(), 1u);
+}
+
+TEST(PathNfaTest, WildcardSteps) {
+  auto r = CountMatches("//*/*", "<a><b><c/></b></a>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2u);  // b (child of a), c (child of b)
+}
+
+TEST(PathNfaTest, ChildAfterDescendant) {
+  auto r =
+      CountMatches("//a/b", "<r><a><b/></a><x><a><b/></a></x><b/></r>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 2u);
+}
+
+TEST(PathNfaTest, RejectsPredicates) {
+  auto compiled = xpath::ParseAndCompile("//a[b]");
+  ASSERT_TRUE(compiled.ok());
+  twigm::CountingResultHandler results;
+  auto nfa = PathNfa::Create(&compiled.value(), &results);
+  EXPECT_TRUE(nfa.status().IsInvalidArgument());
+}
+
+TEST(PathNfaTest, RejectsAttributesAndText) {
+  for (const char* q : {"//a/@id", "//a/text()"}) {
+    auto compiled = xpath::ParseAndCompile(q);
+    ASSERT_TRUE(compiled.ok());
+    auto nfa = PathNfa::Create(&compiled.value(), nullptr);
+    EXPECT_TRUE(nfa.status().IsInvalidArgument()) << q;
+  }
+}
+
+TEST(PathNfaTest, AgreesWithTwigMOnPathQueries) {
+  const char* docs[] = {
+      "<a><b><c/><a><b><c/></b></a></b></a>",
+      "<r><a><a><b/></a></a><b/><x><a><b/><b/></a></x></r>",
+      "<a><a><a><a/></a></a></a>",
+  };
+  const char* queries[] = {"//a", "//a//b", "/a/b", "//a/b", "//*//b",
+                           "//a//a"};
+  for (const char* doc : docs) {
+    for (const char* q : queries) {
+      auto nfa_count = CountMatches(q, doc);
+      ASSERT_TRUE(nfa_count.ok()) << q;
+      twigm::CountingResultHandler twigm_results;
+      auto engine = twigm::Engine::Create(q, &twigm_results);
+      ASSERT_TRUE(engine.ok());
+      ASSERT_TRUE(engine->RunString(doc).ok());
+      EXPECT_EQ(nfa_count.value(), twigm_results.count())
+          << "query " << q << " on " << doc;
+    }
+  }
+}
+
+TEST(PathNfaTest, PeakStackDepthEqualsDocumentDepth) {
+  auto compiled = xpath::ParseAndCompile("//a");
+  ASSERT_TRUE(compiled.ok());
+  auto nfa = PathNfa::Create(&compiled.value(), nullptr);
+  ASSERT_TRUE(nfa.ok());
+  ASSERT_TRUE(xml::ParseString("<a><a><a><a/></a></a></a>", &nfa.value()).ok());
+  EXPECT_EQ(nfa->peak_stack_depth(), 4u);
+}
+
+}  // namespace
+}  // namespace vitex::baseline

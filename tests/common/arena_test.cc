@@ -1,0 +1,99 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace vitex {
+namespace {
+
+TEST(ArenaTest, AllocateReturnsWritableMemory) {
+  Arena arena;
+  void* p = arena.Allocate(128);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 128);
+  EXPECT_GE(arena.allocated_bytes(), 128u);
+}
+
+TEST(ArenaTest, AlignmentIsRespected) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    arena.Allocate(1, 1);  // deliberately misalign the bump pointer
+    void* p = arena.Allocate(8, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(ArenaTest, LargeAllocationGetsDedicatedBlock) {
+  Arena arena(/*block_bytes=*/1024);
+  void* p = arena.Allocate(1 << 20);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 1 << 20);
+  EXPECT_GE(arena.reserved_bytes(), 1u << 20);
+}
+
+TEST(ArenaTest, ManySmallAllocationsSpanBlocks) {
+  Arena arena(/*block_bytes=*/256);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    int* p = arena.Create<int>(i);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(*ptrs[i], i) << "allocation " << i << " was clobbered";
+  }
+}
+
+TEST(ArenaTest, CreateConstructsInPlace) {
+  struct Point {
+    int x;
+    int y;
+  };
+  Arena arena;
+  Point* p = arena.Create<Point>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(ArenaTest, CopyStringProducesStableCopy) {
+  Arena arena;
+  std::string original = "hello world";
+  std::string_view copy = arena.CopyString(original);
+  original.assign("clobbered!!");
+  EXPECT_EQ(copy, "hello world");
+}
+
+TEST(ArenaTest, CopyEmptyString) {
+  Arena arena;
+  std::string_view copy = arena.CopyString("");
+  EXPECT_TRUE(copy.empty());
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+}
+
+TEST(ArenaTest, AccountingGrowsMonotonically) {
+  Arena arena(1024);
+  size_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    arena.Allocate(100);
+    EXPECT_GT(arena.allocated_bytes(), last);
+    last = arena.allocated_bytes();
+    EXPECT_GE(arena.reserved_bytes(), arena.allocated_bytes() > 1024
+                                          ? 1024u
+                                          : arena.allocated_bytes());
+  }
+  EXPECT_EQ(arena.allocated_bytes(), 100u * 100u);
+}
+
+TEST(ArenaTest, MoveTransfersOwnership) {
+  Arena a(1024);
+  std::string_view s = a.CopyString("persistent");
+  Arena b = std::move(a);
+  EXPECT_EQ(s, "persistent");
+  EXPECT_GE(b.allocated_bytes(), 10u);
+}
+
+}  // namespace
+}  // namespace vitex

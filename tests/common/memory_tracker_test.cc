@@ -1,0 +1,53 @@
+#include "common/memory_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace vitex {
+namespace {
+
+TEST(MemoryTrackerTest, StartsAtZero) {
+  MemoryTracker t;
+  EXPECT_EQ(t.live_bytes(), 0u);
+  EXPECT_EQ(t.peak_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, AddAndRelease) {
+  MemoryTracker t;
+  t.Add(100);
+  EXPECT_EQ(t.live_bytes(), 100u);
+  t.Add(50);
+  EXPECT_EQ(t.live_bytes(), 150u);
+  t.Release(60);
+  EXPECT_EQ(t.live_bytes(), 90u);
+}
+
+TEST(MemoryTrackerTest, PeakTracksHighWaterMark) {
+  MemoryTracker t;
+  t.Add(100);
+  t.Release(100);
+  t.Add(40);
+  EXPECT_EQ(t.peak_bytes(), 100u);
+  t.Add(200);
+  EXPECT_EQ(t.peak_bytes(), 240u);
+}
+
+TEST(MemoryTrackerTest, OverReleaseClampsToZero) {
+  MemoryTracker t;
+  t.Add(10);
+  t.Release(100);
+  EXPECT_EQ(t.live_bytes(), 0u);
+}
+
+TEST(MemoryTrackerTest, ResetPeakToLive) {
+  MemoryTracker t;
+  t.Add(500);
+  t.Release(400);
+  EXPECT_EQ(t.peak_bytes(), 500u);
+  t.ResetPeak();
+  EXPECT_EQ(t.peak_bytes(), 100u);
+  t.Add(1);
+  EXPECT_EQ(t.peak_bytes(), 101u);
+}
+
+}  // namespace
+}  // namespace vitex

@@ -1,0 +1,108 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vitex {
+namespace {
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\nabc\r\n"), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+}
+
+TEST(TrimWhitespaceTest, AllWhitespaceBecomesEmpty) {
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+}
+
+TEST(TrimWhitespaceTest, PreservesInteriorWhitespace) {
+  EXPECT_EQ(TrimWhitespace(" a b c "), "a b c");
+}
+
+TEST(IsAllWhitespaceTest, Basics) {
+  EXPECT_TRUE(IsAllWhitespace(""));
+  EXPECT_TRUE(IsAllWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsAllWhitespace(" x "));
+}
+
+TEST(SplitStringTest, SplitsAndKeepsEmptyPieces) {
+  auto pieces = SplitString("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(SplitStringTest, NoSeparatorYieldsWhole) {
+  auto pieces = SplitString("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(SplitStringTest, EmptyInputYieldsOneEmptyPiece) {
+  auto pieces = SplitString("", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("<!DOCTYPE html", "<!DOCTYPE"));
+  EXPECT_FALSE(StartsWith("<!DOC", "<!DOCTYPE"));
+  EXPECT_TRUE(EndsWith("file.xml", ".xml"));
+  EXPECT_FALSE(EndsWith("xml", ".xml"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(ContainsTest, Basics) {
+  EXPECT_TRUE(Contains("hello world", "lo wo"));
+  EXPECT_FALSE(Contains("hello", "world"));
+  EXPECT_TRUE(Contains("abc", ""));
+}
+
+TEST(JoinStringsTest, Basics) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({"one"}, ","), "one");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(75 * 1024 * 1024), "75.0 MB");
+}
+
+TEST(WithThousandsSeparatorsTest, Basics) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(1000000000ull), "1,000,000,000");
+}
+
+TEST(XmlNameTest, ValidNames) {
+  EXPECT_TRUE(IsValidXmlName("a"));
+  EXPECT_TRUE(IsValidXmlName("ProteinEntry"));
+  EXPECT_TRUE(IsValidXmlName("_private"));
+  EXPECT_TRUE(IsValidXmlName("ns:tag"));
+  EXPECT_TRUE(IsValidXmlName("a-b.c_d"));
+  EXPECT_TRUE(IsValidXmlName("tag123"));
+}
+
+TEST(XmlNameTest, InvalidNames) {
+  EXPECT_FALSE(IsValidXmlName(""));
+  EXPECT_FALSE(IsValidXmlName("1tag"));
+  EXPECT_FALSE(IsValidXmlName("-tag"));
+  EXPECT_FALSE(IsValidXmlName(".tag"));
+  EXPECT_FALSE(IsValidXmlName("ta g"));
+  EXPECT_FALSE(IsValidXmlName("ta<g"));
+}
+
+TEST(XmlNameTest, MultibyteUtf8Accepted) {
+  EXPECT_TRUE(IsValidXmlName("\xc3\xa9l\xc3\xa9ment"));  // élément
+}
+
+}  // namespace
+}  // namespace vitex

@@ -1,0 +1,149 @@
+// Streaming-specific properties of the whole pipeline: chunking invariance,
+// incremental emission, memory boundedness.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "twigm/engine.h"
+#include "workload/protein_generator.h"
+#include "workload/random_generator.h"
+#include "workload/recursive_generator.h"
+
+namespace vitex {
+namespace {
+
+std::vector<std::string> RunChunked(const std::string& query,
+                                    const std::string& doc,
+                                    size_t chunk_size) {
+  twigm::VectorResultCollector results;
+  auto engine = twigm::Engine::Create(query, &results);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  for (size_t i = 0; i < doc.size(); i += chunk_size) {
+    Status s = engine->Feed(
+        std::string_view(doc).substr(i, std::min(chunk_size, doc.size() - i)));
+    EXPECT_TRUE(s.ok()) << s;
+  }
+  EXPECT_TRUE(engine->Finish().ok());
+  return results.SortedFragments();
+}
+
+class ChunkInvarianceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChunkInvarianceTest, ResultsIndependentOfChunkSize) {
+  workload::ProteinOptions options;
+  options.entries = 30;
+  options.reference_probability = 0.6;
+  auto doc = workload::GenerateProteinString(options);
+  ASSERT_TRUE(doc.ok());
+  const std::string query = "//ProteinEntry[reference]/@id";
+  auto whole = RunChunked(query, doc.value(), doc->size());
+  EXPECT_GT(whole.size(), 0u);
+  EXPECT_EQ(whole, RunChunked(query, doc.value(), GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChunkInvarianceTest,
+                         ::testing::Values(1, 7, 64, 1024));
+
+TEST(ChunkInvarianceTest, RandomDocsAndQueries) {
+  Random rng(777);
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 60;
+  workload::RandomQueryOptions query_options;
+  for (int i = 0; i < 15; ++i) {
+    std::string doc = workload::GenerateRandomDocument(doc_options, &rng);
+    std::string query = workload::GenerateRandomQuery(query_options, &rng);
+    auto whole = RunChunked(query, doc, doc.size());
+    for (size_t chunk : {1u, 13u}) {
+      EXPECT_EQ(whole, RunChunked(query, doc, chunk))
+          << "query " << query << " chunk " << chunk;
+    }
+  }
+}
+
+TEST(IncrementalEmissionTest, ResultsArriveWhileStreaming) {
+  // Build a 200-entry feed; after feeding the first half, at least some
+  // results must already be out.
+  workload::ProteinOptions options;
+  options.entries = 200;
+  auto doc = workload::GenerateProteinString(options);
+  ASSERT_TRUE(doc.ok());
+  twigm::VectorResultCollector results;
+  auto engine =
+      twigm::Engine::Create("//ProteinEntry[reference]/@id", &results);
+  ASSERT_TRUE(engine.ok());
+  size_t half = doc->size() / 2;
+  ASSERT_TRUE(engine->Feed(std::string_view(doc.value()).substr(0, half)).ok());
+  size_t after_half = results.size();
+  EXPECT_GT(after_half, 0u) << "no incremental output after half the stream";
+  ASSERT_TRUE(engine->Feed(std::string_view(doc.value()).substr(half)).ok());
+  ASSERT_TRUE(engine->Finish().ok());
+  EXPECT_GT(results.size(), after_half);
+}
+
+TEST(MemoryBoundednessTest, LiveMemoryIndependentOfStreamLength) {
+  // Feature 3 of the paper: memory stays stable as the document grows.
+  const char* query = "//ProteinEntry[reference]/@id";
+  size_t peaks[2];
+  int idx = 0;
+  for (uint64_t entries : {200ull, 2000ull}) {
+    workload::ProteinOptions options;
+    options.entries = entries;
+    auto doc = workload::GenerateProteinString(options);
+    ASSERT_TRUE(doc.ok());
+    twigm::CountingResultHandler results;
+    auto engine = twigm::Engine::Create(query, &results);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->RunString(doc.value()).ok());
+    peaks[idx++] = engine->machine().memory().peak_bytes();
+  }
+  // 10x the data must not even double the peak engine memory.
+  EXPECT_LT(peaks[1], peaks[0] * 2 + 4096)
+      << "peak grew with stream length: " << peaks[0] << " -> " << peaks[1];
+}
+
+TEST(MemoryBoundednessTest, RecursionDepthBoundsMemoryNotDataSize) {
+  // Width (many spines) must not grow memory; depth may.
+  workload::RecursiveOptions narrow;
+  narrow.depth = 10;
+  narrow.width = 2;
+  workload::RecursiveOptions wide = narrow;
+  wide.width = 200;
+  size_t peak_narrow, peak_wide;
+  {
+    auto doc = workload::GenerateRecursiveString(narrow);
+    ASSERT_TRUE(doc.ok());
+    twigm::CountingResultHandler results;
+    auto engine =
+        twigm::Engine::Create(workload::RecursiveChainQuery(3), &results);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->RunString(doc.value()).ok());
+    peak_narrow = engine->machine().memory().peak_bytes();
+  }
+  {
+    auto doc = workload::GenerateRecursiveString(wide);
+    ASSERT_TRUE(doc.ok());
+    twigm::CountingResultHandler results;
+    auto engine =
+        twigm::Engine::Create(workload::RecursiveChainQuery(3), &results);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->RunString(doc.value()).ok());
+    peak_wide = engine->machine().memory().peak_bytes();
+  }
+  EXPECT_LT(peak_wide, peak_narrow * 3 + 4096);
+}
+
+TEST(SaxVsMachineDepthTest, EngineSeesConsistentDepths) {
+  // End-to-end sanity on a document with every construct.
+  const char* doc =
+      "<?xml version=\"1.0\"?><r><!-- c --><a x=\"1\">t<![CDATA[c]]>"
+      "<b/></a></r>";
+  twigm::VectorResultCollector results;
+  auto engine = twigm::Engine::Create("//a", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString(doc).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results.results()[0].fragment, "<a x=\"1\">tc<b/></a>");
+}
+
+}  // namespace
+}  // namespace vitex

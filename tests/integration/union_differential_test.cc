@@ -1,0 +1,100 @@
+// Randomized differential testing for union queries: the streaming
+// UnionEngine vs the set-union of per-branch DOM oracle results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baseline/dom_evaluator.h"
+#include "common/random.h"
+#include "twigm/union_engine.h"
+#include "workload/random_generator.h"
+#include "xml/dom.h"
+#include "xpath/parser.h"
+#include "xpath/query.h"
+
+namespace vitex {
+namespace {
+
+std::vector<std::string> DomUnion(const std::string& union_query,
+                                  const std::string& doc) {
+  auto branches = xpath::ParseXPathUnion(union_query);
+  EXPECT_TRUE(branches.ok()) << branches.status();
+  auto dom = xml::ParseIntoDom(doc);
+  EXPECT_TRUE(dom.ok());
+  std::vector<const xml::DomNode*> nodes;
+  for (const xpath::Path& branch : branches.value()) {
+    auto compiled = xpath::Query::Compile(branch, "");
+    EXPECT_TRUE(compiled.ok());
+    baseline::DomEvaluator eval(&dom.value());
+    for (const xml::DomNode* n : eval.Evaluate(compiled.value())) {
+      nodes.push_back(n);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const xml::DomNode* a, const xml::DomNode* b) {
+              return a->order < b->order;
+            });
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::vector<std::string> out;
+  for (const xml::DomNode* n : nodes) {
+    if (n->IsAttribute() || n->IsText()) {
+      out.emplace_back(n->value);
+    } else {
+      out.push_back(xml::Document::Serialize(n));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> StreamUnion(const std::string& union_query,
+                                     const std::string& doc) {
+  twigm::VectorResultCollector results;
+  auto engine = twigm::UnionEngine::Create(union_query, &results);
+  EXPECT_TRUE(engine.ok()) << union_query << ": " << engine.status();
+  Status s = engine->RunString(doc);
+  EXPECT_TRUE(s.ok()) << s;
+  return results.SortedFragments();
+}
+
+class UnionDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionDifferentialTest, StreamingUnionMatchesDomUnion) {
+  Random rng(GetParam());
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 70;
+  workload::RandomQueryOptions query_options;
+  for (int i = 0; i < 12; ++i) {
+    std::string doc = workload::GenerateRandomDocument(doc_options, &rng);
+    int branches = 2 + static_cast<int>(rng.Uniform(2));
+    std::string union_query;
+    for (int b = 0; b < branches; ++b) {
+      if (b > 0) union_query += " | ";
+      union_query += workload::GenerateRandomQuery(query_options, &rng);
+    }
+    EXPECT_EQ(StreamUnion(union_query, doc), DomUnion(union_query, doc))
+        << union_query << "\ndoc: " << doc;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionDifferentialTest,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+TEST(UnionDifferentialTest, IdenticalBranchesCollapse) {
+  // p | p must equal p exactly (full dedup).
+  Random rng(5150);
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 60;
+  workload::RandomQueryOptions query_options;
+  for (int i = 0; i < 10; ++i) {
+    std::string doc = workload::GenerateRandomDocument(doc_options, &rng);
+    std::string q = workload::GenerateRandomQuery(query_options, &rng);
+    auto single = StreamUnion(q, doc);
+    auto doubled = StreamUnion(q + " | " + q, doc);
+    EXPECT_EQ(single, doubled) << q;
+  }
+}
+
+}  // namespace
+}  // namespace vitex

@@ -1,0 +1,172 @@
+#include "synopsis/path_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "twigm/engine.h"
+#include "workload/protein_generator.h"
+#include "workload/random_generator.h"
+#include "xpath/query.h"
+
+namespace vitex::synopsis {
+namespace {
+
+PathSynopsis MustBuild(std::string_view doc, int max_depth = 0) {
+  auto s = PathSynopsis::Build(doc, max_depth);
+  EXPECT_TRUE(s.ok()) << s.status();
+  return std::move(s).value();
+}
+
+xpath::Query MustCompile(std::string_view q) {
+  auto r = xpath::ParseAndCompile(q);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+TEST(PathSynopsisTest, CountsRootedPaths) {
+  PathSynopsis s = MustBuild("<a><b/><b><c/></b><d/></a>");
+  EXPECT_EQ(s.PathCount("/a"), 1u);
+  EXPECT_EQ(s.PathCount("/a/b"), 2u);
+  EXPECT_EQ(s.PathCount("/a/b/c"), 1u);
+  EXPECT_EQ(s.PathCount("/a/d"), 1u);
+  EXPECT_EQ(s.PathCount("/a/zzz"), 0u);
+  EXPECT_EQ(s.total_elements(), 5u);
+  EXPECT_EQ(s.distinct_paths(), 4u);
+  EXPECT_FALSE(s.truncated());
+}
+
+TEST(PathSynopsisTest, RowsSortedAndComplete) {
+  PathSynopsis s = MustBuild("<a><b/><c/></a>");
+  auto rows = s.Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "/a");
+  EXPECT_EQ(rows[1].first, "/a/b");
+  EXPECT_EQ(rows[2].first, "/a/c");
+}
+
+TEST(PathSynopsisTest, ExactForPathQueries) {
+  const char* doc =
+      "<lib><book><title/></book><book><title/><title/></book>"
+      "<shelf><book><title/></book></shelf></lib>";
+  PathSynopsis s = MustBuild(doc);
+  struct Case {
+    const char* query;
+    uint64_t expected;
+  } cases[] = {
+      {"//book", 3},        {"//title", 4},       {"/lib/book", 2},
+      {"/lib/book/title", 3}, {"//shelf//title", 1}, {"//*", 9},
+      {"//book/title", 4},  {"/lib//title", 4},    {"//lib", 1},
+      {"/book", 0},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(s.EstimateCardinality(MustCompile(c.query)), c.expected)
+        << c.query;
+  }
+}
+
+TEST(PathSynopsisTest, EstimateMatchesEngineOnPathQueries) {
+  Random rng(4242);
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 80;
+  workload::RandomQueryOptions query_options;
+  query_options.predicate_probability = 0.0;  // path queries only
+  query_options.attribute_output_probability = 0.0;
+  for (int i = 0; i < 25; ++i) {
+    std::string doc = workload::GenerateRandomDocument(doc_options, &rng);
+    std::string query = workload::GenerateRandomQuery(query_options, &rng);
+    if (query.find("text()") != std::string::npos) continue;
+    PathSynopsis s = MustBuild(doc);
+    twigm::CountingResultHandler results;
+    auto engine = twigm::Engine::Create(query, &results);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->RunString(doc).ok());
+    EXPECT_EQ(s.EstimateCardinality(MustCompile(query)), results.count())
+        << query << "\ndoc: " << doc;
+  }
+}
+
+TEST(PathSynopsisTest, UpperBoundWithPredicates) {
+  Random rng(777);
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 80;
+  workload::RandomQueryOptions query_options;
+  query_options.attribute_output_probability = 0.0;
+  for (int i = 0; i < 25; ++i) {
+    std::string doc = workload::GenerateRandomDocument(doc_options, &rng);
+    std::string query = workload::GenerateRandomQuery(query_options, &rng);
+    if (query.find("text()") != std::string::npos) continue;
+    PathSynopsis s = MustBuild(doc);
+    twigm::CountingResultHandler results;
+    auto engine = twigm::Engine::Create(query, &results);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->RunString(doc).ok());
+    EXPECT_GE(s.EstimateCardinality(MustCompile(query)), results.count())
+        << query << "\ndoc: " << doc;
+  }
+}
+
+TEST(PathSynopsisTest, DepthCapTruncatesButBounds) {
+  std::string doc = "<a><b><c><d><e/></d></c></b></a>";
+  PathSynopsis capped = MustBuild(doc, /*max_depth=*/2);
+  EXPECT_TRUE(capped.truncated());
+  EXPECT_EQ(capped.total_elements(), 5u);
+  // Counts within the cap are exact.
+  EXPECT_EQ(capped.PathCount("/a"), 1u);
+  EXPECT_EQ(capped.PathCount("/a/b"), 1u);
+  // Deeper elements land in the truncated bucket, and estimates remain
+  // upper bounds.
+  auto q = MustCompile("//e");
+  EXPECT_GE(capped.EstimateCardinality(q), 1u);
+}
+
+TEST(PathSynopsisTest, SelectivityFraction) {
+  PathSynopsis s = MustBuild("<a><b/><b/><c/></a>");
+  EXPECT_DOUBLE_EQ(s.EstimateSelectivity(MustCompile("//b")), 0.5);
+  EXPECT_DOUBLE_EQ(s.EstimateSelectivity(MustCompile("//*")), 1.0);
+}
+
+TEST(PathSynopsisTest, AttributeOutputPricesOwnerChain) {
+  PathSynopsis s = MustBuild("<r><a x=\"1\"/><a/><b/></r>");
+  // //a/@x estimates as the count of a elements (upper bound: 2 >= 1).
+  EXPECT_EQ(s.EstimateCardinality(MustCompile("//a/@x")), 2u);
+}
+
+TEST(PathSynopsisTest, ProteinWorkloadShape) {
+  workload::ProteinOptions options;
+  options.entries = 200;
+  options.reference_probability = 1.0;
+  auto doc = workload::GenerateProteinString(options);
+  ASSERT_TRUE(doc.ok());
+  PathSynopsis s = MustBuild(doc.value());
+  EXPECT_EQ(s.PathCount("/ProteinDatabase"), 1u);
+  EXPECT_EQ(s.PathCount("/ProteinDatabase/ProteinEntry"), 200u);
+  EXPECT_EQ(s.EstimateCardinality(MustCompile("//ProteinEntry")), 200u);
+  // The synopsis is tiny relative to the data (schema-sized, not data-sized).
+  EXPECT_LT(s.memory_bytes(), doc->size() / 50);
+}
+
+TEST(PathSynopsisTest, ExplainListsStepPrefixes) {
+  PathSynopsis s = MustBuild("<a><b><c/></b><b/></a>");
+  std::string explain = s.ExplainEstimate(MustCompile("//a//b[c]"));
+  EXPECT_NE(explain.find("step 1: //a  ~ 1 elements"), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("step 2: //a//b  ~ 2 elements"), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("upper bound"), std::string::npos) << explain;
+}
+
+TEST(PathSynopsisTest, ExplainWithoutPredicatesHasNoCaveat) {
+  PathSynopsis s = MustBuild("<a><b/></a>");
+  std::string explain = s.ExplainEstimate(MustCompile("//b"));
+  EXPECT_EQ(explain.find("upper bound"), std::string::npos) << explain;
+}
+
+TEST(PathSynopsisTest, EmptyishDocument) {
+  PathSynopsis s = MustBuild("<only/>");
+  EXPECT_EQ(s.total_elements(), 1u);
+  EXPECT_EQ(s.EstimateCardinality(MustCompile("//nothing")), 0u);
+  EXPECT_DOUBLE_EQ(s.EstimateSelectivity(MustCompile("//only")), 1.0);
+}
+
+}  // namespace
+}  // namespace vitex::synopsis

@@ -1,0 +1,97 @@
+#include "twigm/candidate_store.h"
+
+#include <gtest/gtest.h>
+
+namespace vitex::twigm {
+namespace {
+
+TEST(CandidateStoreTest, CreateHoldsFragment) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId id = store.Create("frag", 7);
+  EXPECT_EQ(store.fragment(id), "frag");
+  EXPECT_EQ(store.sequence(id), 7u);
+  EXPECT_EQ(store.live(), 1u);
+}
+
+TEST(CandidateStoreTest, RefCountingReclaims) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId id = store.Create("x", 1);
+  store.Ref(id);
+  store.Unref(id);
+  EXPECT_EQ(store.live(), 1u);
+  store.Unref(id);
+  EXPECT_EQ(store.live(), 0u);
+}
+
+TEST(CandidateStoreTest, UnemittedReclaimCountsAsPruned) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId id = store.Create("x", 1);
+  store.Unref(id);
+  EXPECT_EQ(store.stats().pruned, 1u);
+  EXPECT_EQ(store.stats().emitted, 0u);
+}
+
+TEST(CandidateStoreTest, EmittedReclaimNotPruned) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId id = store.Create("x", 1);
+  EXPECT_TRUE(store.MarkEmitted(id));
+  store.Unref(id);
+  EXPECT_EQ(store.stats().pruned, 0u);
+  EXPECT_EQ(store.stats().emitted, 1u);
+}
+
+TEST(CandidateStoreTest, MarkEmittedOnlyOnce) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId id = store.Create("x", 1);
+  EXPECT_TRUE(store.MarkEmitted(id));
+  EXPECT_FALSE(store.MarkEmitted(id));
+  store.Unref(id);
+}
+
+TEST(CandidateStoreTest, SlotsRecycled) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId a = store.Create("a", 1);
+  store.Unref(a);
+  CandidateId b = store.Create("b", 2);
+  EXPECT_EQ(a, b);  // the freed slot is reused
+  EXPECT_EQ(store.fragment(b), "b");
+}
+
+TEST(CandidateStoreTest, MemoryAccountedAndReleased) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId id = store.Create(std::string(1000, 'x'), 1);
+  EXPECT_GE(memory.live_bytes(), 1000u);
+  store.Unref(id);
+  EXPECT_EQ(memory.live_bytes(), 0u);
+}
+
+TEST(CandidateStoreTest, PeakStatsTrackHighWater) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  CandidateId a = store.Create("aaaa", 1);
+  CandidateId b = store.Create("bbbb", 2);
+  store.Unref(a);
+  store.Unref(b);
+  EXPECT_EQ(store.stats().peak_live, 2u);
+  EXPECT_EQ(store.stats().peak_bytes, 8u);
+  EXPECT_EQ(store.live(), 0u);
+}
+
+TEST(CandidateStoreTest, ResetClearsEverything) {
+  MemoryTracker memory;
+  CandidateStore store(&memory);
+  store.Create("x", 1);
+  store.Reset();
+  EXPECT_EQ(store.live(), 0u);
+  EXPECT_EQ(store.stats().created, 0u);
+}
+
+}  // namespace
+}  // namespace vitex::twigm

@@ -1,0 +1,141 @@
+#include "twigm/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "twigm/builder.h"
+#include "workload/protein_generator.h"
+
+namespace vitex::twigm {
+namespace {
+
+TEST(EngineTest, CreateRejectsBadQueries) {
+  EXPECT_FALSE(Engine::Create("not-an-xpath", nullptr).ok());
+  EXPECT_FALSE(Engine::Create("", nullptr).ok());
+  EXPECT_FALSE(Engine::Create("//a[", nullptr).ok());
+}
+
+TEST(EngineTest, QueryAccessorExposesCompiledTwig) {
+  auto engine = Engine::Create("//a[b]//c", nullptr);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->query().size(), 3u);
+  EXPECT_EQ(engine->query().source(), "//a[b]//c");
+}
+
+TEST(EngineTest, MalformedXmlSurfacesParseError) {
+  auto engine = Engine::Create("//a", nullptr);
+  ASSERT_TRUE(engine.ok());
+  Status s = engine->RunString("<a><b></a>");
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(EngineTest, IncrementalResultsBeforeStreamEnd) {
+  // Results must flow out as soon as qualification is proven, not at
+  // document end (paper requirement 2).
+  VectorResultCollector results;
+  auto engine = Engine::Create("//item", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Feed("<feed><item>1</item>").ok());
+  EXPECT_EQ(results.size(), 1u);  // emitted before the stream ends
+  ASSERT_TRUE(engine->Feed("<item>2</item></feed>").ok());
+  ASSERT_TRUE(engine->Finish().ok());
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST(EngineTest, RunFileMatchesRunString) {
+  workload::ProteinOptions options;
+  options.entries = 20;
+  auto doc = workload::GenerateProteinString(options);
+  ASSERT_TRUE(doc.ok());
+
+  std::string path = ::testing::TempDir() + "/vitex_engine_test.xml";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(doc->data(), 1, doc->size(), f);
+    std::fclose(f);
+  }
+
+  const char* query = "//ProteinEntry[reference]/@id";
+  VectorResultCollector from_string;
+  auto e1 = Engine::Create(query, &from_string);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e1->RunString(doc.value()).ok());
+
+  VectorResultCollector from_file;
+  auto e2 = Engine::Create(query, &from_file);
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(e2->RunFile(path, /*chunk_bytes=*/512).ok());
+
+  EXPECT_EQ(from_string.SortedFragments(), from_file.SortedFragments());
+  EXPECT_GT(from_string.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EngineTest, RunFileMissingFileFails) {
+  auto engine = Engine::Create("//a", nullptr);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->RunFile("/no/such/file.xml").IsIoError());
+}
+
+TEST(EngineTest, MoveSemantics) {
+  VectorResultCollector results;
+  auto engine = Engine::Create("//a", &results);
+  ASSERT_TRUE(engine.ok());
+  Engine moved = std::move(engine).value();
+  ASSERT_TRUE(moved.RunString("<a/>").ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(BuilderTest, BuildFromPrecompiledQuery) {
+  auto compiled = xpath::ParseAndCompile("//a[b]");
+  ASSERT_TRUE(compiled.ok());
+  auto query = std::make_unique<xpath::Query>(std::move(compiled).value());
+  VectorResultCollector results;
+  auto built = TwigMBuilder::Build(std::move(query), &results);
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->query().size(), 2u);
+}
+
+TEST(BuilderTest, NullQueryRejected) {
+  auto built =
+      TwigMBuilder::Build(std::unique_ptr<xpath::Query>(), nullptr);
+  EXPECT_TRUE(built.status().IsInvalidArgument());
+}
+
+TEST(BuilderTest, MachineNodeCountEqualsQuerySize) {
+  // Paper §3.1: one machine node per query node, built in linear time.
+  for (const char* q : {"//a", "//a[b]", "//a[b][c]//d[e/f]//g"}) {
+    VectorResultCollector results;
+    auto built = TwigMBuilder::Build(q, &results);
+    ASSERT_TRUE(built.ok());
+    EXPECT_GT(built->query().size(), 0u);
+    // DebugString lists one "node N" line per machine node.
+    std::string dump = built->machine().DebugString();
+    size_t lines = std::count(dump.begin(), dump.end(), '\n');
+    EXPECT_EQ(lines, built->query().size()) << q;
+  }
+}
+
+TEST(ResultCollectorTest, SortedFragmentsOrdersBySequence) {
+  VectorResultCollector c;
+  c.OnResult("third", 30);
+  c.OnResult("first", 10);
+  c.OnResult("second", 20);
+  std::vector<std::string> expected = {"first", "second", "third"};
+  EXPECT_EQ(c.SortedFragments(), expected);
+}
+
+TEST(ResultCollectorTest, CountingHandlerCounts) {
+  CountingResultHandler h;
+  h.OnResult("abc", 1);
+  h.OnResult("de", 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bytes(), 5u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+}  // namespace
+}  // namespace vitex::twigm

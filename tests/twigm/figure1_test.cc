@@ -1,0 +1,147 @@
+// The paper's worked example, verified event by event: Figure 1's document
+// against //section[author]//table[position]//cell (§1 and §3.2).
+
+#include <gtest/gtest.h>
+
+#include "twigm/engine.h"
+#include "workload/book_generator.h"
+
+namespace vitex::twigm {
+namespace {
+
+constexpr char kQuery[] = "//section[author]//table[position]//cell";
+
+TEST(Figure1Test, GeneratorReproducesTheFigure) {
+  std::string doc = workload::Figure1Document();
+  // Lines 1-17 of the figure, compactly serialized.
+  EXPECT_NE(doc.find("<book>"), std::string::npos);
+  EXPECT_NE(doc.find("<cell>A</cell>"), std::string::npos);
+  EXPECT_NE(doc.find("<position>B</position>"), std::string::npos);
+  EXPECT_NE(doc.find("<author>C</author>"), std::string::npos);
+}
+
+TEST(Figure1Test, CellQualifiesAsTheSolution) {
+  // The paper: matches through table₅ and table₆ are discarded when those
+  // tables close without <position>; the match through table₇ (line 5, the
+  // outermost) survives, and <author> at line 15 completes the predicate on
+  // section₂. cell₈ is the unique solution.
+  VectorResultCollector results;
+  auto engine = Engine::Create(kQuery, &results);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  ASSERT_TRUE(engine->RunString(workload::Figure1Document()).ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results.results()[0].fragment, "<cell>A</cell>");
+}
+
+TEST(Figure1Test, NinePatternMatchesEncodedInSevenEntries) {
+  // When <cell> opens (line 8), the naive view has 3 sections × 3 tables =
+  // 9 pattern matches. TwigM's stacks hold 3 section entries + 3 table
+  // entries + 1 cell entry = 7.
+  VectorResultCollector results;
+  auto engine = Engine::Create(kQuery, &results);
+  ASSERT_TRUE(engine.ok());
+  // Feed up to and including the <cell> start tag.
+  const char* prefix =
+      "<book><section><section><section><table><table><table><cell>";
+  ASSERT_TRUE(engine->Feed(prefix).ok());
+  EXPECT_EQ(engine->machine().live_stack_entries(), 7u);
+  // Finish the document.
+  ASSERT_TRUE(engine
+                  ->Feed("A</cell></table></table><position>B</position>"
+                         "</table></section></section>"
+                         "<author>C</author></section></book>")
+                  .ok());
+  ASSERT_TRUE(engine->Finish().ok());
+  EXPECT_EQ(results.size(), 1u);
+  EXPECT_EQ(engine->machine().live_stack_entries(), 0u);
+}
+
+TEST(Figure1Test, CandidateIsBufferedNotEmittedEarly) {
+  // After </cell> the candidate exists but cannot be emitted: position and
+  // author are still unknown.
+  VectorResultCollector results;
+  auto engine = Engine::Create(kQuery, &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine
+                  ->Feed("<book><section><section><section><table><table>"
+                         "<table><cell>A</cell>")
+                  .ok());
+  EXPECT_EQ(results.size(), 0u);
+  EXPECT_GE(engine->machine().candidate_stats().created, 1u);
+  ASSERT_TRUE(engine
+                  ->Feed("</table></table><position>B</position></table>"
+                         "</section></section><author>C</author></section>"
+                         "</book>")
+                  .ok());
+  ASSERT_TRUE(engine->Finish().ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(Figure1Test, WithoutAuthorNothingEmitted) {
+  const char* doc =
+      "<book><section><section><section><table><table><table>"
+      "<cell>A</cell></table></table><position>B</position></table>"
+      "</section></section></section></book>";
+  VectorResultCollector results;
+  auto engine = Engine::Create(kQuery, &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString(doc).ok());
+  EXPECT_EQ(results.size(), 0u);
+  EXPECT_EQ(engine->machine().candidate_stats().pruned, 1u);
+}
+
+TEST(Figure1Test, WithoutPositionNothingEmitted) {
+  const char* doc =
+      "<book><section><section><section><table><table><table>"
+      "<cell>A</cell></table></table></table></section></section>"
+      "<author>C</author></section></book>";
+  VectorResultCollector results;
+  auto engine = Engine::Create(kQuery, &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString(doc).ok());
+  EXPECT_EQ(results.size(), 0u);
+}
+
+TEST(Figure1Test, PositionOnInnerTableAlsoQualifies) {
+  // Moving <position> into table₇ (innermost) still qualifies cell via the
+  // innermost table match.
+  const char* doc =
+      "<book><section><section><section><table><table><table>"
+      "<cell>A</cell><position>B</position></table></table></table>"
+      "</section></section><author>C</author></section></book>";
+  VectorResultCollector results;
+  auto engine = Engine::Create(kQuery, &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString(doc).ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(Figure1Test, AuthorOnInnerSectionAlsoQualifies) {
+  const char* doc =
+      "<book><section><section><section><author>C</author><table><table>"
+      "<table><cell>A</cell></table></table><position>B</position></table>"
+      "</section></section></section></book>";
+  VectorResultCollector results;
+  auto engine = Engine::Create(kQuery, &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString(doc).ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(Figure1Test, EveryChunkingGivesTheSameAnswer) {
+  std::string doc = workload::Figure1Document();
+  for (size_t chunk : {1u, 2u, 5u, 16u}) {
+    VectorResultCollector results;
+    auto engine = Engine::Create(kQuery, &results);
+    ASSERT_TRUE(engine.ok());
+    for (size_t i = 0; i < doc.size(); i += chunk) {
+      ASSERT_TRUE(
+          engine->Feed(std::string_view(doc).substr(i, chunk)).ok());
+    }
+    ASSERT_TRUE(engine->Finish().ok());
+    EXPECT_EQ(results.size(), 1u) << "chunk " << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace vitex::twigm

@@ -1,0 +1,213 @@
+#include "twigm/machine.h"
+
+#include <gtest/gtest.h>
+
+#include "twigm/builder.h"
+#include "twigm/engine.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::twigm {
+namespace {
+
+// Runs `query` over `doc` and returns the fragments in document order.
+std::vector<std::string> EvalQuery(std::string_view query, std::string_view doc) {
+  VectorResultCollector results;
+  auto engine = Engine::Create(query, &results);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  Status s = engine->RunString(doc);
+  EXPECT_TRUE(s.ok()) << s;
+  return results.SortedFragments();
+}
+
+TEST(MachineBasicTest, SingleElementMatch) {
+  auto r = EvalQuery("//a", "<a/>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a/>");
+}
+
+TEST(MachineBasicTest, RootChildAxis) {
+  EXPECT_EQ(EvalQuery("/a", "<a/>").size(), 1u);
+  EXPECT_EQ(EvalQuery("/b", "<a><b/></a>").size(), 0u);  // b is not the root
+}
+
+TEST(MachineBasicTest, ChildAxisExactDepth) {
+  auto r = EvalQuery("/a/b", "<a><b/><c><b/></c></a>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<b/>");
+}
+
+TEST(MachineBasicTest, DescendantAxisAllDepths) {
+  auto r = EvalQuery("//b", "<a><b/><c><b/></c></a>");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MachineBasicTest, DescendantIsStrict) {
+  // //a//a requires two distinct nested a's.
+  EXPECT_EQ(EvalQuery("//a//a", "<a/>").size(), 0u);
+  EXPECT_EQ(EvalQuery("//a//a", "<a><a/></a>").size(), 1u);
+}
+
+TEST(MachineBasicTest, SubtreeFragmentSerialized) {
+  auto r = EvalQuery("//b", "<a><b x=\"1\">t<c/>u</b></a>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<b x=\"1\">t<c/>u</b>");
+}
+
+TEST(MachineBasicTest, TextEscapedInFragments) {
+  auto r = EvalQuery("//b", "<a><b>x&lt;y&amp;z</b></a>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<b>x&lt;y&amp;z</b>");
+}
+
+TEST(MachineBasicTest, WildcardStep) {
+  auto r = EvalQuery("/a/*", "<a><b/><c/></a>");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MachineBasicTest, WildcardDescendant) {
+  auto r = EvalQuery("//*", "<a><b><c/></b></a>");
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(MachineBasicTest, MixedAxesChain) {
+  auto r = EvalQuery("/a//c/d", "<a><b><c><d/></c></b><c><e><d/></e></c></a>");
+  // First d: parent c — matches. Second d: parent e — child axis fails.
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(MachineBasicTest, AttributeOutput) {
+  auto r = EvalQuery("//b/@id", "<a><b id=\"one\"/><b id=\"two\"/><b/></a>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "one");
+  EXPECT_EQ(r[1], "two");
+}
+
+TEST(MachineBasicTest, DescendantAttributeIncludesSelf) {
+  // //b//@id: id of b itself or of any descendant.
+  auto r = EvalQuery("//b//@id", "<a><b id=\"self\"><c id=\"deep\"/></b></a>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "self");
+  EXPECT_EQ(r[1], "deep");
+}
+
+TEST(MachineBasicTest, ChildAttributeExcludesDescendants) {
+  auto r = EvalQuery("//b/@id", "<a><b><c id=\"deep\"/></b></a>");
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(MachineBasicTest, BareAttributeQuery) {
+  auto r = EvalQuery("//@id", "<a id=\"1\"><b id=\"2\"/><c x=\"3\"/></a>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "1");
+  EXPECT_EQ(r[1], "2");
+}
+
+TEST(MachineBasicTest, AttributeWildcard) {
+  auto r = EvalQuery("//b/@*", "<a><b x=\"1\" y=\"2\"/></a>");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MachineBasicTest, TextOutput) {
+  auto r = EvalQuery("//b/text()", "<a><b>hello</b><b>world</b></a>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "hello");
+  EXPECT_EQ(r[1], "world");
+}
+
+TEST(MachineBasicTest, TextOutputIsDirectOnly) {
+  auto r = EvalQuery("//b/text()", "<a><b><c>inner</c></b></a>");
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(MachineBasicTest, DescendantTextOutput) {
+  auto r = EvalQuery("//b//text()", "<a><b>x<c>y</c></b></a>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "x");
+  EXPECT_EQ(r[1], "y");
+}
+
+TEST(MachineBasicTest, BareTextQuery) {
+  auto r = EvalQuery("//text()", "<a>x<b>y</b></a>");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MachineBasicTest, MixedContentTextNodes) {
+  // <b>x<c/>y</b>: two text nodes under b.
+  auto r = EvalQuery("//b/text()", "<a><b>x<c/>y</b></a>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "x");
+  EXPECT_EQ(r[1], "y");
+}
+
+TEST(MachineBasicTest, NoMatchesOnForeignDocument) {
+  EXPECT_EQ(EvalQuery("//zzz", "<a><b/><c/></a>").size(), 0u);
+}
+
+TEST(MachineBasicTest, NestedOutputMatchesBothEmitted) {
+  auto r = EvalQuery("//a", "<a><a/></a>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "<a><a/></a>");
+  EXPECT_EQ(r[1], "<a/>");
+}
+
+TEST(MachineBasicTest, DeeplyNestedOutputs) {
+  auto r = EvalQuery("//a", "<a><a><a><a/></a></a></a>");
+  EXPECT_EQ(r.size(), 4u);
+}
+
+TEST(MachineBasicTest, StacksEmptyAtEnd) {
+  VectorResultCollector results;
+  auto engine = Engine::Create("//a[b]//c", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString("<a><b/><c/><a><c/></a></a>").ok());
+  EXPECT_EQ(engine->machine().live_stack_entries(), 0u);
+}
+
+TEST(MachineBasicTest, StatsCountEvents) {
+  VectorResultCollector results;
+  auto engine = Engine::Create("//b", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString("<a><b>t</b><b/></a>").ok());
+  const MachineStats& stats = engine->machine().stats();
+  EXPECT_EQ(stats.start_events, 3u);
+  EXPECT_EQ(stats.end_events, 3u);
+  EXPECT_EQ(stats.text_events, 1u);
+  EXPECT_EQ(stats.pushes, 2u);  // two b entries
+  EXPECT_EQ(stats.results_emitted, 2u);
+}
+
+TEST(MachineBasicTest, ReuseAcrossDocuments) {
+  VectorResultCollector results;
+  auto engine = Engine::Create("//b", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString("<a><b/></a>").ok());
+  engine->ResetStream();
+  ASSERT_TRUE(engine->RunString("<x><b/><b/></x>").ok());
+  // Collector accumulated across both documents: 1 + 2.
+  EXPECT_EQ(results.size(), 3u);
+}
+
+TEST(MachineBasicTest, MemoryLimitEnforced) {
+  Engine::Options options;
+  options.machine.memory_limit_bytes = 128;
+  VectorResultCollector results;
+  auto engine = Engine::Create("//a", &results, options);
+  ASSERT_TRUE(engine.ok());
+  // A large subtree must be recorded for the output candidate, exceeding
+  // the 128-byte cap.
+  std::string doc = "<a>";
+  for (int i = 0; i < 100; ++i) doc += "<b>some text content</b>";
+  doc += "</a>";
+  Status s = engine->RunString(doc);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s;
+}
+
+TEST(MachineBasicTest, EmptyResultHandlerAllowed) {
+  auto engine = Engine::Create("//a", nullptr);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE(engine->RunString("<a><a/></a>").ok());
+  EXPECT_EQ(engine->machine().stats().results_emitted, 2u);
+}
+
+}  // namespace
+}  // namespace vitex::twigm

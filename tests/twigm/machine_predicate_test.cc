@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "twigm/engine.h"
+#include "twigm/result.h"
+
+namespace vitex::twigm {
+namespace {
+
+std::vector<std::string> EvalQuery(std::string_view query, std::string_view doc) {
+  VectorResultCollector results;
+  auto engine = Engine::Create(query, &results);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  Status s = engine->RunString(doc);
+  EXPECT_TRUE(s.ok()) << s;
+  return results.SortedFragments();
+}
+
+TEST(PredicateTest, ExistencePredicateFilters) {
+  auto r = EvalQuery("//a[b]", "<r><a><b/></a><a><c/></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><b/></a>");
+}
+
+TEST(PredicateTest, PredicateSeenAfterOutputChild) {
+  // The predicate element (b) closes *after* the candidate (c): the
+  // candidate must be buffered, then qualified late.
+  auto r = EvalQuery("//a[b]//c", "<r><a><c/><b/></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<c/>");
+}
+
+TEST(PredicateTest, PredicateNeverArrivesPrunesCandidate) {
+  auto r = EvalQuery("//a[b]//c", "<r><a><c/></a></r>");
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(PredicateTest, CandidatePruneCountsInStats) {
+  VectorResultCollector results;
+  auto engine = Engine::Create("//a[b]//c", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString("<r><a><c/></a><a><c/><b/></a></r>").ok());
+  const CandidateStats& cs = engine->machine().candidate_stats();
+  EXPECT_EQ(cs.created, 2u);
+  EXPECT_EQ(cs.emitted, 1u);
+  EXPECT_EQ(cs.pruned, 1u);
+}
+
+TEST(PredicateTest, MultiplePredicatesAllRequired) {
+  auto r = EvalQuery("//a[b][c]",
+               "<r><a><b/><c/></a><a><b/></a><a><c/></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><b/><c/></a>");
+}
+
+TEST(PredicateTest, DescendantPredicate) {
+  auto r = EvalQuery("//a[.//b]", "<r><a><x><b/></x></a><a><x/></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(PredicateTest, NestedPathPredicate) {
+  auto r = EvalQuery("//a[b/c]", "<r><a><b><c/></b></a><a><b/><c/></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><b><c/></b></a>");
+}
+
+TEST(PredicateTest, AttributeExistencePredicate) {
+  auto r = EvalQuery("//a[@id]", "<r><a id=\"1\"/><a/></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a id=\"1\"/>");
+}
+
+TEST(PredicateTest, AttributeValuePredicate) {
+  auto r = EvalQuery("//a[@id = 'x']", "<r><a id=\"x\"/><a id=\"y\"/></r>");
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(PredicateTest, TextValuePredicate) {
+  auto r = EvalQuery("//a[text() = 'hit']", "<r><a>hit</a><a>miss</a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a>hit</a>");
+}
+
+TEST(PredicateTest, ElementValuePredicateDesugared) {
+  // [b = 'x'] means: some b child whose direct text is 'x'.
+  auto r = EvalQuery("//a[b = 'x']", "<r><a><b>x</b></a><a><b>y</b></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  const char* doc =
+      "<r><a><p>5</p></a><a><p>15</p></a><a><p>25</p></a><a><p>nan</p></a></r>";
+  EXPECT_EQ(EvalQuery("//a[p < 10]", doc).size(), 1u);
+  EXPECT_EQ(EvalQuery("//a[p <= 15]", doc).size(), 2u);
+  EXPECT_EQ(EvalQuery("//a[p > 10]", doc).size(), 2u);
+  EXPECT_EQ(EvalQuery("//a[p >= 25]", doc).size(), 1u);
+  EXPECT_EQ(EvalQuery("//a[p = 15]", doc).size(), 1u);
+  EXPECT_EQ(EvalQuery("//a[p != 15]", doc).size(), 3u);  // 5, 25, nan
+}
+
+TEST(PredicateTest, NumericComparisonWithWhitespace) {
+  EXPECT_EQ(EvalQuery("//a[p = 7]", "<r><a><p> 7 </p></a></r>").size(), 1u);
+}
+
+TEST(PredicateTest, OrPredicate) {
+  auto r = EvalQuery("//a[b or c]",
+               "<r><a><b/></a><a><c/></a><a><d/></a></r>");
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(PredicateTest, AndPredicate) {
+  auto r = EvalQuery("//a[b and c]",
+               "<r><a><b/><c/></a><a><b/></a></r>");
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(PredicateTest, NotPredicate) {
+  auto r = EvalQuery("//a[not(b)]", "<r><a><b/></a><a><c/></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><c/></a>");
+}
+
+TEST(PredicateTest, NotWithLateChild) {
+  // b arrives after other content: not(b) must still reject.
+  auto r = EvalQuery("//a[not(b)]", "<r><a><c/><c/><b/></a></r>");
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(PredicateTest, ComplexBooleanCombination) {
+  const char* doc =
+      "<r>"
+      "<a><b/><d/></a>"   // b and not(c) -> match
+      "<a><b/><c/></a>"   // b and c -> no
+      "<a><d/></a>"       // no b -> no
+      "</r>";
+  auto r = EvalQuery("//a[b and not(c)]", doc);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><b/><d/></a>");
+}
+
+TEST(PredicateTest, PredicateOnOutputNode) {
+  auto r = EvalQuery("//a//c[d]", "<r><a><c><d/></c><c><e/></c></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<c><d/></c>");
+}
+
+TEST(PredicateTest, PredicatesOnEveryMainStep) {
+  const char* doc =
+      "<r>"
+      "<a><k/><b><m/><c>win</c></b></a>"
+      "<a><b><m/><c>no-k</c></b></a>"
+      "<a><k/><b><c>no-m</c></b></a>"
+      "</r>";
+  auto r = EvalQuery("//a[k]//b[m]//c", doc);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<c>win</c>");
+}
+
+TEST(PredicateTest, PredicateInsidePredicate) {
+  const char* doc =
+      "<r><a><b><c/></b></a><a><b><d/></b></a></r>";
+  auto r = EvalQuery("//a[b[c]]", doc);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><b><c/></b></a>");
+}
+
+TEST(PredicateTest, WildcardPredicate) {
+  auto r = EvalQuery("//a[*]", "<r><a><x/></a><a>text only</a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<a><x/></a>");
+}
+
+TEST(PredicateTest, SharedCandidateAcrossAncestors) {
+  // Candidate c qualifies via the inner a (which has b); the outer a never
+  // gets b. Exactly one emission.
+  auto r = EvalQuery("//a[b]//c", "<r><a><a><b/><c/></a></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(PredicateTest, CandidateQualifiesViaOuterAncestorOnly) {
+  // Inner a lacks b; outer a has b (after the candidate closes).
+  auto r = EvalQuery("//a[b]//c", "<r><a><a><c/></a><b/></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(PredicateTest, EmittedOnceDespiteTwoQualifyingAncestors) {
+  // Both a's carry b: the same c must be emitted exactly once.
+  auto r = EvalQuery("//a[b]//c", "<r><a><b/><a><b/><c/></a></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+}
+
+TEST(PredicateTest, ValuePredicateOnAttributeOfDescendant) {
+  auto r = EvalQuery("//a[x/@k = '1']//c",
+               "<r><a><x k=\"1\"/><c>yes</c></a><a><x k=\"2\"/><c>no</c></a></r>");
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<c>yes</c>");
+}
+
+TEST(PredicateTest, SplitTextAcrossChunksComparedWhole) {
+  // The text 'hit' arrives in three chunks; coalescing must reassemble it
+  // before the comparison.
+  VectorResultCollector results;
+  auto engine = Engine::Create("//a[text() = 'hit']", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Feed("<r><a>h").ok());
+  ASSERT_TRUE(engine->Feed("i").ok());
+  ASSERT_TRUE(engine->Feed("t</a><a>hi</a></r>").ok());
+  ASSERT_TRUE(engine->Finish().ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vitex::twigm

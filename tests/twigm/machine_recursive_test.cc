@@ -1,0 +1,144 @@
+// Recursive-data behaviour: the polynomial-space encoding of exponentially
+// many pattern matches (paper §1, §3.2).
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_matcher.h"
+#include "twigm/engine.h"
+#include "workload/recursive_generator.h"
+#include "xml/sax_parser.h"
+#include "xpath/query.h"
+
+namespace vitex::twigm {
+namespace {
+
+std::vector<std::string> EvalQuery(std::string_view query, std::string_view doc) {
+  VectorResultCollector results;
+  auto engine = Engine::Create(query, &results);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  Status s = engine->RunString(doc);
+  EXPECT_TRUE(s.ok()) << s;
+  return results.SortedFragments();
+}
+
+TEST(RecursiveTest, ChainQueryOnDeepRecursion) {
+  workload::RecursiveOptions options;
+  options.depth = 8;
+  auto doc = workload::GenerateRecursiveString(options);
+  ASSERT_TRUE(doc.ok());
+  // //a//a//v needs at least 2 nested a's: any chain of 2 distinct a's
+  // above v works; v matches once.
+  auto r = EvalQuery("//a//a//v", doc.value());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<v>leaf</v>");
+}
+
+TEST(RecursiveTest, ChainLongerThanDepthMatchesNothing) {
+  workload::RecursiveOptions options;
+  options.depth = 3;
+  auto doc = workload::GenerateRecursiveString(options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(EvalQuery(workload::RecursiveChainQuery(3, false), doc.value()).size(),
+            1u);
+  EXPECT_EQ(EvalQuery(workload::RecursiveChainQuery(4, false), doc.value()).size(),
+            0u);
+}
+
+TEST(RecursiveTest, StackSizeLinearNotExponential) {
+  // depth d, query k steps: naive match count is C(d, k); TwigM entries are
+  // at most d per machine node.
+  workload::RecursiveOptions options;
+  options.depth = 20;
+  auto doc = workload::GenerateRecursiveString(options);
+  ASSERT_TRUE(doc.ok());
+
+  VectorResultCollector results;
+  auto engine = Engine::Create(workload::RecursiveChainQuery(5), &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString(doc.value()).ok());
+  // 6 machine element nodes (5 a's + v) with <= 20 entries each, plus p
+  // text nodes: peak must stay well under C(20,5) = 15504.
+  EXPECT_LE(engine->machine().stats().peak_stack_entries, 20u * 7u);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(RecursiveTest, NaiveInstanceCountIsBinomial) {
+  // Independent confirmation that the data/query pair really is the
+  // adversary: the naive matcher materializes C(d, k) matches at the leaf.
+  workload::RecursiveOptions options;
+  options.depth = 12;
+  auto doc = workload::GenerateRecursiveString(options);
+  ASSERT_TRUE(doc.ok());
+
+  auto query = xpath::ParseAndCompile(workload::RecursiveChainQuery(3));
+  ASSERT_TRUE(query.ok());
+  VectorResultCollector results;
+  baseline::NaiveStreamMatcher naive(&query.value(), &results);
+  ASSERT_TRUE(xml::ParseString(doc.value(), &naive).ok());
+  // a-step instances: sum over prefixes; the leaf v sees C(12,3) = 220
+  // three-a chains. Total created instances must exceed that.
+  EXPECT_GE(naive.stats().instances_created, 220u);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST(RecursiveTest, TwigMAndNaiveAgreeOnRecursiveData) {
+  for (int depth = 2; depth <= 10; ++depth) {
+    workload::RecursiveOptions options;
+    options.depth = depth;
+    options.marker_probability = 0.7;
+    options.seed = depth * 13;
+    auto doc = workload::GenerateRecursiveString(options);
+    ASSERT_TRUE(doc.ok());
+    for (int steps = 1; steps <= 4; ++steps) {
+      std::string query = workload::RecursiveChainQuery(steps);
+      auto twig_result = EvalQuery(query, doc.value());
+
+      auto compiled = xpath::ParseAndCompile(query);
+      ASSERT_TRUE(compiled.ok());
+      VectorResultCollector naive_results;
+      baseline::NaiveStreamMatcher naive(&compiled.value(), &naive_results);
+      ASSERT_TRUE(xml::ParseString(doc.value(), &naive).ok());
+
+      EXPECT_EQ(twig_result, naive_results.SortedFragments())
+          << "depth=" << depth << " steps=" << steps;
+    }
+  }
+}
+
+TEST(RecursiveTest, WideRecursionManySpines) {
+  workload::RecursiveOptions options;
+  options.depth = 6;
+  options.width = 10;
+  auto doc = workload::GenerateRecursiveString(options);
+  ASSERT_TRUE(doc.ok());
+  auto r = EvalQuery("//a//v", doc.value());
+  EXPECT_EQ(r.size(), 10u);
+}
+
+TEST(RecursiveTest, SelfNestedOutputFragmentsNested) {
+  // With //a as output over nested a's, every fragment contains its inner
+  // siblings — recordings must nest correctly.
+  auto r = EvalQuery("//a//a", "<r><a><a><a/></a></a></r>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "<a><a/></a>");
+  EXPECT_EQ(r[1], "<a/>");
+}
+
+TEST(RecursiveTest, PredicateChainOnRecursionWithSparseMarkers) {
+  // Only levels with <p> count for //a[p]//a[p]//v.
+  const char* doc =
+      "<r>"
+      "<a><p>m</p><a><a><p>m</p><v>x</v></a></a></a>"  // two marked levels
+      "</r>";
+  auto r = EvalQuery("//a[p]//a[p]//v", doc);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], "<v>x</v>");
+}
+
+TEST(RecursiveTest, PredicateChainUnsatisfiedWhenOnlyOneMarked) {
+  const char* doc = "<r><a><p>m</p><a><a><v>x</v></a></a></a></r>";
+  EXPECT_EQ(EvalQuery("//a[p]//a[p]//v", doc).size(), 0u);
+}
+
+}  // namespace
+}  // namespace vitex::twigm

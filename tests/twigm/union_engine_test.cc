@@ -1,0 +1,130 @@
+#include "twigm/union_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dom_evaluator.h"
+#include "twigm/engine.h"
+
+namespace vitex::twigm {
+namespace {
+
+std::vector<std::string> RunUnion(std::string_view query,
+                                  std::string_view doc) {
+  VectorResultCollector results;
+  auto engine = UnionEngine::Create(query, &results);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  Status s = engine->RunString(doc);
+  EXPECT_TRUE(s.ok()) << s;
+  return results.SortedFragments();
+}
+
+TEST(UnionEngineTest, TwoDisjointBranches) {
+  auto r = RunUnion("//a | //b", "<r><a/><b/><c/></r>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "<a/>");
+  EXPECT_EQ(r[1], "<b/>");
+}
+
+TEST(UnionEngineTest, SingleBranchBehavesLikeEngine) {
+  VectorResultCollector union_results, engine_results;
+  auto u = UnionEngine::Create("//a[b]", &union_results);
+  auto e = Engine::Create("//a[b]", &engine_results);
+  ASSERT_TRUE(u.ok());
+  ASSERT_TRUE(e.ok());
+  const char* doc = "<r><a><b/></a><a/></r>";
+  ASSERT_TRUE(u->RunString(doc).ok());
+  ASSERT_TRUE(e->RunString(doc).ok());
+  EXPECT_EQ(union_results.SortedFragments(), engine_results.SortedFragments());
+}
+
+TEST(UnionEngineTest, OverlappingBranchesDeduplicated) {
+  // Both //a and //*[b] select the same <a><b/></a> element.
+  VectorResultCollector results;
+  auto engine = UnionEngine::Create("//a | //*[b]", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString("<r><a><b/></a><a/></r>").ok());
+  // Nodes: a[0] (has b, selected by both), a[1] (only //a).
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(engine->duplicates_suppressed(), 1u);
+}
+
+TEST(UnionEngineTest, SetUnionMatchesDomSemantics) {
+  // DOM evaluation of the two branches, unioned by node identity, must
+  // match the streaming union.
+  const char* doc =
+      "<r><a k=\"1\"><b/></a><c><b/></c><a/><b><a><b/></a></b></r>";
+  const char* q1 = "//a[b]";
+  const char* q2 = "//*[b]";
+  auto streaming = RunUnion(std::string(q1) + " | " + q2, doc);
+
+  auto dom = xml::ParseIntoDom(doc);
+  ASSERT_TRUE(dom.ok());
+  std::vector<const xml::DomNode*> nodes;
+  for (const char* q : {q1, q2}) {
+    auto compiled = xpath::ParseAndCompile(q);
+    ASSERT_TRUE(compiled.ok());
+    baseline::DomEvaluator eval(&dom.value());
+    for (const xml::DomNode* n : eval.Evaluate(compiled.value())) {
+      nodes.push_back(n);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const xml::DomNode* a, const xml::DomNode* b) {
+              return a->order < b->order;
+            });
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::vector<std::string> dom_fragments;
+  for (const xml::DomNode* n : nodes) {
+    dom_fragments.push_back(xml::Document::Serialize(n));
+  }
+  EXPECT_EQ(streaming, dom_fragments);
+}
+
+TEST(UnionEngineTest, MixedOutputKinds) {
+  auto r = RunUnion("//a/@id | //b/text()",
+                    "<r><a id=\"x\"/><b>t</b></r>");
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], "x");
+  EXPECT_EQ(r[1], "t");
+}
+
+TEST(UnionEngineTest, ThreeBranches) {
+  auto r = RunUnion("//a | //b | //c", "<r><c/><b/><a/></r>");
+  ASSERT_EQ(r.size(), 3u);
+  // Document order: c, b, a.
+  EXPECT_EQ(r[0], "<c/>");
+  EXPECT_EQ(r[2], "<a/>");
+}
+
+TEST(UnionEngineTest, BranchCountAndIntrospection) {
+  auto engine = UnionEngine::Create("//a | //b[c]//d", nullptr);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->branch_count(), 2u);
+  EXPECT_EQ(engine->branch(0).size(), 1u);
+  EXPECT_EQ(engine->branch(1).size(), 3u);
+}
+
+TEST(UnionEngineTest, BadBranchRejected) {
+  EXPECT_FALSE(UnionEngine::Create("//a | [", nullptr).ok());
+  EXPECT_FALSE(UnionEngine::Create("| //a", nullptr).ok());
+  EXPECT_FALSE(UnionEngine::Create("//a |", nullptr).ok());
+}
+
+TEST(UnionEngineTest, PlainParserRejectsUnion) {
+  EXPECT_FALSE(Engine::Create("//a | //b", nullptr).ok());
+}
+
+TEST(UnionEngineTest, ResetStreamClearsDedupState) {
+  VectorResultCollector results;
+  auto engine = UnionEngine::Create("//a | //*", &results);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->RunString("<a/>").ok());
+  EXPECT_EQ(results.size(), 1u);
+  engine->ResetStream();
+  ASSERT_TRUE(engine->RunString("<a/>").ok());
+  // Same sequence numbers in the new document must not be suppressed.
+  EXPECT_EQ(results.size(), 2u);
+}
+
+}  // namespace
+}  // namespace vitex::twigm

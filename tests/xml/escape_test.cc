@@ -1,0 +1,122 @@
+#include "xml/escape.h"
+
+#include <gtest/gtest.h>
+
+namespace vitex::xml {
+namespace {
+
+TEST(EscapeTextTest, EscapesAllSpecials) {
+  EXPECT_EQ(EscapeText("a<b>c&d\"e'f"),
+            "a&lt;b&gt;c&amp;d&quot;e&apos;f");
+}
+
+TEST(EscapeTextTest, PlainTextUnchanged) {
+  EXPECT_EQ(EscapeText("hello world 123"), "hello world 123");
+  EXPECT_EQ(EscapeText(""), "");
+}
+
+TEST(EscapeAttributeTest, EscapesQuotes) {
+  EXPECT_EQ(EscapeAttribute("say \"hi\""), "say &quot;hi&quot;");
+}
+
+TEST(DecodeEntitiesTest, PredefinedEntities) {
+  auto r = DecodeEntities("&lt;&gt;&amp;&apos;&quot;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "<>&'\"");
+}
+
+TEST(DecodeEntitiesTest, PassesThroughPlainText) {
+  auto r = DecodeEntities("no entities here");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "no entities here");
+}
+
+TEST(DecodeEntitiesTest, DecimalCharRef) {
+  auto r = DecodeEntities("&#65;&#66;&#67;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "ABC");
+}
+
+TEST(DecodeEntitiesTest, HexCharRef) {
+  auto r = DecodeEntities("&#x41;&#x62;&#X63;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "Abc");
+}
+
+TEST(DecodeEntitiesTest, MultibyteCharRefBecomesUtf8) {
+  auto r = DecodeEntities("&#233;");  // é
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "\xc3\xa9");
+  r = DecodeEntities("&#x20AC;");  // €
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "\xe2\x82\xac");
+  r = DecodeEntities("&#x1F600;");  // 😀 (4-byte)
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "\xf0\x9f\x98\x80");
+}
+
+TEST(DecodeEntitiesTest, MixedTextAndEntities) {
+  auto r = DecodeEntities("AT&amp;T is &lt;big&gt;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "AT&T is <big>");
+}
+
+TEST(DecodeEntitiesTest, UnterminatedEntityFails) {
+  EXPECT_FALSE(DecodeEntities("a&amp").ok());
+  EXPECT_FALSE(DecodeEntities("a&").ok());
+}
+
+TEST(DecodeEntitiesTest, UnknownEntityFails) {
+  EXPECT_FALSE(DecodeEntities("&nbsp;").ok());
+  EXPECT_FALSE(DecodeEntities("&bogus;").ok());
+}
+
+TEST(DecodeEntitiesTest, EmptyAndMalformedNumericRefsFail) {
+  EXPECT_FALSE(DecodeEntities("&#;").ok());
+  EXPECT_FALSE(DecodeEntities("&#x;").ok());
+  EXPECT_FALSE(DecodeEntities("&#xZZ;").ok());
+  EXPECT_FALSE(DecodeEntities("&#12a;").ok());
+}
+
+TEST(DecodeEntitiesTest, OutOfRangeCodepointFails) {
+  EXPECT_FALSE(DecodeEntities("&#x110000;").ok());
+  EXPECT_FALSE(DecodeEntities("&#xD800;").ok());  // surrogate
+}
+
+TEST(AppendUtf8Test, AsciiBoundaries) {
+  std::string out;
+  EXPECT_TRUE(AppendUtf8(0x7f, &out));
+  EXPECT_EQ(out, "\x7f");
+}
+
+TEST(AppendUtf8Test, TwoByteBoundary) {
+  std::string out;
+  EXPECT_TRUE(AppendUtf8(0x80, &out));
+  EXPECT_EQ(out, "\xc2\x80");
+  out.clear();
+  EXPECT_TRUE(AppendUtf8(0x7ff, &out));
+  EXPECT_EQ(out, "\xdf\xbf");
+}
+
+TEST(AppendUtf8Test, RejectsSurrogatesAndOverflow) {
+  std::string out;
+  EXPECT_FALSE(AppendUtf8(0xd800, &out));
+  EXPECT_FALSE(AppendUtf8(0xdfff, &out));
+  EXPECT_FALSE(AppendUtf8(0x110000, &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RoundTripTest, EscapeThenDecodeIsIdentity) {
+  const std::string cases[] = {
+      "plain", "<tag>", "a&b", "\"quoted\"", "'single'", "x<y>&z\"w'v",
+      "", "tab\tnewline\n",
+  };
+  for (const std::string& original : cases) {
+    auto decoded = DecodeEntities(EscapeText(original));
+    ASSERT_TRUE(decoded.ok()) << original;
+    EXPECT_EQ(decoded.value(), original);
+  }
+}
+
+}  // namespace
+}  // namespace vitex::xml

@@ -1,0 +1,119 @@
+#include "xml/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "twigm/engine.h"
+#include "twigm/machine.h"
+#include "workload/random_generator.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::xml {
+namespace {
+
+class TraceHandler : public ContentHandler {
+ public:
+  Status StartElement(const StartElementEvent& event) override {
+    trace.push_back("S:" + std::string(event.name) + ":" +
+                    std::to_string(event.depth));
+    for (const Attribute& a : event.attributes) {
+      trace.push_back("A:" + std::string(a.name) + "=" + std::string(a.value));
+    }
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name, int depth) override {
+    trace.push_back("E:" + std::string(name) + ":" + std::to_string(depth));
+    return Status::OK();
+  }
+  Status Characters(std::string_view text, int depth) override {
+    trace.push_back("T:" + std::string(text) + ":" + std::to_string(depth));
+    return Status::OK();
+  }
+  std::vector<std::string> trace;
+};
+
+TEST(EventLogTest, RecordAndReplayBasics) {
+  auto log = RecordEvents(R"(<a x="1">t<b/></a>)");
+  ASSERT_TRUE(log.ok()) << log.status();
+  EXPECT_EQ(log->size(), 5u);  // start a, text, start b, end b, end a
+
+  TraceHandler direct, replayed;
+  ASSERT_TRUE(ParseString(R"(<a x="1">t<b/></a>)", &direct).ok());
+  ASSERT_TRUE(log->Replay(&replayed).ok());
+  EXPECT_EQ(direct.trace, replayed.trace);
+}
+
+TEST(EventLogTest, ReplayIsRepeatable) {
+  auto log = RecordEvents("<a><b>x</b></a>");
+  ASSERT_TRUE(log.ok());
+  TraceHandler first, second;
+  ASSERT_TRUE(log->Replay(&first).ok());
+  ASSERT_TRUE(log->Replay(&second).ok());
+  EXPECT_EQ(first.trace, second.trace);
+}
+
+TEST(EventLogTest, RandomDocumentsRoundTrip) {
+  Random rng(31);
+  workload::RandomDocOptions options;
+  options.max_elements = 60;
+  for (int i = 0; i < 25; ++i) {
+    std::string doc = workload::GenerateRandomDocument(options, &rng);
+    auto log = RecordEvents(doc);
+    ASSERT_TRUE(log.ok());
+    TraceHandler direct, replayed;
+    ASSERT_TRUE(ParseString(doc, &direct).ok());
+    ASSERT_TRUE(log->Replay(&replayed).ok());
+    EXPECT_EQ(direct.trace, replayed.trace) << doc;
+  }
+}
+
+TEST(EventLogTest, TwigMOnReplayMatchesTwigMOnParse) {
+  Random rng(77);
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 60;
+  workload::RandomQueryOptions query_options;
+  for (int i = 0; i < 15; ++i) {
+    std::string doc = workload::GenerateRandomDocument(doc_options, &rng);
+    std::string query = workload::GenerateRandomQuery(query_options, &rng);
+
+    twigm::VectorResultCollector parsed;
+    auto engine = twigm::Engine::Create(query, &parsed);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine->RunString(doc).ok());
+
+    auto log = RecordEvents(doc);
+    ASSERT_TRUE(log.ok());
+    auto compiled = xpath::ParseAndCompile(query);
+    ASSERT_TRUE(compiled.ok());
+    twigm::VectorResultCollector replayed;
+    twigm::TwigMachine machine(&compiled.value(), &replayed);
+    ASSERT_TRUE(log->Replay(&machine).ok());
+
+    EXPECT_EQ(parsed.SortedFragments(), replayed.SortedFragments())
+        << "query " << query << "\ndoc " << doc;
+  }
+}
+
+TEST(EventLogTest, MemoryAccounting) {
+  auto log = RecordEvents("<a><b>hello</b></a>");
+  ASSERT_TRUE(log.ok());
+  EXPECT_GT(log->memory_bytes(), 0u);
+  size_t before = log->memory_bytes();
+  log->Clear();
+  EXPECT_TRUE(log->empty());
+  EXPECT_LT(log->memory_bytes(), before);
+}
+
+TEST(EventLogTest, HandlerAbortPropagates) {
+  class Abort : public ContentHandler {
+    Status Characters(std::string_view, int) override {
+      return Status::Unsupported("no text please");
+    }
+  } abort_handler;
+  auto log = RecordEvents("<a>t</a>");
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->Replay(&abort_handler).IsUnsupported());
+}
+
+}  // namespace
+}  // namespace vitex::xml

@@ -1,0 +1,126 @@
+// Robustness: the parser must never crash, hang or mis-report on corrupted
+// input — it either parses or returns a clean ParseError. Mutation-based
+// fuzzing with deterministic seeds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "workload/random_generator.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::xml {
+namespace {
+
+class NullHandler : public ContentHandler {};
+
+// Parses arbitrary bytes; the only acceptable outcomes are OK or a
+// ParseError/ResourceExhausted status.
+void MustNotMisbehave(const std::string& doc) {
+  NullHandler handler;
+  Status s = ParseString(doc, &handler);
+  if (!s.ok()) {
+    EXPECT_TRUE(s.IsParseError() || s.IsResourceExhausted())
+        << s << "\ninput: " << doc;
+  }
+}
+
+TEST(SaxRobustnessTest, ByteFlipsNeverCrash) {
+  Random rng(4242);
+  workload::RandomDocOptions options;
+  options.max_elements = 30;
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string doc = workload::GenerateRandomDocument(options, &rng);
+    // Flip 1-3 random bytes.
+    int flips = 1 + static_cast<int>(rng.Uniform(3));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.Uniform(doc.size());
+      doc[pos] = static_cast<char>(rng.Uniform(256));
+    }
+    MustNotMisbehave(doc);
+  }
+}
+
+TEST(SaxRobustnessTest, TruncationsNeverCrash) {
+  Random rng(99);
+  workload::RandomDocOptions options;
+  options.max_elements = 20;
+  std::string doc = workload::GenerateRandomDocument(options, &rng);
+  for (size_t cut = 0; cut <= doc.size(); ++cut) {
+    MustNotMisbehave(doc.substr(0, cut));
+  }
+}
+
+TEST(SaxRobustnessTest, InsertionsNeverCrash) {
+  Random rng(1234);
+  workload::RandomDocOptions options;
+  options.max_elements = 20;
+  const char kNasty[] = "<>&;\"'/![]-?";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string doc = workload::GenerateRandomDocument(options, &rng);
+    size_t pos = rng.Uniform(doc.size());
+    doc.insert(pos, 1, kNasty[rng.Uniform(sizeof(kNasty) - 1)]);
+    MustNotMisbehave(doc);
+  }
+}
+
+TEST(SaxRobustnessTest, RandomGarbageNeverCrashes) {
+  Random rng(777);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng.Uniform(200);
+    std::string garbage;
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Uniform(256)));
+    }
+    MustNotMisbehave(garbage);
+  }
+}
+
+TEST(SaxRobustnessTest, MarkupSoupNeverCrashes) {
+  Random rng(555);
+  const char* kPieces[] = {"<a>",  "</a>",  "<a",    ">",     "<!--", "-->",
+                           "<![CDATA[", "]]>", "<?pi", "?>",  "&amp;", "&#",
+                           ";",    "x=\"",  "\"",    "<!DOCTYPE", "[", "]"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup;
+    int pieces = 1 + static_cast<int>(rng.Uniform(20));
+    for (int p = 0; p < pieces; ++p) {
+      soup += kPieces[rng.Uniform(sizeof(kPieces) / sizeof(kPieces[0]))];
+    }
+    MustNotMisbehave(soup);
+  }
+}
+
+TEST(SaxRobustnessTest, PoisonedParserStaysPoisoned) {
+  NullHandler handler;
+  SaxParser parser(&handler);
+  ASSERT_FALSE(parser.Feed("<a><b></a>").ok());
+  EXPECT_TRUE(parser.Feed("<c/>").IsInternal());
+  EXPECT_TRUE(parser.Finish().IsInternal());
+  parser.Reset();
+  EXPECT_TRUE(parser.Feed("<c/>").ok());
+  EXPECT_TRUE(parser.Finish().ok());
+}
+
+TEST(SaxRobustnessTest, HugeAttributeAndName) {
+  std::string long_name(5000, 'n');
+  std::string long_value(100000, 'v');
+  std::string doc =
+      "<" + long_name + " attr=\"" + long_value + "\"></" + long_name + ">";
+  NullHandler handler;
+  EXPECT_TRUE(ParseString(doc, &handler).ok());
+}
+
+TEST(SaxRobustnessTest, DeepNestingHitsLimitNotStack) {
+  std::string doc;
+  const int kDepth = 200000;  // beyond the default max_depth of 100000
+  for (int i = 0; i < kDepth; ++i) doc += "<a>";
+  for (int i = 0; i < kDepth; ++i) doc += "</a>";
+  NullHandler handler;
+  Status s = ParseString(doc, &handler);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s;
+}
+
+}  // namespace
+}  // namespace vitex::xml

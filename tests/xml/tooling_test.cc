@@ -1,0 +1,134 @@
+// Tests for the stream tooling built on the SAX interface: statistics
+// collection and pretty-printing/canonicalization.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/protein_generator.h"
+#include "workload/random_generator.h"
+#include "xml/pretty_printer.h"
+#include "xml/sax_parser.h"
+#include "xml/stream_stats.h"
+
+namespace vitex::xml {
+namespace {
+
+TEST(StreamStatsTest, CountsBasics) {
+  StreamStatsHandler stats;
+  ASSERT_TRUE(
+      ParseString(R"(<a x="1"><b>text</b><b/><c depth="2"/></a>)", &stats)
+          .ok());
+  EXPECT_EQ(stats.elements(), 4u);
+  EXPECT_EQ(stats.attributes(), 2u);
+  EXPECT_EQ(stats.text_nodes(), 1u);
+  EXPECT_EQ(stats.text_bytes(), 4u);
+  EXPECT_EQ(stats.max_depth(), 2);
+  EXPECT_EQ(stats.tag_count("b"), 2u);
+  EXPECT_EQ(stats.tag_count("nope"), 0u);
+  EXPECT_EQ(stats.distinct_tags(), 3u);
+}
+
+TEST(StreamStatsTest, MeanDepth) {
+  StreamStatsHandler stats;
+  ASSERT_TRUE(ParseString("<a><b><c/></b></a>", &stats).ok());
+  EXPECT_DOUBLE_EQ(stats.mean_depth(), 2.0);  // (1+2+3)/3
+}
+
+TEST(StreamStatsTest, TopTagsSorted) {
+  StreamStatsHandler stats;
+  ASSERT_TRUE(ParseString("<r><x/><x/><x/><y/><y/><z/></r>", &stats).ok());
+  auto top = stats.TopTags(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "x");
+  EXPECT_EQ(top[0].second, 3u);
+  EXPECT_EQ(top[1].first, "y");
+}
+
+TEST(StreamStatsTest, ValidatesProteinGeneratorShape) {
+  workload::ProteinOptions options;
+  options.entries = 100;
+  options.reference_probability = 1.0;
+  auto doc = workload::GenerateProteinString(options);
+  ASSERT_TRUE(doc.ok());
+  StreamStatsHandler stats;
+  ASSERT_TRUE(ParseString(doc.value(), &stats).ok());
+  EXPECT_EQ(stats.tag_count("ProteinEntry"), 100u);
+  EXPECT_GE(stats.tag_count("reference"), 100u);  // 1-3 per entry
+  EXPECT_EQ(stats.tag_count("sequence"), 100u);
+  EXPECT_GE(stats.max_depth(), 5);
+  std::string report = stats.Report();
+  EXPECT_NE(report.find("ProteinEntry"), std::string::npos);
+}
+
+TEST(PrettyPrintTest, IndentsNesting) {
+  auto out = PrettyPrint("<a><b><c/></b></a>", 2);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out.value(),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+            "<a>\n  <b>\n    <c/>\n  </b>\n</a>\n");
+}
+
+TEST(PrettyPrintTest, PreservesTextAndAttributes) {
+  auto out = PrettyPrint(R"(<a k="v">hi</a>)", 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("k=\"v\""), std::string::npos);
+  EXPECT_NE(out->find(">hi<"), std::string::npos);
+}
+
+TEST(CanonicalizeTest, StripsInsignificantWhitespace) {
+  auto a = Canonicalize("<a>\n  <b/>\n</a>");
+  auto b = Canonicalize("<a><b/></a>");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(b.value(), "<a><b/></a>");
+}
+
+TEST(CanonicalizeTest, NormalizesEntitiesAndCdata) {
+  auto a = Canonicalize("<a>x&#60;y</a>");
+  auto b = Canonicalize("<a><![CDATA[x<y]]></a>");
+  auto c = Canonicalize("<a>x&lt;y</a>");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(b.value(), c.value());
+}
+
+TEST(CanonicalizeTest, Idempotent) {
+  Random rng(321);
+  workload::RandomDocOptions options;
+  options.max_elements = 50;
+  for (int i = 0; i < 20; ++i) {
+    std::string doc = workload::GenerateRandomDocument(options, &rng);
+    auto once = Canonicalize(doc);
+    ASSERT_TRUE(once.ok());
+    auto twice = Canonicalize(once.value());
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(once.value(), twice.value());
+  }
+}
+
+TEST(CanonicalizeTest, PrettyThenCanonicalEqualsCanonical) {
+  Random rng(99);
+  workload::RandomDocOptions options;
+  options.max_elements = 40;
+  options.text_probability = 0.0;  // indentation merges with real text
+  for (int i = 0; i < 20; ++i) {
+    std::string doc = workload::GenerateRandomDocument(options, &rng);
+    auto pretty = PrettyPrint(doc, 4);
+    ASSERT_TRUE(pretty.ok());
+    auto canon1 = Canonicalize(pretty.value());
+    auto canon2 = Canonicalize(doc);
+    ASSERT_TRUE(canon1.ok());
+    ASSERT_TRUE(canon2.ok());
+    EXPECT_EQ(canon1.value(), canon2.value());
+  }
+}
+
+TEST(PrettyPrintTest, ErrorsPropagate) {
+  EXPECT_FALSE(PrettyPrint("<a><b></a>").ok());
+}
+
+}  // namespace
+}  // namespace vitex::xml

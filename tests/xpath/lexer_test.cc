@@ -1,0 +1,138 @@
+#include "xpath/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace vitex::xpath {
+namespace {
+
+std::vector<Token> MustLex(std::string_view q) {
+  auto r = Tokenize(q);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return std::move(r).value();
+}
+
+std::vector<TokenKind> Kinds(std::string_view q) {
+  std::vector<TokenKind> out;
+  for (const Token& t : MustLex(q)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto toks = MustLex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, SlashesDistinguished) {
+  std::vector<TokenKind> expected = {TokenKind::kSlash, TokenKind::kName,
+                                     TokenKind::kDoubleSlash, TokenKind::kName,
+                                     TokenKind::kEnd};
+  EXPECT_EQ(Kinds("/a//b"), expected);
+}
+
+TEST(LexerTest, PaperQuery) {
+  auto toks = MustLex("//section[author]//table[position]//cell");
+  // 12 real tokens plus the kEnd sentinel.
+  ASSERT_EQ(toks.size(), 13u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kDoubleSlash);
+  EXPECT_EQ(toks[1].text, "section");
+  EXPECT_EQ(toks[2].kind, TokenKind::kLBracket);
+  EXPECT_EQ(toks[3].text, "author");
+  EXPECT_EQ(toks[4].kind, TokenKind::kRBracket);
+  EXPECT_EQ(toks[10].kind, TokenKind::kDoubleSlash);
+  EXPECT_EQ(toks[11].text, "cell");
+  EXPECT_EQ(toks[12].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, AttributesAndWildcard) {
+  std::vector<TokenKind> expected = {
+      TokenKind::kDoubleSlash, TokenKind::kStar, TokenKind::kSlash,
+      TokenKind::kAt,          TokenKind::kName, TokenKind::kEnd};
+  EXPECT_EQ(Kinds("//*/@id"), expected);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  std::vector<TokenKind> expected = {
+      TokenKind::kEq, TokenKind::kNe, TokenKind::kLt,
+      TokenKind::kLe, TokenKind::kGt, TokenKind::kGe, TokenKind::kEnd};
+  EXPECT_EQ(Kinds("= != < <= > >="), expected);
+}
+
+TEST(LexerTest, StringLiteralsBothQuotes) {
+  auto toks = MustLex("'single' \"double\"");
+  EXPECT_EQ(toks[0].kind, TokenKind::kString);
+  EXPECT_EQ(toks[0].text, "single");
+  EXPECT_EQ(toks[1].kind, TokenKind::kString);
+  EXPECT_EQ(toks[1].text, "double");
+}
+
+TEST(LexerTest, StringLiteralMayContainOtherQuote) {
+  auto toks = MustLex("'say \"hi\"'");
+  EXPECT_EQ(toks[0].text, "say \"hi\"");
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = MustLex("42 3.25 .5 -7");
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(toks[0].number, 42.0);
+  EXPECT_DOUBLE_EQ(toks[1].number, 3.25);
+  EXPECT_DOUBLE_EQ(toks[2].number, 0.5);
+  EXPECT_DOUBLE_EQ(toks[3].number, -7.0);
+}
+
+TEST(LexerTest, DotIsSelfUnlessNumber) {
+  auto toks = MustLex(". .5");
+  EXPECT_EQ(toks[0].kind, TokenKind::kDot);
+  EXPECT_EQ(toks[1].kind, TokenKind::kNumber);
+}
+
+TEST(LexerTest, NamesWithXmlChars) {
+  auto toks = MustLex("ProteinEntry ns:tag a-b.c _x");
+  EXPECT_EQ(toks[0].text, "ProteinEntry");
+  EXPECT_EQ(toks[1].text, "ns:tag");
+  EXPECT_EQ(toks[2].text, "a-b.c");
+  EXPECT_EQ(toks[3].text, "_x");
+}
+
+TEST(LexerTest, KeywordsAreNames) {
+  auto toks = MustLex("and or not text");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(toks[i].kind, TokenKind::kName);
+  }
+  EXPECT_TRUE(toks[0].IsKeyword("and"));
+  EXPECT_TRUE(toks[1].IsKeyword("or"));
+}
+
+TEST(LexerTest, Parens) {
+  std::vector<TokenKind> expected = {TokenKind::kName, TokenKind::kLParen,
+                                     TokenKind::kRParen, TokenKind::kEnd};
+  EXPECT_EQ(Kinds("text()"), expected);
+}
+
+TEST(LexerTest, OffsetsRecorded) {
+  auto toks = MustLex("//a[b]");
+  EXPECT_EQ(toks[0].offset, 0u);  // //
+  EXPECT_EQ(toks[1].offset, 2u);  // a
+  EXPECT_EQ(toks[2].offset, 3u);  // [
+  EXPECT_EQ(toks[3].offset, 4u);  // b
+}
+
+TEST(LexerTest, WhitespaceIgnored) {
+  EXPECT_EQ(Kinds(" //  a [ b ] "), Kinds("//a[b]"));
+}
+
+TEST(LexerErrorTest, UnterminatedString) {
+  EXPECT_TRUE(Tokenize("'oops").status().IsParseError());
+}
+
+TEST(LexerErrorTest, LoneBang) {
+  EXPECT_TRUE(Tokenize("a ! b").status().IsParseError());
+}
+
+TEST(LexerErrorTest, UnexpectedCharacter) {
+  EXPECT_TRUE(Tokenize("//a#b").status().IsParseError());
+  EXPECT_TRUE(Tokenize("$x").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace vitex::xpath

@@ -1,0 +1,154 @@
+#include "xpath/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/dom_evaluator.h"
+#include "common/random.h"
+#include "twigm/engine.h"
+#include "workload/random_generator.h"
+#include "xpath/parser.h"
+#include "xpath/query.h"
+
+namespace vitex::xpath {
+namespace {
+
+std::string Rewritten(std::string_view q, RewriteStats* stats = nullptr) {
+  auto r = RewriteQueryText(q, stats);
+  EXPECT_TRUE(r.ok()) << q << ": " << r.status();
+  return r.value_or("");
+}
+
+TEST(RewriteTest, IdentityOnSimpleQueries) {
+  for (const char* q : {"//a", "/a/b//c", "//a[b]//c", "//a[@id = 'x']"}) {
+    RewriteStats stats;
+    std::string out = Rewritten(q, &stats);
+    EXPECT_EQ(out, q);
+    EXPECT_EQ(stats.total(), 0u);
+  }
+}
+
+TEST(RewriteTest, DuplicatePredicatesRemoved) {
+  RewriteStats stats;
+  EXPECT_EQ(Rewritten("//a[b][b]", &stats), "//a[b]");
+  EXPECT_EQ(stats.duplicate_predicates_removed, 1u);
+}
+
+TEST(RewriteTest, DuplicatePredicatesDeepEquality) {
+  RewriteStats stats;
+  EXPECT_EQ(Rewritten("//a[b/c][b/c][d]", &stats), "//a[b/c][d]");
+  EXPECT_EQ(stats.duplicate_predicates_removed, 1u);
+}
+
+TEST(RewriteTest, IdempotentAnd) {
+  RewriteStats stats;
+  EXPECT_EQ(Rewritten("//a[b and b]", &stats), "//a[b]");
+  EXPECT_EQ(stats.idempotent_operands_removed, 1u);
+}
+
+TEST(RewriteTest, IdempotentOr) {
+  RewriteStats stats;
+  EXPECT_EQ(Rewritten("//a[b or b or b]", &stats), "//a[b]");
+  EXPECT_EQ(stats.idempotent_operands_removed, 2u);
+}
+
+TEST(RewriteTest, DoubleNegation) {
+  RewriteStats stats;
+  EXPECT_EQ(Rewritten("//a[not(not(b))]", &stats), "//a[b]");
+  EXPECT_EQ(stats.double_negations_removed, 1u);
+}
+
+TEST(RewriteTest, QuadrupleNegation) {
+  EXPECT_EQ(Rewritten("//a[not(not(not(not(b))))]"), "//a[b]");
+}
+
+TEST(RewriteTest, SingleNegationKept) {
+  EXPECT_EQ(Rewritten("//a[not(b)]"), "//a[not(b)]");
+}
+
+TEST(RewriteTest, AbsorptionAnd) {
+  RewriteStats stats;
+  // b and (b or c) == b.
+  EXPECT_EQ(Rewritten("//a[b and (b or c)]", &stats), "//a[b]");
+  EXPECT_EQ(stats.absorptions, 1u);
+}
+
+TEST(RewriteTest, AbsorptionOr) {
+  RewriteStats stats;
+  // b or (b and c) == b.
+  EXPECT_EQ(Rewritten("//a[b or (b and c)]", &stats), "//a[b]");
+  EXPECT_EQ(stats.absorptions, 1u);
+}
+
+TEST(RewriteTest, NoAbsorptionWhenNotContained) {
+  std::string out = Rewritten("//a[b and (c or d)]");
+  EXPECT_NE(out.find("b"), std::string::npos);
+  EXPECT_NE(out.find("c"), std::string::npos);
+  EXPECT_NE(out.find("d"), std::string::npos);
+}
+
+TEST(RewriteTest, NestedPredicatesRewritten) {
+  EXPECT_EQ(Rewritten("//a[b[c and c]]"), "//a[b[c]]");
+}
+
+TEST(RewriteTest, PredicatePathStepsRewritten) {
+  EXPECT_EQ(Rewritten("//a[b[d][d]/c]"), "//a[b[d]/c]");
+}
+
+TEST(RewriteTest, RewrittenQueryStillCompiles) {
+  Random rng(12345);
+  workload::RandomQueryOptions options;
+  for (int i = 0; i < 100; ++i) {
+    std::string q = workload::GenerateRandomQuery(options, &rng);
+    auto rewritten = RewriteQueryText(q);
+    ASSERT_TRUE(rewritten.ok()) << q;
+    auto compiled = ParseAndCompile(rewritten.value());
+    EXPECT_TRUE(compiled.ok()) << q << " -> " << rewritten.value();
+  }
+}
+
+TEST(RewriteTest, RewritePreservesSemantics) {
+  // Differential check: original vs rewritten query on random documents.
+  Random rng(2222);
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 60;
+  workload::RandomQueryOptions query_options;
+  query_options.not_probability = 0.3;
+  query_options.or_probability = 0.3;
+  for (int i = 0; i < 30; ++i) {
+    std::string doc = workload::GenerateRandomDocument(doc_options, &rng);
+    std::string q = workload::GenerateRandomQuery(query_options, &rng);
+    auto rewritten = RewriteQueryText(q);
+    ASSERT_TRUE(rewritten.ok());
+
+    twigm::VectorResultCollector original_results, rewritten_results;
+    auto e1 = twigm::Engine::Create(q, &original_results);
+    auto e2 = twigm::Engine::Create(rewritten.value(), &rewritten_results);
+    ASSERT_TRUE(e1.ok());
+    ASSERT_TRUE(e2.ok());
+    ASSERT_TRUE(e1->RunString(doc).ok());
+    ASSERT_TRUE(e2->RunString(doc).ok());
+    EXPECT_EQ(original_results.SortedFragments(),
+              rewritten_results.SortedFragments())
+        << q << " -> " << rewritten.value() << "\ndoc: " << doc;
+  }
+}
+
+TEST(RewriteTest, NeverGrowsTheQuery) {
+  Random rng(3333);
+  workload::RandomQueryOptions options;
+  options.not_probability = 0.3;
+  for (int i = 0; i < 100; ++i) {
+    std::string q = workload::GenerateRandomQuery(options, &rng);
+    auto original = ParseAndCompile(q);
+    auto rewritten_text = RewriteQueryText(q);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(rewritten_text.ok());
+    auto rewritten = ParseAndCompile(rewritten_text.value());
+    ASSERT_TRUE(rewritten.ok());
+    EXPECT_LE(rewritten->size(), original->size())
+        << q << " -> " << rewritten_text.value();
+  }
+}
+
+}  // namespace
+}  // namespace vitex::xpath

@@ -1,0 +1,66 @@
+// Machine-readable benchmark output.
+//
+// Replace BENCHMARK_MAIN() with VITEX_BENCH_MAIN("name") and the binary
+// gains an opt-in JSON mirror of its results: when the VITEX_BENCH_JSON
+// environment variable is set, a Google-Benchmark JSON report is written to
+// BENCH_<name>.json (in $VITEX_BENCH_JSON when it names a directory, else
+// the current directory) alongside the usual console output. CI and future
+// PRs append these files to a trajectory to track perf over time:
+//
+//   VITEX_BENCH_JSON=bench_out ./bench_multi_query
+//   jq '.benchmarks[] | {name, real_time, counters}' \
+//       bench_out/BENCH_multi_query.json
+
+#ifndef VITEX_BENCH_BENCH_JSON_H_
+#define VITEX_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace vitex::bench {
+
+/// Runs all registered benchmarks; mirrors results to BENCH_<name>.json
+/// when VITEX_BENCH_JSON is set. Returns the process exit code.
+///
+/// The mirror rides the library's own --benchmark_out machinery (the flags
+/// are injected before Initialize), so it works across Benchmark versions
+/// and composes with any flags the caller passes explicitly.
+inline int RunWithJson(const char* bench_name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  const char* env = std::getenv("VITEX_BENCH_JSON");
+  if (env != nullptr) {
+    std::string dir(env);
+    if (dir.empty() || dir == "1") dir = ".";
+    out_flag = "--benchmark_out=" + dir + "/BENCH_" + bench_name + ".json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!out_flag.empty()) {
+    std::cout << "benchmark JSON written to "
+              << out_flag.substr(out_flag.find('=') + 1) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace vitex::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() with the JSON mirror.
+#define VITEX_BENCH_MAIN(name)                          \
+  int main(int argc, char** argv) {                     \
+    return vitex::bench::RunWithJson(name, argc, argv); \
+  }
+
+#endif  // VITEX_BENCH_BENCH_JSON_H_

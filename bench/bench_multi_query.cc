@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "twigm/engine.h"
 #include "twigm/multi_query.h"
 #include "workload/xmark_generator.h"
@@ -94,6 +95,47 @@ void BM_IndependentEngines(benchmark::State& state) {
 }
 BENCHMARK(BM_IndependentEngines)->Arg(1)->Arg(4)->Arg(16);
 
+// Disjoint-tag standing subscriptions: the dispatch-index sweet spot. Each
+// query names tags no other query mentions, so posting lists route every
+// event to at most one machine and per-event work must stay flat as n grows
+// (the `visits_per_event` counter is the thing to watch: naive fan-out
+// would make it equal to `queries`).
+void BM_MultiQueryDisjointTags(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const std::string& doc = Doc();
+  double visits_per_event = 0;
+  for (auto _ : state) {
+    vitex::twigm::MultiQueryEngine engine;
+    vitex::twigm::CountingResultHandler results;
+    // One query that matches real xmark tags; the rest watch tags that
+    // never occur (disjoint standing subscriptions waiting for their feed).
+    auto id = engine.AddQuery("//item[incategory]/name", &results);
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+    for (int i = 1; i < n; ++i) {
+      auto r =
+          engine.AddQuery("//subscription_" + std::to_string(i), nullptr);
+      if (!r.ok()) {
+        state.SkipWithError(r.status().ToString().c_str());
+        return;
+      }
+    }
+    vitex::Status s = engine.RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    const vitex::twigm::DispatchStats& ds = engine.dispatch_stats();
+    uint64_t events = ds.start_events + ds.end_events + ds.text_nodes;
+    uint64_t visits = ds.start_visits + ds.end_visits + ds.text_visits;
+    visits_per_event =
+        events == 0 ? 0 : static_cast<double>(visits) / events;
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.counters["queries"] = n;
+  state.counters["visits_per_event"] = visits_per_event;
+}
+BENCHMARK(BM_MultiQueryDisjointTags)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+VITEX_BENCH_MAIN("multi_query");

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "bench/bench_json.h"
 #include "common/stopwatch.h"
 #include "twigm/engine.h"
 #include "workload/protein_generator.h"
@@ -116,4 +117,4 @@ BENCHMARK(BM_ProteinQueryVariants)->DenseRange(0, 4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VITEX_BENCH_MAIN("protein_e2e");

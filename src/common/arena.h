@@ -37,10 +37,14 @@ class Arena {
   /// Allocates `bytes` bytes aligned to `align`. Never returns nullptr
   /// (allocation failure terminates, as it does for operator new).
   void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
-    size_t pos = Align(pos_, align);
-    if (pos + bytes > cap_) {
+    // Align the actual address: block bases are only new[]-aligned, so
+    // aligning the offset alone under-aligns for larger requests.
+    uintptr_t base = reinterpret_cast<uintptr_t>(cur_);
+    size_t pos = Align(base + pos_, align) - base;
+    if (cur_ == nullptr || pos + bytes > cap_) {
       Grow(bytes + align);
-      pos = Align(pos_, align);
+      base = reinterpret_cast<uintptr_t>(cur_);
+      pos = Align(base + pos_, align) - base;
     }
     void* out = cur_ + pos;
     pos_ = pos + bytes;
@@ -54,7 +58,12 @@ class Arena {
     static_assert(std::is_trivially_destructible_v<T>,
                   "Arena never runs destructors");
     void* mem = Allocate(sizeof(T), alignof(T));
-    return new (mem) T(std::forward<Args>(args)...);
+    if constexpr (std::is_constructible_v<T, Args...>) {
+      return new (mem) T(std::forward<Args>(args)...);
+    } else {
+      // Aggregates (no user constructor) take brace init.
+      return new (mem) T{std::forward<Args>(args)...};
+    }
   }
 
   /// Copies `s` into the arena and returns a view of the stable copy.

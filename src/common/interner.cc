@@ -1,0 +1,66 @@
+#include "common/interner.h"
+
+namespace vitex {
+
+namespace {
+constexpr size_t kInitialSlots = 64;  // power of two
+constexpr size_t kMaxLoadNum = 7;     // resize above 7/8 load
+constexpr size_t kMaxLoadDen = 8;
+}  // namespace
+
+SymbolTable::SymbolTable() : slots_(kInitialSlots) {}
+
+uint32_t SymbolTable::Hash(std::string_view s) {
+  // FNV-1a. Names are short (tag/attribute identifiers), so the byte loop
+  // beats fancier block hashes in practice.
+  uint32_t h = 2166136261u;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+size_t SymbolTable::FindSlot(std::string_view name, uint32_t hash) const {
+  size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (slot.symbol == kNoSymbol) return i;
+    if (slot.hash == hash && names_[slot.symbol] == name) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+void SymbolTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot());
+  size_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.symbol == kNoSymbol) continue;
+    size_t i = slot.hash & mask;
+    while (slots_[i].symbol != kNoSymbol) i = (i + 1) & mask;
+    slots_[i] = slot;
+  }
+}
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  uint32_t hash = Hash(name);
+  size_t i = FindSlot(name, hash);
+  if (slots_[i].symbol != kNoSymbol) return slots_[i].symbol;
+  if ((names_.size() + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
+    Grow();
+    i = FindSlot(name, hash);
+  }
+  Symbol symbol = static_cast<Symbol>(names_.size());
+  names_.push_back(arena_.CopyString(name));
+  slots_[i] = Slot{hash, symbol};
+  return symbol;
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  const Slot& slot = slots_[FindSlot(name, Hash(name))];
+  return slot.symbol;  // kNoSymbol when the slot is empty
+}
+
+}  // namespace vitex

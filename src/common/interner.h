@@ -1,0 +1,91 @@
+// Symbol interning: dense ids for XML tag and attribute names.
+//
+// A pub/sub stream touches a small, highly repetitive name vocabulary (the
+// protein feed has a few dozen distinct tags across tens of megabytes). The
+// pipeline therefore hashes every name at most once per *event* — in the SAX
+// parser, against a caller-supplied SymbolTable — and everything downstream
+// (TwigM match indexes, the multi-query dispatch index) works with dense
+// `Symbol` integers: array indexing instead of string hashing.
+//
+// Ids are dense and allocation-ordered: the first distinct name interned is
+// symbol 0, the next is 1, and so on. A consumer that interned its own names
+// first (e.g. a TwigM machine interning its query's tests at build time) can
+// size a direct-indexed table to `size()` at that moment; any symbol minted
+// later is out of range and provably names nothing the consumer cares about.
+//
+// Name bytes are copied into an arena, so a Symbol and its name() view stay
+// valid for the table's lifetime regardless of what happened to the caller's
+// storage (see DESIGN.md §3 — this is what fixes the string_view lifetime
+// hazard the old per-machine name map had).
+
+#ifndef VITEX_COMMON_INTERNER_H_
+#define VITEX_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace vitex {
+
+/// Dense id of an interned name. Valid symbols are 0..size()-1.
+using Symbol = uint32_t;
+
+/// "No symbol": a name that was never resolved against a table (events from
+/// producers without a table), or a Lookup miss.
+inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
+
+/// "Resolved, but absent": producers stamp this on event names a Lookup
+/// missed, so consumers sharing the table know not to repeat the hash. Like
+/// kNoSymbol it is never a valid id, and it fails any `< size()` bounds
+/// check the same way a post-construction id does.
+inline constexpr Symbol kAbsentSymbol = static_cast<Symbol>(-2);
+
+/// An arena-backed string→Symbol map with dense, allocation-ordered ids.
+/// Not thread-safe; one table per pipeline.
+class SymbolTable {
+ public:
+  SymbolTable();
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  /// Returns the symbol for `name`, minting a new one on first sight.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the symbol for `name`, or kNoSymbol if it was never interned.
+  Symbol Lookup(std::string_view name) const;
+
+  /// The interned spelling. `symbol` must be < size(). The view is stable
+  /// for the table's lifetime.
+  std::string_view name(Symbol symbol) const { return names_[symbol]; }
+
+  /// Number of distinct names interned so far (== the next id to be minted).
+  size_t size() const { return names_.size(); }
+
+  /// Bytes reserved by the name arena (diagnostics).
+  size_t arena_bytes() const { return arena_.reserved_bytes(); }
+
+ private:
+  struct Slot {
+    uint32_t hash = 0;
+    Symbol symbol = kNoSymbol;  // kNoSymbol marks an empty slot
+  };
+
+  static uint32_t Hash(std::string_view s);
+  /// Index of the slot holding `name`, or of the empty slot where it would
+  /// be inserted.
+  size_t FindSlot(std::string_view name, uint32_t hash) const;
+  void Grow();
+
+  std::vector<Slot> slots_;              // open addressing, pow2 capacity
+  std::vector<std::string_view> names_;  // symbol -> arena-stable spelling
+  Arena arena_;
+};
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_INTERNER_H_

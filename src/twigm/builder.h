@@ -42,18 +42,21 @@ class BuiltMachine {
 class TwigMBuilder {
  public:
   /// Builds a machine from XPath text. O(|Q|) after parsing.
+  ///
+  /// `symbols` is the SymbolTable the machine's match index is interned
+  /// into; pass the pipeline's shared table (MultiQueryEngine::symbols())
+  /// when the machine will run under shared dispatch, or null to give the
+  /// machine a private table. Must outlive the machine when non-null.
   static Result<BuiltMachine> Build(std::string_view xpath,
                                     ResultHandler* results,
-                                    TwigMachine::Options options);
-  static Result<BuiltMachine> Build(std::string_view xpath,
-                                    ResultHandler* results);
+                                    TwigMachine::Options options = {},
+                                    SymbolTable* symbols = nullptr);
 
   /// Builds a machine from an already compiled query (takes ownership).
   static Result<BuiltMachine> Build(std::unique_ptr<xpath::Query> query,
                                     ResultHandler* results,
-                                    TwigMachine::Options options);
-  static Result<BuiltMachine> Build(std::unique_ptr<xpath::Query> query,
-                                    ResultHandler* results);
+                                    TwigMachine::Options options = {},
+                                    SymbolTable* symbols = nullptr);
 };
 
 }  // namespace vitex::twigm

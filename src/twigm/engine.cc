@@ -11,9 +11,16 @@ Result<Engine> Engine::Create(std::string_view xpath,
 
 Result<Engine> Engine::Create(std::string_view xpath, ResultHandler* results,
                               Options options) {
-  VITEX_ASSIGN_OR_RETURN(BuiltMachine built,
-                         TwigMBuilder::Build(xpath, results, options.machine));
+  // The parser resolves tag/attribute names against the machine's symbol
+  // table once per event; the machine then matches by integer id only. A
+  // caller-supplied table (options.sax.symbols) is honored — the machine is
+  // built against it — so tables can be shared across pipelines.
+  VITEX_ASSIGN_OR_RETURN(
+      BuiltMachine built,
+      TwigMBuilder::Build(xpath, results, options.machine,
+                          options.sax.symbols));
   auto built_ptr = std::make_unique<BuiltMachine>(std::move(built));
+  options.sax.symbols = built_ptr->machine().mutable_symbols();
   auto sax = std::make_unique<xml::SaxParser>(&built_ptr->machine(),
                                               options.sax);
   return Engine(std::move(built_ptr), std::move(sax));

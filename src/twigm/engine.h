@@ -12,6 +12,13 @@
 //   engine->Feed(chunk2);
 //   engine->Finish();
 //   for (const auto& r : results.results()) { ... }
+//
+// Create() binds the SAX parser to the machine's SymbolTable: tag and
+// attribute names are interned once per event and the machine matches by
+// dense symbol id (DESIGN.md §3). Results carry parser-stamped document-
+// order sequence numbers. For many standing queries over one stream, use
+// MultiQueryEngine (multi_query.h), which shares one table and one parse
+// across all of them and dispatches events only to interested machines.
 
 #ifndef VITEX_TWIGM_ENGINE_H_
 #define VITEX_TWIGM_ENGINE_H_

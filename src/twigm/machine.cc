@@ -11,14 +11,23 @@ using xpath::Axis;
 using xpath::QueryNode;
 
 TwigMachine::TwigMachine(const xpath::Query* query, ResultHandler* results)
-    : TwigMachine(query, results, Options()) {}
+    : TwigMachine(query, results, Options(), nullptr) {}
 
 TwigMachine::TwigMachine(const xpath::Query* query, ResultHandler* results,
                          Options options)
+    : TwigMachine(query, results, options, nullptr) {}
+
+TwigMachine::TwigMachine(const xpath::Query* query, ResultHandler* results,
+                         Options options, SymbolTable* symbols)
     : query_(query),
       results_(results),
       options_(options),
+      symbols_(symbols),
       candidates_(&memory_) {
+  if (symbols_ == nullptr) {
+    owned_symbols_ = std::make_unique<SymbolTable>();
+    symbols_ = owned_symbols_.get();
+  }
   nodes_.resize(query_->size());
   for (const auto& qn : query_->nodes()) {
     MachineNode& m = nodes_[qn->id];
@@ -26,15 +35,44 @@ TwigMachine::TwigMachine(const xpath::Query* query, ResultHandler* results,
     m.parent_id = qn->parent == nullptr ? -1 : qn->parent->id;
     if (qn->IsAttributeNode()) {
       attribute_nodes_.push_back(qn->id);
+      attribute_node_symbols_.push_back(
+          qn->test == xpath::NodeTestKind::kWildcard
+              ? kNoSymbol
+              : symbols_->Intern(qn->name));
+      if (qn->parent == nullptr || qn->descendant_attribute) {
+        has_unanchored_attributes_ = true;
+      }
     } else if (qn->IsTextNode()) {
       text_nodes_.push_back(qn->id);
+      if (qn->parent == nullptr) has_bare_text_ = true;
     } else if (qn->test == xpath::NodeTestKind::kWildcard) {
       element_wildcards_.push_back(qn->id);
     } else {
-      element_by_name_[qn->name].push_back(qn->id);
+      // Intern the name test once; from here on the machine never touches
+      // the query's string storage on the hot path.
+      Symbol sym = symbols_->Intern(qn->name);
+      auto it = std::find_if(
+          element_index_.begin(), element_index_.end(),
+          [sym](const auto& entry) { return entry.first == sym; });
+      if (it == element_index_.end()) {
+        element_index_.emplace_back(sym, std::vector<int>());
+        it = std::prev(element_index_.end());
+      }
+      it->second.push_back(qn->id);  // preorder, since qn iterates preorder
     }
   }
+  std::sort(element_index_.begin(), element_index_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   output_is_element_ = query_->output()->IsElementNode();
+}
+
+const std::vector<int>* TwigMachine::FindElementMatches(Symbol symbol) const {
+  if (symbol >= kAbsentSymbol) return nullptr;  // kAbsent / kNo sentinels
+  auto it = std::lower_bound(
+      element_index_.begin(), element_index_.end(), symbol,
+      [](const auto& entry, Symbol s) { return entry.first < s; });
+  if (it == element_index_.end() || it->first != symbol) return nullptr;
+  return &it->second;
 }
 
 void TwigMachine::Reset() {
@@ -43,8 +81,7 @@ void TwigMachine::Reset() {
   stats_ = MachineStats();
   memory_ = MemoryTracker();
   live_entries_ = 0;
-  pending_text_.clear();
-  pending_text_depth_ = -1;
+  pending_text_.Clear();
   recordings_.clear();
   completed_fragment_.clear();
   has_completed_fragment_ = false;
@@ -228,16 +265,29 @@ Status TwigMachine::StartElement(const xml::StartElementEvent& event) {
   // Sequence numbering is query-independent: one number for the element,
   // then one per attribute (matched or not), so machines running different
   // queries over the same stream assign identical document-order keys.
-  uint64_t seq = sequence_counter_;
-  sequence_counter_ += 1 + event.attributes.size();
+  // Producers that stamp sequences (the SAX parser) follow the same rule;
+  // their numbers are authoritative — a dispatcher may have skipped events
+  // for this machine, in which case the internal counter is meaningless.
+  uint64_t seq;
+  if (event.sequence != xml::kNoSequence) {
+    seq = event.sequence;
+  } else {
+    seq = sequence_counter_;
+    sequence_counter_ += 1 + event.attributes.size();
+  }
   int level = event.depth;
+
+  // Resolve the tag to a symbol: stamped by the producer when it shares our
+  // table (kAbsentSymbol marks a producer-side miss — no point re-hashing),
+  // otherwise one hash here.
+  Symbol sym = event.symbol;
+  if (sym == kNoSymbol) sym = symbols_->Lookup(event.name);
 
   // Collect matching element machine nodes in id (preorder) order so parent
   // pushes land before child axis checks.
   match_scratch_.clear();
-  auto it = element_by_name_.find(event.name);
-  if (it != element_by_name_.end()) {
-    match_scratch_ = it->second;
+  if (const std::vector<int>* matches = FindElementMatches(sym)) {
+    match_scratch_ = *matches;
   }
   if (!element_wildcards_.empty()) {
     match_scratch_.insert(match_scratch_.end(), element_wildcards_.begin(),
@@ -265,12 +315,21 @@ Status TwigMachine::StartElement(const xml::StartElementEvent& event) {
 Status TwigMachine::ProcessAttributes(const xml::StartElementEvent& event,
                                       uint64_t element_seq) {
   int level = event.depth;
-  for (int id : attribute_nodes_) {
+  for (size_t ni = 0; ni < attribute_nodes_.size(); ++ni) {
+    int id = attribute_nodes_[ni];
+    Symbol name_sym = attribute_node_symbols_[ni];
     MachineNode& node = nodes_[id];
     const QueryNode* q = node.query;
     for (size_t ai = 0; ai < event.attributes.size(); ++ai) {
       const xml::Attribute& attr = event.attributes[ai];
-      if (!q->MatchesAttributeName(attr.name)) continue;
+      // Symbol equality when both sides are resolved against our table;
+      // string comparison otherwise (wildcard tests accept any name).
+      if (name_sym != kNoSymbol) {
+        if (attr.symbol != kNoSymbol ? attr.symbol != name_sym
+                                     : q->name != attr.name) {
+          continue;
+        }
+      }
       if (!q->CompareValue(attr.value)) continue;
       // The attribute "matches and pops" instantly: bookkeep into the
       // owning/ancestor entries of the parent machine node right away.
@@ -315,34 +374,51 @@ Status TwigMachine::ProcessAttributes(const xml::StartElementEvent& event,
 }
 
 Status TwigMachine::Characters(std::string_view text, int depth) {
+  return Text(xml::TextEvent{text, depth, xml::kNoSequence});
+}
+
+Status TwigMachine::Text(const xml::TextEvent& event) {
   // Coalesce adjacent character events (chunk boundaries, CDATA seams) so a
   // text node is evaluated exactly once, whole.
-  if (pending_text_.empty()) {
-    pending_text_.assign(text);
-    pending_text_depth_ = depth;
-  } else {
-    // Depth cannot change without an intervening tag, which flushes.
-    assert(depth == pending_text_depth_);
-    pending_text_.append(text);
-  }
-  memory_.Add(text.size());
+  pending_text_.Append(event);
+  memory_.Add(event.text.size());
   return CheckMemoryLimit();
 }
 
 Status TwigMachine::FlushText() {
   if (pending_text_.empty()) return Status::OK();
-  std::string text = std::move(pending_text_);
-  int depth = pending_text_depth_;
-  pending_text_.clear();
-  pending_text_depth_ = -1;
+  std::string text = std::move(pending_text_.buffer);
+  int depth = pending_text_.depth;
+  uint64_t seq = pending_text_.sequence != xml::kNoSequence
+                     ? pending_text_.sequence
+                     : sequence_counter_++;
+  pending_text_.Clear();
   memory_.Release(text.size());
   RecordingsOnText(text);
-  return ProcessTextNode(text, depth);
+  return ProcessTextNode(text, depth, seq);
 }
 
-Status TwigMachine::ProcessTextNode(std::string_view text, int depth) {
+Status TwigMachine::TextNode(std::string_view text, int depth,
+                             uint64_t sequence) {
+  VITEX_RETURN_IF_ERROR(FlushText());  // no-op under central coalescing
+  uint64_t seq =
+      sequence != xml::kNoSequence ? sequence : sequence_counter_++;
+  // Charge the node against this machine's budget while it is processed,
+  // exactly as the buffering path does, so live state + text still honors
+  // the configured ceiling under central coalescing.
+  memory_.Add(text.size());
+  Status status = CheckMemoryLimit();
+  if (status.ok()) {
+    RecordingsOnText(text);
+    status = ProcessTextNode(text, depth, seq);
+  }
+  memory_.Release(text.size());
+  return status;
+}
+
+Status TwigMachine::ProcessTextNode(std::string_view text, int depth,
+                                    uint64_t seq) {
   ++stats_.text_events;
-  uint64_t seq = sequence_counter_++;
   if (text_nodes_.empty()) return Status::OK();
   for (int id : text_nodes_) {
     MachineNode& node = nodes_[id];

@@ -29,11 +29,12 @@
 #define VITEX_TWIGM_MACHINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/memory_tracker.h"
 #include "common/status.h"
 #include "twigm/candidate_store.h"
@@ -89,11 +90,22 @@ class TwigMachine : public xml::ContentHandler {
     size_t memory_limit_bytes = 0;
   };
 
-  /// @param query must outlive the machine.
+  /// @param query must outlive the machine. Only the QueryNode tree is
+  ///        referenced after construction (name tests are interned into the
+  ///        symbol table up front), so moving the Query *object* elsewhere —
+  ///        as BuiltMachine does — is safe; the nodes it owns stay put.
   /// @param results must outlive the machine; may be null to discard.
+  /// @param symbols the SymbolTable the machine's match index is built
+  ///        against; must outlive the machine. When null, the machine owns a
+  ///        private table. Incoming events whose `symbol` fields were
+  ///        resolved against a *different* table must not be fed to this
+  ///        machine (ids would alias); unstamped events are always fine —
+  ///        the machine falls back to one Lookup per event.
   TwigMachine(const xpath::Query* query, ResultHandler* results);
   TwigMachine(const xpath::Query* query, ResultHandler* results,
               Options options);
+  TwigMachine(const xpath::Query* query, ResultHandler* results,
+              Options options, SymbolTable* symbols);
 
   TwigMachine(const TwigMachine&) = delete;
   TwigMachine& operator=(const TwigMachine&) = delete;
@@ -103,10 +115,49 @@ class TwigMachine : public xml::ContentHandler {
   Status StartElement(const xml::StartElementEvent& event) override;
   Status EndElement(std::string_view name, int depth) override;
   Status Characters(std::string_view text, int depth) override;
+  Status Text(const xml::TextEvent& event) override;
   Status EndDocument() override;
 
+  // --- Dispatch interface (MultiQueryEngine) -----------------------------
+  /// Delivers one whole, already-coalesced text node. Used by dispatchers
+  /// that coalesce character data centrally instead of sending every piece
+  /// to every machine. `sequence` must be the producer-stamped number of the
+  /// node (kNoSequence falls back to the internal counter).
+  Status TextNode(std::string_view text, int depth, uint64_t sequence);
+
+  /// True while a match of an element-valued output node is open and its
+  /// subtree is being serialized: the machine must then observe *every*
+  /// event, whatever its tag. Dispatchers broadcast to active recorders.
+  bool recording_active() const { return !recordings_.empty(); }
+  /// True if the query's output node selects elements (only then can
+  /// recording_active() ever become true).
+  bool output_is_element() const { return output_is_element_; }
+
   // --- Introspection -------------------------------------------------------
+  /// The symbol table the match index is built against (owned or borrowed).
+  const SymbolTable& symbols() const { return *symbols_; }
+  SymbolTable* mutable_symbols() { return symbols_; }
+  /// True if the query tests any element with '*' (dispatchers must
+  /// broadcast every element event to this machine).
+  bool has_element_wildcard() const { return !element_wildcards_.empty(); }
+  /// True if the query selects text nodes anywhere.
+  bool has_text_nodes() const { return !text_nodes_.empty(); }
+  /// True if a text node is matched without an ancestor context ("//text()"):
+  /// the machine must see every text node.
+  bool has_bare_text() const { return has_bare_text_; }
+  /// True if the query has a descendant-or-self or context-free attribute
+  /// step ("//@id", "//a//@id"): the machine must see every element event
+  /// that carries attributes.
+  bool has_unanchored_attributes() const { return has_unanchored_attributes_; }
+  /// The machine's element match index: (tag symbol → query node ids),
+  /// sorted by symbol. Dispatchers read the keys to build postings.
+  const std::vector<std::pair<Symbol, std::vector<int>>>& element_index()
+      const {
+    return element_index_;
+  }
+
   const xpath::Query& query() const { return *query_; }
+  const Options& options() const { return options_; }
   const MachineStats& stats() const { return stats_; }
   const CandidateStats& candidate_stats() const { return candidates_.stats(); }
   const MemoryTracker& memory() const { return memory_; }
@@ -128,13 +179,16 @@ class TwigMachine : public xml::ContentHandler {
 
   // Processes buffered character data as one complete text node.
   Status FlushText();
-  Status ProcessTextNode(std::string_view text, int depth);
+  Status ProcessTextNode(std::string_view text, int depth, uint64_t sequence);
   Status ProcessAttributes(const xml::StartElementEvent& event,
                            uint64_t element_seq);
 
   // True if an entry of `node` may be pushed at `level` given the parent's
   // stack state.
   bool AxisSatisfiable(const MachineNode& node, int level) const;
+
+  // The element query nodes testing for `symbol`, or nullptr.
+  const std::vector<int>* FindElementMatches(Symbol symbol) const;
 
   // Invokes fn(StackEntry&) on each parent-stack entry the popped/matched
   // element at `level` must bookkeep into.
@@ -164,22 +218,38 @@ class TwigMachine : public xml::ContentHandler {
   ResultHandler* results_;
   Options options_;
 
+  // The table query name tests were interned into; borrowed from the
+  // pipeline (shared dispatch) or owned privately.
+  SymbolTable* symbols_ = nullptr;
+  std::unique_ptr<SymbolTable> owned_symbols_;
+
   std::vector<MachineNode> nodes_;  // indexed by query node id
-  // Match indexes: query node ids by element name, plus wildcard lists.
-  std::unordered_map<std::string_view, std::vector<int>> element_by_name_;
+  // Match index: (tag symbol → query node ids in preorder), sorted by
+  // symbol and binary-searched per event. Queries name a handful of tags,
+  // so the search is a couple of integer compares inside one cache line —
+  // and unlike a vector indexed by raw symbol id, memory stays O(own
+  // names) when ids come from a large shared table (DESIGN.md §3).
+  // Wildcard tests live on side lists.
+  std::vector<std::pair<Symbol, std::vector<int>>> element_index_;
   std::vector<int> element_wildcards_;
   std::vector<int> attribute_nodes_;
+  // Interned name of each attribute node in attribute_nodes_ (kNoSymbol for
+  // '@*' wildcards).
+  std::vector<Symbol> attribute_node_symbols_;
   std::vector<int> text_nodes_;
   bool output_is_element_ = false;
+  bool has_bare_text_ = false;
+  bool has_unanchored_attributes_ = false;
 
   MemoryTracker memory_;
   CandidateStore candidates_;
   MachineStats stats_;
   size_t live_entries_ = 0;
 
-  // Text coalescing: adjacent Characters events merge into one text node.
-  std::string pending_text_;
-  int pending_text_depth_ = -1;
+  // Text coalescing: adjacent Characters events merge into one text node
+  // (sequence stays kNoSequence for unstamped pieces; the internal counter
+  // applies at flush).
+  xml::TextCoalescer pending_text_;
 
   std::vector<Recording> recordings_;
   std::string completed_fragment_;

@@ -1,10 +1,17 @@
 #include "twigm/multi_query.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace vitex::twigm {
 
 MultiQueryEngine::MultiQueryEngine(xml::SaxParserOptions sax_options)
-    : demux_(this),
-      sax_(std::make_unique<xml::SaxParser>(&demux_, sax_options)) {}
+    : symbols_(sax_options.symbols != nullptr ? sax_options.symbols
+                                              : &owned_symbols_),
+      dispatcher_(this) {
+  sax_options.symbols = symbols_;
+  sax_ = std::make_unique<xml::SaxParser>(&dispatcher_, sax_options);
+}
 
 Result<QueryId> MultiQueryEngine::AddQuery(std::string_view xpath,
                                            ResultHandler* results,
@@ -13,8 +20,9 @@ Result<QueryId> MultiQueryEngine::AddQuery(std::string_view xpath,
     return Status::InvalidArgument(
         "queries must be registered before the stream starts");
   }
-  VITEX_ASSIGN_OR_RETURN(BuiltMachine built,
-                         TwigMBuilder::Build(xpath, results, options));
+  VITEX_ASSIGN_OR_RETURN(
+      BuiltMachine built,
+      TwigMBuilder::Build(xpath, results, options, symbols_));
   return AddBuilt(std::move(built));
 }
 
@@ -22,6 +30,12 @@ Result<QueryId> MultiQueryEngine::AddBuilt(BuiltMachine built) {
   if (started_) {
     return Status::InvalidArgument(
         "queries must be registered before the stream starts");
+  }
+  if (&built.machine().symbols() != symbols_) {
+    return Status::InvalidArgument(
+        "machine was built against a different SymbolTable; build it with "
+        "TwigMBuilder::Build(..., engine.symbols()) so dispatch symbols "
+        "agree");
   }
   machines_.push_back(std::make_unique<BuiltMachine>(std::move(built)));
   return machines_.size() - 1;
@@ -42,47 +56,198 @@ Status MultiQueryEngine::RunString(std::string_view document) {
 void MultiQueryEngine::ResetStream() {
   sax_->Reset();
   for (auto& m : machines_) m->machine().Reset();
+  dispatcher_.ResetStream();
+  dispatch_stats_ = DispatchStats();
   started_ = false;
 }
 
 size_t MultiQueryEngine::total_live_bytes() const {
-  size_t total = 0;
+  size_t total = dispatcher_.pending_text_bytes();
   for (const auto& m : machines_) {
     total += m->machine().memory().live_bytes();
   }
   return total;
 }
 
-Status MultiQueryEngine::Demux::StartDocument() {
+// ---------------------------------------------------------------------------
+// Dispatcher.
+// ---------------------------------------------------------------------------
+
+void MultiQueryEngine::Dispatcher::BuildIndex() {
+  size_t n = owner_->machines_.size();
+  postings_.assign(owner_->symbols_->size(), {});
+  info_.assign(n, MachineInfo());
+  element_broadcast_.clear();
+  attribute_machines_.clear();
+  text_machines_.clear();
+  visit_stamp_.assign(n, 0);
+  is_active_recorder_.assign(n, 0);
+  min_memory_limit_ = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TwigMachine& m = owner_->machines_[i]->machine();
+    size_t limit = m.options().memory_limit_bytes;
+    if (limit != 0 && (min_memory_limit_ == 0 || limit < min_memory_limit_)) {
+      min_memory_limit_ = limit;
+    }
+    MachineInfo& mi = info_[i];
+    mi.broadcast_elements = m.has_element_wildcard();
+    mi.wants_text = m.has_text_nodes();
+    mi.bare_text = m.has_bare_text();
+    mi.wants_attributes = m.has_unanchored_attributes();
+    mi.bare_attributes = m.query().root()->IsAttributeNode();
+    mi.output_is_element = m.output_is_element();
+    for (const auto& entry : m.element_index()) {
+      // Query names were interned at build time, before any document tag,
+      // so they are always inside the table the postings were sized to.
+      assert(entry.first < postings_.size());
+      postings_[entry.first].push_back(static_cast<uint32_t>(i));
+    }
+    if (mi.broadcast_elements) {
+      element_broadcast_.push_back(static_cast<uint32_t>(i));
+    }
+    if (mi.wants_attributes) {
+      attribute_machines_.push_back(static_cast<uint32_t>(i));
+    }
+    if (mi.wants_text) text_machines_.push_back(static_cast<uint32_t>(i));
+  }
+  index_built_ = true;
+}
+
+void MultiQueryEngine::Dispatcher::ResetStream() {
+  // Machines may be registered before the next document; rebuild then.
+  index_built_ = false;
+  targets_.clear();
+  event_id_ = 0;
+  active_recorders_.clear();
+  std::fill(is_active_recorder_.begin(), is_active_recorder_.end(), 0);
+  open_symbols_.clear();
+  pending_text_.Clear();
+}
+
+void MultiQueryEngine::Dispatcher::AddTarget(size_t i, bool broadcast) {
+  if (visit_stamp_[i] == event_id_) return;
+  visit_stamp_[i] = event_id_;
+  targets_.push_back(static_cast<uint32_t>(i));
+  if (broadcast) ++owner_->dispatch_stats_.broadcast_visits;
+}
+
+void MultiQueryEngine::Dispatcher::CollectTagTargets(Symbol symbol,
+                                                     bool with_attributes) {
+  targets_.clear();
+  ++event_id_;
+  if (symbol != kNoSymbol && symbol < postings_.size()) {
+    for (uint32_t i : postings_[symbol]) AddTarget(i, /*broadcast=*/false);
+  }
+  for (uint32_t i : element_broadcast_) AddTarget(i, /*broadcast=*/true);
+  for (uint32_t i : active_recorders_) AddTarget(i, /*broadcast=*/true);
+  if (with_attributes) {
+    // Unanchored attribute steps can match attributes of any element, but
+    // only while a context entry is open (or unconditionally for bare
+    // steps like //@id).
+    for (uint32_t i : attribute_machines_) {
+      if (info_[i].bare_attributes || machine(i).live_stack_entries() > 0) {
+        AddTarget(i, /*broadcast=*/true);
+      }
+    }
+  }
+}
+
+void MultiQueryEngine::Dispatcher::SyncRecorder(size_t i) {
+  bool active = machine(i).recording_active();
+  if (active == (is_active_recorder_[i] != 0)) return;
+  if (active) {
+    is_active_recorder_[i] = 1;
+    active_recorders_.push_back(static_cast<uint32_t>(i));
+  } else {
+    is_active_recorder_[i] = 0;
+    active_recorders_.erase(
+        std::find(active_recorders_.begin(), active_recorders_.end(),
+                  static_cast<uint32_t>(i)));
+  }
+}
+
+Status MultiQueryEngine::Dispatcher::FlushTextNode() {
+  if (pending_text_.empty()) return Status::OK();
+  targets_.clear();
+  ++event_id_;
+  for (uint32_t i : text_machines_) {
+    if (info_[i].bare_text || machine(i).live_stack_entries() > 0) {
+      AddTarget(i, /*broadcast=*/false);
+    }
+  }
+  for (uint32_t i : active_recorders_) AddTarget(i, /*broadcast=*/true);
+  ++owner_->dispatch_stats_.text_nodes;
+  owner_->dispatch_stats_.text_visits += targets_.size();
+  Status status = Status::OK();
+  for (uint32_t i : targets_) {
+    status = machine(i).TextNode(pending_text_.buffer, pending_text_.depth,
+                                 pending_text_.sequence);
+    if (!status.ok()) break;
+  }
+  pending_text_.Clear();
+  return status;
+}
+
+Status MultiQueryEngine::Dispatcher::StartDocument() {
+  if (!index_built_) BuildIndex();
   for (auto& m : owner_->machines_) {
     VITEX_RETURN_IF_ERROR(m->machine().StartDocument());
   }
   return Status::OK();
 }
 
-Status MultiQueryEngine::Demux::StartElement(
+Status MultiQueryEngine::Dispatcher::StartElement(
     const xml::StartElementEvent& event) {
-  for (auto& m : owner_->machines_) {
-    VITEX_RETURN_IF_ERROR(m->machine().StartElement(event));
+  VITEX_RETURN_IF_ERROR(FlushTextNode());
+  open_symbols_.push_back(event.symbol);
+  CollectTagTargets(event.symbol, !event.attributes.empty());
+  ++owner_->dispatch_stats_.start_events;
+  owner_->dispatch_stats_.start_visits += targets_.size();
+  for (uint32_t i : targets_) {
+    VITEX_RETURN_IF_ERROR(machine(i).StartElement(event));
+    if (info_[i].output_is_element) SyncRecorder(i);
   }
   return Status::OK();
 }
 
-Status MultiQueryEngine::Demux::EndElement(std::string_view name, int depth) {
-  for (auto& m : owner_->machines_) {
-    VITEX_RETURN_IF_ERROR(m->machine().EndElement(name, depth));
+Status MultiQueryEngine::Dispatcher::EndElement(std::string_view name,
+                                                int depth) {
+  VITEX_RETURN_IF_ERROR(FlushTextNode());
+  assert(!open_symbols_.empty());
+  Symbol symbol = open_symbols_.back();
+  open_symbols_.pop_back();
+  CollectTagTargets(symbol, /*with_attributes=*/false);
+  ++owner_->dispatch_stats_.end_events;
+  owner_->dispatch_stats_.end_visits += targets_.size();
+  for (uint32_t i : targets_) {
+    VITEX_RETURN_IF_ERROR(machine(i).EndElement(name, depth));
+    if (info_[i].output_is_element) SyncRecorder(i);
   }
   return Status::OK();
 }
 
-Status MultiQueryEngine::Demux::Characters(std::string_view text, int depth) {
-  for (auto& m : owner_->machines_) {
-    VITEX_RETURN_IF_ERROR(m->machine().Characters(text, depth));
+Status MultiQueryEngine::Dispatcher::Text(const xml::TextEvent& event) {
+  // No query selects text and no recording is open: nothing can ever
+  // consume this node, so don't even copy it. Both sets change only at tag
+  // events, where the buffer is flushed first, so skipping here is sound.
+  if (text_machines_.empty() && active_recorders_.empty()) {
+    return Status::OK();
+  }
+  // Central coalescing: pieces merge here once instead of in every machine;
+  // the node is dispatched whole at the next tag boundary. Long runs arrive
+  // in bounded pieces, so the buffer — like each machine's own under
+  // per-machine buffering — must honor the configured memory ceiling.
+  pending_text_.Append(event);
+  if (min_memory_limit_ != 0 &&
+      pending_text_.buffer.size() > min_memory_limit_) {
+    return Status::ResourceExhausted(
+        "buffered text exceeds the configured machine memory limit");
   }
   return Status::OK();
 }
 
-Status MultiQueryEngine::Demux::EndDocument() {
+Status MultiQueryEngine::Dispatcher::EndDocument() {
+  VITEX_RETURN_IF_ERROR(FlushTextNode());
   for (auto& m : owner_->machines_) {
     VITEX_RETURN_IF_ERROR(m->machine().EndDocument());
   }

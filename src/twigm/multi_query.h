@@ -1,12 +1,41 @@
 // MultiQueryEngine: evaluate many standing XPath queries over one XML
-// stream in a single pass.
+// stream in a single pass, dispatching each event only to the machines that
+// can use it.
 //
 // The paper's motivating applications — stock tickers, sports feeds,
 // personalized newspapers — are publish/subscribe systems: one stream, many
-// subscriptions. ViteX's demo runs one TwigM; this extension fans the SAX
-// event stream out to one TwigM machine per registered query, so the
-// O(document) parsing cost is paid once for all of them. Each query keeps
-// its own ResultHandler, stats and memory accounting.
+// subscriptions. ViteX's demo runs one TwigM; this engine parses once for
+// all registered queries and routes events through a *dispatch index*
+// (DESIGN.md §4) built on the pipeline's shared SymbolTable:
+//
+//   * per-symbol posting lists map a tag's interned id to the machines whose
+//     queries name that tag — startElement touches only those machines, so
+//     per-event work scales with the number of *interested* queries, not
+//     registered ones;
+//   * queries with '*' element tests fall back to broadcast (they can match
+//     any tag), as do machines currently serializing an output fragment (a
+//     recording must observe every event in the matched subtree) and
+//     unanchored attribute steps like //@id (any element may carry them);
+//   * character data is coalesced once, centrally, and delivered as whole
+//     text nodes to machines that select text;
+//   * document-order sequence numbers are stamped by the SAX parser, so
+//     skipped events never desynchronize machines (UnionEngine's dedup
+//     depends on identical numbering across branches).
+//
+// Typical usage:
+//
+//   vitex::twigm::MultiQueryEngine engine;
+//   vitex::twigm::VectorResultCollector news, stocks;
+//   engine.AddQuery("//article[topic = 'tech']//headline", &news);
+//   engine.AddQuery("//quote[@symbol = 'ACME']/price", &stocks);
+//   engine.Feed(chunk);          // one parse serves every subscription
+//   ...
+//   engine.Finish();
+//
+// Callers that compile machines themselves must build them against this
+// engine's table (TwigMBuilder::Build(..., engine.symbols())); AddBuilt
+// rejects machines interned elsewhere, since their symbol ids would alias.
+// Each query keeps its own ResultHandler, stats and memory accounting.
 
 #ifndef VITEX_TWIGM_MULTI_QUERY_H_
 #define VITEX_TWIGM_MULTI_QUERY_H_
@@ -16,6 +45,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/result.h"
 #include "twigm/builder.h"
 #include "twigm/machine.h"
@@ -26,6 +56,23 @@ namespace vitex::twigm {
 
 /// Identifier of a registered query within one MultiQueryEngine.
 using QueryId = size_t;
+
+/// Counters for the dispatch index (drive the multi-query experiments and
+/// the sublinearity assertions in tests). A "visit" is one machine receiving
+/// one event; without the index every event would cost query_count visits.
+struct DispatchStats {
+  uint64_t start_events = 0;
+  uint64_t end_events = 0;
+  uint64_t text_nodes = 0;
+  /// Machine visits for start/end element events (posting lists + fallbacks).
+  uint64_t start_visits = 0;
+  uint64_t end_visits = 0;
+  /// Machine visits for coalesced text nodes.
+  uint64_t text_visits = 0;
+  /// Portion of the above visits caused by broadcast fallbacks (wildcard
+  /// tests, active recordings, unanchored attributes).
+  uint64_t broadcast_visits = 0;
+};
 
 class MultiQueryEngine {
  public:
@@ -40,19 +87,26 @@ class MultiQueryEngine {
                            TwigMachine::Options options = {});
 
   /// Registers an already-built machine (used by UnionEngine and callers
-  /// that compile queries themselves).
+  /// that compile queries themselves). The machine must have been built
+  /// against this engine's symbols() table; InvalidArgument otherwise.
   Result<QueryId> AddBuilt(BuiltMachine built);
 
   size_t query_count() const { return machines_.size(); }
 
-  /// Pushes the next chunk of the stream to every registered query.
+  /// The shared symbol table all registered machines and the parser resolve
+  /// names against: the table the caller put in sax_options.symbols, or an
+  /// engine-owned one. Stable for the engine's lifetime.
+  SymbolTable* symbols() { return symbols_; }
+
+  /// Pushes the next chunk of the stream to the registered queries.
   Status Feed(std::string_view chunk);
   /// Signals end of stream.
   Status Finish();
   /// Convenience whole-document runs.
   Status RunString(std::string_view document);
 
-  /// Prepares for a new document; registered queries stay.
+  /// Prepares for a new document; registered queries stay (and more may be
+  /// added before the next Feed()).
   void ResetStream();
 
   const xpath::Query& query(QueryId id) const {
@@ -62,26 +116,87 @@ class MultiQueryEngine {
     return machines_[id]->machine();
   }
 
+  const DispatchStats& dispatch_stats() const { return dispatch_stats_; }
+
   /// Sum of live machine memory across all queries.
   size_t total_live_bytes() const;
 
  private:
-  // Fans each SAX event out to all machines.
-  class Demux : public xml::ContentHandler {
+  // Routes each SAX event to the machines that can use it (see file
+  // comment). Owns the central text coalescing buffer and the per-document
+  // dispatch state; the index itself is (re)built at stream start.
+  class Dispatcher : public xml::ContentHandler {
    public:
-    explicit Demux(MultiQueryEngine* owner) : owner_(owner) {}
+    explicit Dispatcher(MultiQueryEngine* owner) : owner_(owner) {}
     Status StartDocument() override;
     Status StartElement(const xml::StartElementEvent& event) override;
     Status EndElement(std::string_view name, int depth) override;
-    Status Characters(std::string_view text, int depth) override;
+    Status Text(const xml::TextEvent& event) override;
     Status EndDocument() override;
 
+    void BuildIndex();
+    void ResetStream();
+    /// Bytes held in the central text buffer (counts toward live memory).
+    size_t pending_text_bytes() const { return pending_text_.buffer.size(); }
+
    private:
+    // Per-machine dispatch subscriptions, derived from the query shape.
+    struct MachineInfo {
+      bool broadcast_elements = false;  // '*' test: every tag event
+      bool wants_text = false;          // any text() node
+      bool bare_text = false;           // //text(): every text node
+      bool wants_attributes = false;    // //@id, //a//@id: any tag w/ attrs
+      bool bare_attributes = false;     // //@id: no context entry needed
+      bool output_is_element = false;   // may open recordings
+    };
+
+    TwigMachine& machine(size_t i) { return owner_->machines_[i]->machine(); }
+
+    // Appends machine `i` to targets_ if not yet visited this event.
+    void AddTarget(size_t i, bool broadcast);
+    void CollectTagTargets(Symbol symbol, bool with_attributes);
+    void SyncRecorder(size_t i);
+    Status FlushTextNode();
+
     MultiQueryEngine* owner_;
+    bool index_built_ = false;
+
+    // symbol -> machines whose queries name that tag.
+    std::vector<std::vector<uint32_t>> postings_;
+    std::vector<MachineInfo> info_;
+    std::vector<uint32_t> element_broadcast_;  // wildcard machines
+    std::vector<uint32_t> attribute_machines_;
+    std::vector<uint32_t> text_machines_;
+
+    // Per-event target collection with O(1) dedup.
+    std::vector<uint32_t> targets_;
+    std::vector<uint64_t> visit_stamp_;
+    uint64_t event_id_ = 0;
+
+    // Machines with an open output recording: broadcast set, maintained
+    // after every dispatched event (recordings open/close only then).
+    std::vector<uint32_t> active_recorders_;
+    std::vector<uint8_t> is_active_recorder_;
+
+    // Tag symbols of currently open elements (EndElement events carry no
+    // symbol; the matching start did).
+    std::vector<Symbol> open_symbols_;
+
+    // Central text coalescing: one buffer for the whole engine instead of
+    // one per machine. Bounded by the strictest registered machine memory
+    // limit — under per-machine buffering every machine charged the text
+    // against its own budget, so the strictest one failed first.
+    xml::TextCoalescer pending_text_;
+    size_t min_memory_limit_ = 0;  // 0 = no machine has a limit
   };
 
   std::vector<std::unique_ptr<BuiltMachine>> machines_;
-  Demux demux_;
+  SymbolTable owned_symbols_;
+  // The engine's table: caller-supplied via sax_options.symbols (must then
+  // outlive the engine) or &owned_symbols_.
+  SymbolTable* symbols_ = nullptr;
+  Dispatcher dispatcher_;
+  DispatchStats dispatch_stats_;
   std::unique_ptr<xml::SaxParser> sax_;
   bool started_ = false;
 };

@@ -25,9 +25,12 @@ Result<UnionEngine> UnionEngine::Create(std::string_view xpath_union,
     // MultiQueryEngine re-parses from text; compile here instead to keep
     // the branch ASTs authoritative.
     auto owned = std::make_unique<xpath::Query>(std::move(compiled));
+    // Branch machines must share the MultiQueryEngine's symbol table so the
+    // dispatch index and event symbols agree across branches.
     VITEX_ASSIGN_OR_RETURN(BuiltMachine built,
                            TwigMBuilder::Build(std::move(owned), dedup.get(),
-                                               options.machine));
+                                               options.machine,
+                                               multi->symbols()));
     Result<QueryId> added = multi->AddBuilt(std::move(built));
     if (!added.ok()) return added.status();
   }

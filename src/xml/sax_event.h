@@ -8,19 +8,29 @@
 #ifndef VITEX_XML_SAX_EVENT_H_
 #define VITEX_XML_SAX_EVENT_H_
 
+#include <cassert>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/status.h"
 
 namespace vitex::xml {
+
+/// "No sequence number": the producer did not stamp document-order sequence
+/// numbers onto this event (consumers fall back to counting themselves).
+inline constexpr uint64_t kNoSequence = static_cast<uint64_t>(-1);
 
 /// One attribute of a start-element event. Views are valid only for the
 /// duration of the callback; consumers that need the data longer must copy.
 struct Attribute {
   std::string_view name;
   std::string_view value;
+  /// Interned id of `name` when the producer resolves names against a
+  /// SymbolTable (see SaxParserOptions::symbols); kNoSymbol otherwise.
+  Symbol symbol = kNoSymbol;
 };
 
 /// A start-element event.
@@ -34,6 +44,14 @@ struct StartElementEvent {
   /// Byte offset in the stream of the '<' that opened this tag (diagnostics
   /// and result-fragment bookkeeping).
   uint64_t byte_offset = 0;
+  /// Interned id of `name`, resolved once per event by the producer when it
+  /// holds a SymbolTable; kNoSymbol otherwise. Only meaningful to consumers
+  /// sharing that same table.
+  Symbol symbol = kNoSymbol;
+  /// Document-order sequence number of this element, stamped by the producer
+  /// (query-independent: one number per element, then one per attribute).
+  /// kNoSequence when the producer does not stamp.
+  uint64_t sequence = kNoSequence;
 
   /// Returns the value of attribute `attr_name`, or nullptr if absent.
   const std::string_view* FindAttribute(std::string_view attr_name) const {
@@ -41,6 +59,47 @@ struct StartElementEvent {
       if (a.name == attr_name) return &a.value;
     }
     return nullptr;
+  }
+};
+
+/// One piece of character data, with the producer-stamped sequence number of
+/// the text *node* it belongs to. Pieces of one node (chunk boundaries,
+/// CDATA seams, entity boundaries) carry the same sequence value.
+struct TextEvent {
+  std::string_view text;
+  int depth = 0;
+  uint64_t sequence = kNoSequence;
+};
+
+/// Merges the pieces of one text node back into a whole. The rule is the
+/// same for every consumer (TwigMachine, the multi-query dispatcher): all
+/// pieces delivered between two tag events are one node, at one depth, and
+/// the node's sequence number is the first piece's. Keeping the state
+/// machine in one place keeps single-query and dispatched evaluation from
+/// drifting apart.
+struct TextCoalescer {
+  std::string buffer;
+  int depth = -1;
+  uint64_t sequence = kNoSequence;
+
+  bool empty() const { return buffer.empty(); }
+
+  void Append(const TextEvent& event) {
+    if (buffer.empty()) {
+      buffer.assign(event.text);
+      depth = event.depth;
+      sequence = event.sequence;
+    } else {
+      // Depth cannot change without an intervening tag, which flushes.
+      assert(event.depth == depth);
+      buffer.append(event.text);
+    }
+  }
+
+  void Clear() {
+    buffer.clear();
+    depth = -1;
+    sequence = kNoSequence;
   }
 };
 
@@ -81,6 +140,14 @@ class ContentHandler {
     (void)text;
     (void)depth;
     return Status::OK();
+  }
+
+  /// The sequence-aware form of Characters. Producers that stamp sequence
+  /// numbers (the SAX parser) deliver text through this entry point; the
+  /// default implementation forwards to Characters so existing handlers are
+  /// unaffected. Override this instead of Characters to observe sequences.
+  virtual Status Text(const TextEvent& event) {
+    return Characters(event.text, event.depth);
   }
 
   /// Called for processing instructions `<?target data?>`. Ignored by

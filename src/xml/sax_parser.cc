@@ -65,6 +65,9 @@ void SaxParser::Reset() {
   consumed_total_ = 0;
   open_elements_.clear();
   text_run_open_ = false;
+  sequence_counter_ = 0;
+  text_node_open_ = false;
+  text_node_sequence_ = 0;
   started_document_ = false;
   seen_root_ = false;
   finished_ = false;
@@ -273,6 +276,11 @@ Status SaxParser::Pump(bool at_eof) {
   return Status::OK();
 }
 
+Symbol SaxParser::ResolveSymbol(std::string_view name) const {
+  Symbol sym = options_.symbols->Lookup(name);
+  return sym == kNoSymbol ? kAbsentSymbol : sym;
+}
+
 Status SaxParser::HandleText(std::string_view raw, bool partial) {
   if (raw.empty()) return Status::OK();
   if (open_elements_.empty()) {
@@ -298,7 +306,18 @@ Status SaxParser::HandleText(std::string_view raw, bool partial) {
     text = text_scratch_;
   }
   ++stats_.text_events;
-  return handler_->Characters(text, depth());
+  return DeliverText(text);
+}
+
+Status SaxParser::DeliverText(std::string_view text) {
+  // All pieces delivered between two tags belong to one coalesced text node
+  // and share one sequence number, assigned when the node begins. Comments
+  // and PIs do not break a node (consumers coalesce across them).
+  if (!text_node_open_) {
+    text_node_open_ = true;
+    text_node_sequence_ = sequence_counter_++;
+  }
+  return handler_->Text(TextEvent{text, depth(), text_node_sequence_});
 }
 
 Status SaxParser::HandleCData(std::string_view content) {
@@ -310,7 +329,7 @@ Status SaxParser::HandleCData(std::string_view content) {
     return Status::OK();
   }
   ++stats_.text_events;
-  return handler_->Characters(content, depth());
+  return DeliverText(content);
 }
 
 Status SaxParser::HandleStartTag(std::string_view body, uint64_t offset) {
@@ -403,10 +422,22 @@ Status SaxParser::HandleStartTag(std::string_view body, uint64_t offset) {
   event.attributes.reserve(raw_attrs.size());
   for (const RawAttr& ra : raw_attrs) {
     event.attributes.push_back(Attribute{
-        ra.name, ra.decoded_index >= 0
-                     ? std::string_view(attr_scratch_[ra.decoded_index])
-                     : ra.value});
+        ra.name,
+        ra.decoded_index >= 0 ? std::string_view(attr_scratch_[ra.decoded_index])
+                              : ra.value,
+        options_.symbols != nullptr ? ResolveSymbol(ra.name) : kNoSymbol});
   }
+  if (options_.symbols != nullptr) {
+    // Lookup, not Intern: a name absent from the table at query-build time
+    // cannot match any query symbol, and minting ids for document-only
+    // vocabulary would grow the shared table without bound on long-lived
+    // pub/sub streams. Misses stamp kAbsentSymbol so consumers don't repeat
+    // the hash.
+    event.symbol = ResolveSymbol(name);
+  }
+  text_node_open_ = false;
+  event.sequence = sequence_counter_;
+  sequence_counter_ += 1 + event.attributes.size();
 
   open_elements_.emplace_back(name);
   seen_root_ = true;
@@ -438,6 +469,7 @@ Status SaxParser::HandleEndTag(std::string_view body) {
                               open_elements_.back() + ">' but found '</" +
                               std::string(name) + ">'");
   }
+  text_node_open_ = false;
   int d = depth();
   std::string owned = std::move(open_elements_.back());
   open_elements_.pop_back();

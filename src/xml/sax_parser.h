@@ -46,6 +46,15 @@ struct SaxParserOptions {
 
   /// Reject duplicate attributes on one element (default true, per XML 1.0).
   bool reject_duplicate_attributes = true;
+
+  /// When non-null, element and attribute names are resolved against this
+  /// SymbolTable once per event and stamped into StartElementEvent::symbol /
+  /// Attribute::symbol, so consumers sharing the table never hash name text
+  /// themselves. Resolution is lookup-only: names the table has never seen
+  /// stamp kAbsentSymbol (they cannot match any interned query name), which
+  /// keeps the table bounded by query vocabulary however large the
+  /// document's. The table must outlive the parser. See DESIGN.md §3.
+  SymbolTable* symbols = nullptr;
 };
 
 /// Counters accumulated over one parse.
@@ -94,6 +103,8 @@ class SaxParser {
   // `partial` marks a prefix of a text run whose terminator has not been
   // seen yet (only happens for runs longer than kTextHoldBytes).
   Status HandleText(std::string_view raw, bool partial);
+  // Stamps the text-node sequence number and delivers one piece.
+  Status DeliverText(std::string_view text);
   Status HandleStartTag(std::string_view tag_body, uint64_t offset);
   Status HandleEndTag(std::string_view tag_body);
   Status HandleCData(std::string_view content);
@@ -101,6 +112,8 @@ class SaxParser {
   Status HandleComment(std::string_view body);
 
   Status CheckName(std::string_view name, const char* what) const;
+  // Lookup against options_.symbols; misses map to kAbsentSymbol.
+  Symbol ResolveSymbol(std::string_view name) const;
   Status ErrorAt(uint64_t offset, std::string msg) const;
 
   // Byte offset in the overall stream of buf_[0].
@@ -123,6 +136,14 @@ class SaxParser {
   std::vector<std::string> open_elements_;
   // True while a long text run is being streamed out in partial pieces.
   bool text_run_open_ = false;
+  // Document-order sequence stamping (query-independent, mirrored by every
+  // consumer that counts for itself): one number per element, then one per
+  // attribute, one per coalesced text node.
+  uint64_t sequence_counter_ = 0;
+  // True between the first delivered piece of a text node and the next tag;
+  // all pieces of the node carry text_node_sequence_.
+  bool text_node_open_ = false;
+  uint64_t text_node_sequence_ = 0;
   bool started_document_ = false;
   bool seen_root_ = false;
   bool finished_ = false;

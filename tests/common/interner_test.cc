@@ -1,0 +1,99 @@
+#include "common/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vitex {
+namespace {
+
+TEST(SymbolTableTest, IdsAreDenseAndAllocationOrdered) {
+  SymbolTable table;
+  EXPECT_EQ(table.Intern("a"), 0u);
+  EXPECT_EQ(table.Intern("b"), 1u);
+  EXPECT_EQ(table.Intern("c"), 2u);
+  EXPECT_EQ(table.size(), 3u);
+  // Re-interning returns the original id and mints nothing.
+  EXPECT_EQ(table.Intern("b"), 1u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(SymbolTableTest, LookupDoesNotMint) {
+  SymbolTable table;
+  table.Intern("known");
+  EXPECT_EQ(table.Lookup("known"), 0u);
+  EXPECT_EQ(table.Lookup("unknown"), kNoSymbol);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTableTest, NameRoundTrips) {
+  SymbolTable table;
+  Symbol s = table.Intern("ProteinEntry");
+  EXPECT_EQ(table.name(s), "ProteinEntry");
+}
+
+TEST(SymbolTableTest, NamesAreStableAgainstCallerStorage) {
+  SymbolTable table;
+  std::string caller = "ephemeral-name";
+  Symbol s = table.Intern(caller);
+  caller.assign("clobbered completely, reallocation very much intended!");
+  EXPECT_EQ(table.name(s), "ephemeral-name");
+  EXPECT_EQ(table.Lookup("ephemeral-name"), s);
+}
+
+TEST(SymbolTableTest, GrowthKeepsAllSymbolsFindable) {
+  SymbolTable table;
+  std::vector<std::string> names;
+  // Far past the initial slot count to force several rehashes.
+  for (int i = 0; i < 5000; ++i) {
+    names.push_back("tag_" + std::to_string(i));
+    ASSERT_EQ(table.Intern(names.back()), static_cast<Symbol>(i));
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(table.Lookup(names[i]), static_cast<Symbol>(i)) << names[i];
+    EXPECT_EQ(table.name(static_cast<Symbol>(i)), names[i]);
+  }
+  EXPECT_GT(table.arena_bytes(), 0u);
+}
+
+TEST(SymbolTableTest, CollidingAndSimilarNamesStayDistinct) {
+  SymbolTable table;
+  // Names engineered to share hash buckets often enough to exercise probing:
+  // short strings over a tiny alphabet.
+  std::vector<std::string> names;
+  for (char a = 'a'; a <= 'f'; ++a) {
+    for (char b = 'a'; b <= 'f'; ++b) {
+      for (char c = 'a'; c <= 'f'; ++c) {
+        names.push_back(std::string{a, b, c});
+      }
+    }
+  }
+  for (const std::string& n : names) table.Intern(n);
+  EXPECT_EQ(table.size(), names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(table.Lookup(names[i]), static_cast<Symbol>(i));
+  }
+}
+
+TEST(SymbolTableTest, EmptyNameIsAValidSymbol) {
+  SymbolTable table;
+  Symbol s = table.Intern("");
+  EXPECT_EQ(s, 0u);
+  EXPECT_EQ(table.Lookup(""), s);
+  EXPECT_EQ(table.name(s), "");
+}
+
+TEST(SymbolTableTest, MoveKeepsContents) {
+  SymbolTable table;
+  table.Intern("x");
+  table.Intern("y");
+  SymbolTable moved = std::move(table);
+  EXPECT_EQ(moved.Lookup("x"), 0u);
+  EXPECT_EQ(moved.Lookup("y"), 1u);
+  EXPECT_EQ(moved.name(1), "y");
+}
+
+}  // namespace
+}  // namespace vitex

@@ -10,6 +10,22 @@
 namespace vitex::twigm {
 namespace {
 
+TEST(EngineTest, CallerSuppliedSymbolTableIsHonored) {
+  // Engine::Create must build the machine against a table the caller put in
+  // options.sax.symbols (not silently swap in a private one), so tables can
+  // be shared across pipelines.
+  SymbolTable shared;
+  Engine::Options options;
+  options.sax.symbols = &shared;
+  VectorResultCollector results;
+  auto engine = Engine::Create("//widget", &results, options);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(&engine->machine().symbols(), &shared);
+  EXPECT_NE(shared.Lookup("widget"), kNoSymbol);
+  ASSERT_TRUE(engine->RunString("<r><widget/></r>").ok());
+  EXPECT_EQ(results.size(), 1u);
+}
+
 TEST(EngineTest, CreateRejectsBadQueries) {
   EXPECT_FALSE(Engine::Create("not-an-xpath", nullptr).ok());
   EXPECT_FALSE(Engine::Create("", nullptr).ok());

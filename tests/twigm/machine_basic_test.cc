@@ -209,5 +209,58 @@ TEST(MachineBasicTest, EmptyResultHandlerAllowed) {
   EXPECT_EQ(engine->machine().stats().results_emitted, 2u);
 }
 
+// Regression: the pre-symbol machine indexed element tests in a map keyed by
+// string_views into query-owned storage, so the machine's correctness hung
+// on the Query staying exactly where it was built. Name tests are now
+// interned into the machine's SymbolTable at construction; only the
+// heap-allocated QueryNode tree must stay alive, and the Query object itself
+// may be moved freely (as BuiltMachine and container reallocation do).
+TEST(MachineBasicTest, MachineSurvivesQueryMove) {
+  auto compiled = xpath::ParseAndCompile("//entry[meta/@kind = 'x']/payload");
+  ASSERT_TRUE(compiled.ok());
+  auto original = std::make_unique<xpath::Query>(std::move(compiled).value());
+  VectorResultCollector results;
+  TwigMachine machine(original.get(), &results);
+
+  // Move the Query value out of its original home. The moved-from shell is
+  // destroyed; the QueryNode tree now lives in (and is kept alive by) the
+  // new owner.
+  xpath::Query relocated = std::move(*original);
+  original.reset();
+
+  xml::SaxParser parser(&machine);
+  ASSERT_TRUE(
+      parser
+          .Feed("<r><entry><meta kind=\"x\"/><payload>p1</payload></entry>"
+                "<entry><meta kind=\"y\"/><payload>p2</payload></entry></r>")
+          .ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results.results()[0].fragment, "<payload>p1</payload>");
+}
+
+// The bundled form: BuiltMachine values get moved through vectors and across
+// scopes; machines must keep matching afterwards.
+TEST(MachineBasicTest, BuiltMachineSurvivesRelocation) {
+  std::vector<BuiltMachine> fleet;
+  std::vector<std::unique_ptr<VectorResultCollector>> handlers;
+  for (int i = 0; i < 16; ++i) {
+    handlers.push_back(std::make_unique<VectorResultCollector>());
+    auto built = TwigMBuilder::Build("//tag_" + std::to_string(i),
+                                     handlers.back().get());
+    ASSERT_TRUE(built.ok());
+    fleet.push_back(std::move(built).value());  // repeated reallocation
+  }
+  for (int i = 0; i < 16; ++i) {
+    xml::SaxParser parser(&fleet[i].machine());
+    ASSERT_TRUE(parser.Feed("<r><tag_7/><tag_7/></r>").ok());
+    ASSERT_TRUE(parser.Finish().ok());
+  }
+  EXPECT_EQ(handlers[7]->size(), 2u);
+  for (int i = 0; i < 16; ++i) {
+    if (i != 7) EXPECT_EQ(handlers[i]->size(), 0u);
+  }
+}
+
 }  // namespace
 }  // namespace vitex::twigm

@@ -1,0 +1,156 @@
+// Experiment S1: pub/sub service throughput vs. shard count × subscription
+// count. The paper's motivating deployment — one stream, many standing
+// subscriptions — run through service::StreamService: documents parsed
+// once on the ingest thread, replayed into every shard, match work split
+// across shards by subscription hash-partitioning.
+//
+// The scaling claim (ISSUE 2 acceptance): with ≥256 disjoint-tag
+// subscriptions, total replayed events/sec grows with the shard count —
+// each shard carries 1/N of the machines, so its per-event dispatch and
+// text-interest work shrinks while shards run in parallel. Even on a
+// single core, events_per_sec scales near-linearly (per-shard cost is
+// ~1/N, so N shards replay N× the events in the same wall time);
+// docs_per_sec additionally improves once shards have real cores to
+// spread over.
+//
+//   VITEX_BENCH_JSON=bench_out ./bench_service
+//   jq '.benchmarks[] | {name, events_per_sec: .counters.events_per_sec}' \
+//       bench_out/BENCH_service.json
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "service/stream_service.h"
+
+namespace {
+
+// A feed document cycling over `tags` distinct item tags, text-heavy so
+// subscription-side work (text-interest checks, value capture) dominates
+// the fixed per-event replay cost.
+std::string MakeFeedDoc(int tags, int items, int salt) {
+  std::string doc = "<feed>";
+  for (int i = 0; i < items; ++i) {
+    int tag = (i * 7 + salt) % tags;
+    doc += "<item" + std::to_string(tag) + "><val>quote " +
+           std::to_string(salt) + "." + std::to_string(i) +
+           " lorem ipsum dolor sit amet</val><aux>x</aux></item" +
+           std::to_string(tag) + ">";
+  }
+  doc += "</feed>";
+  return doc;
+}
+
+// Throughput of the full pipeline: Publish -> ingest parse -> fan-out ->
+// sharded match -> sink delivery. Args: {shard_count, subscriptions}.
+void BM_ServiceThroughput(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int subs = static_cast<int>(state.range(1));
+  constexpr int kDocsPerIteration = 8;
+  constexpr int kItemsPerDoc = 256;
+
+  vitex::service::StreamServiceOptions options;
+  options.shard_count = static_cast<size_t>(shards);
+  options.queue_capacity = 32;
+  vitex::service::StreamService service(options);
+  // Disjoint-tag subscriptions: //item<i>/val/text(), one per tag.
+  for (int i = 0; i < subs; ++i) {
+    auto id = service.Subscribe("//item" + std::to_string(i) +
+                                "/val/text()");
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+  }
+  std::vector<std::string> docs;
+  uint64_t doc_bytes = 0;
+  for (int d = 0; d < kDocsPerIteration; ++d) {
+    docs.push_back(MakeFeedDoc(subs, kItemsPerDoc, d));
+    doc_bytes += docs.back().size();
+  }
+  vitex::Status status = service.Flush();  // all machines installed
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    for (const std::string& doc : docs) {
+      status = service.Publish(doc);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = service.Flush();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+
+  vitex::service::ServiceStats stats = service.stats();
+  state.SetBytesProcessed(state.iterations() * doc_bytes);
+  state.counters["shards"] = shards;
+  state.counters["subscriptions"] = subs;
+  // Total replayed events/sec across all shards: the scaling headline.
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.events_replayed), benchmark::Counter::kIsRate);
+  state.counters["docs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kDocsPerIteration),
+      benchmark::Counter::kIsRate);
+  state.counters["results"] =
+      static_cast<double>(stats.results_delivered) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->ArgNames({"shards", "subs"})
+    ->Args({1, 256})
+    ->Args({2, 256})
+    ->Args({4, 256})
+    ->Args({8, 256})
+    ->Args({1, 1024})
+    ->Args({4, 1024})
+    ->Args({8, 1024})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Subscription lifecycle cost: how fast can subscribers churn while a
+// stream is live? Measures Subscribe+Unsubscribe round trips (validation,
+// shared-table compile, epoch-boundary install/remove).
+void BM_SubscriptionChurn(benchmark::State& state) {
+  vitex::service::StreamServiceOptions options;
+  options.shard_count = 4;
+  vitex::service::StreamService service(options);
+  for (int i = 0; i < 64; ++i) {
+    auto id = service.Subscribe("//item" + std::to_string(i) + "/@id");
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+  }
+  std::string doc = MakeFeedDoc(64, 64, 1);
+  int churn_tag = 64;
+  for (auto _ : state) {
+    auto id =
+        service.Subscribe("//item" + std::to_string(churn_tag) + "/@id");
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+    vitex::Status status = service.Publish(doc);
+    if (status.ok()) status = service.Unsubscribe(id.value());
+    if (status.ok()) status = service.Flush();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    ++churn_tag;
+  }
+  state.counters["docs"] = static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SubscriptionChurn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+VITEX_BENCH_MAIN("service")

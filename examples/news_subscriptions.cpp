@@ -1,15 +1,17 @@
 // "Electronic personalized newspapers" (paper §1): one news stream, many
-// subscribers, each with a standing XPath subscription — evaluated together
-// in a single pass by MultiQueryEngine. The stream is parsed once; each
-// subscriber pays only their own TwigM machine.
+// subscribers, each with a standing XPath subscription. PR 1 evaluated them
+// together in a single pass (MultiQueryEngine); this demo runs the same
+// scenario through the sharded pub/sub runtime (service::StreamService):
+// the stream is parsed once on the ingest thread, replayed into worker
+// shards, and — the new part — subscribers join and leave MID-STREAM, with
+// changes taking effect at exact document boundaries.
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
-#include "twigm/multi_query.h"
+#include "service/stream_service.h"
 #include "workload/text_corpus.h"
 
 namespace {
@@ -26,71 +28,102 @@ const Subscriber kSubscribers[] = {
     {"dave", "//article[not(paywalled)]/@id"},
 };
 
-class NamedHandler : public vitex::twigm::ResultHandler {
- public:
-  explicit NamedHandler(const char* name) : name_(name) {}
-  void OnResult(std::string_view fragment, uint64_t sequence) override {
-    (void)sequence;
-    std::printf("  -> %s receives: %.*s\n", name_,
-                static_cast<int>(fragment.size()), fragment.data());
-    ++delivered;
-  }
-  int delivered = 0;
-
- private:
-  const char* name_;
-};
-
 std::string MakeArticle(vitex::Random* rng, int id) {
   static const char* kCategories[] = {"markets", "sports", "politics",
                                       "science"};
   static const char* kRegions[] = {"eu", "us", "asia"};
-  std::string a = "<article id=\"n" + std::to_string(id) + "\">";
+  std::string a = "<newswire><article id=\"n" + std::to_string(id) + "\">";
   a += "<category>" + std::string(kCategories[rng->Uniform(4)]) +
        "</category>";
   a += "<region>" + std::string(kRegions[rng->Uniform(3)]) + "</region>";
   a += "<priority>" + std::to_string(rng->Uniform(10)) + "</priority>";
   if (rng->OneIn(0.3)) a += "<paywalled/>";
   a += "<headline>" + vitex::workload::RandomSentence(rng, 4) + "</headline>";
-  a += "</article>";
+  a += "</article></newswire>";
   return a;
+}
+
+int Deliver(vitex::service::StreamService* service, const char* name,
+            vitex::service::SubscriptionId id) {
+  auto drained = service->Drain(id);
+  if (!drained.ok()) return 0;
+  for (const vitex::service::Delivery& d : drained.value()) {
+    std::printf("  -> %s receives: %s\n", name, d.fragment.c_str());
+  }
+  return static_cast<int>(drained->size());
 }
 
 }  // namespace
 
 int main() {
-  vitex::twigm::MultiQueryEngine engine;
-  std::vector<std::unique_ptr<NamedHandler>> handlers;
-  for (const Subscriber& s : kSubscribers) {
-    handlers.push_back(std::make_unique<NamedHandler>(s.name));
-    auto id = engine.AddQuery(s.subscription, handlers.back().get());
+  vitex::service::StreamServiceOptions options;
+  options.shard_count = 2;
+  vitex::service::StreamService service(options);
+
+  std::vector<vitex::service::SubscriptionId> ids;
+  std::vector<int> delivered(std::size(kSubscribers), 0);
+  // alice, bob and carol subscribe before the stream starts; dave joins
+  // mid-stream and carol leaves mid-stream.
+  for (size_t s = 0; s < 3; ++s) {
+    auto id = service.Subscribe(kSubscribers[s].subscription);
     if (!id.ok()) {
-      std::fprintf(stderr, "bad subscription for %s: %s\n", s.name,
-                   id.status().ToString().c_str());
+      std::fprintf(stderr, "bad subscription for %s: %s\n",
+                   kSubscribers[s].name, id.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s subscribed: %s\n", s.name, s.subscription);
+    ids.push_back(id.value());
+    std::printf("%s subscribed: %s\n", kSubscribers[s].name,
+                kSubscribers[s].subscription);
   }
 
-  std::printf("\nstreaming 12 articles...\n");
+  std::printf("\nstreaming 12 articles (one document each)...\n");
   vitex::Random rng(7);
-  vitex::Status status = engine.Feed("<newswire>");
-  for (int i = 0; i < 12 && status.ok(); ++i) {
-    status = engine.Feed(MakeArticle(&rng, i));
+  for (int i = 0; i < 12; ++i) {
+    if (i == 4) {
+      // dave joins mid-stream: sees articles 4.. but never 0-3.
+      auto id = service.Subscribe(kSubscribers[3].subscription);
+      if (!id.ok()) return 1;
+      ids.push_back(id.value());
+      std::printf("[article %d] dave joins: %s\n", i,
+                  kSubscribers[3].subscription);
+    }
+    if (i == 8) {
+      // carol leaves mid-stream: her machine is removed from its shard at
+      // the next document boundary. Flush first so articles 0-7 — which
+      // she was subscribed for — are fully processed before the farewell
+      // drain (unsubscribing discards undrained results).
+      if (!service.Flush().ok()) return 1;
+      delivered[2] += Deliver(&service, "carol", ids[2]);
+      if (!service.Unsubscribe(ids[2]).ok()) return 1;
+      std::printf("[article %d] carol leaves\n", i);
+    }
+    if (!service.Publish(MakeArticle(&rng, i)).ok()) return 1;
   }
-  if (status.ok()) status = engine.Feed("</newswire>");
-  if (status.ok()) status = engine.Finish();
+  vitex::Status status = service.Flush();
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
 
   std::printf("\ndeliveries:\n");
-  for (size_t i = 0; i < handlers.size(); ++i) {
-    std::printf("  %-6s %d article(s)\n", kSubscribers[i].name,
-                handlers[i]->delivered);
+  for (size_t s = 0; s < ids.size(); ++s) {
+    if (s == 2) continue;  // carol already drained at departure
+    delivered[s] += Deliver(&service, kSubscribers[s].name, ids[s]);
   }
-  std::printf("aggregate live engine memory after stream: %zu bytes\n",
-              engine.total_live_bytes());
+  std::printf("\ntotals:\n");
+  for (size_t s = 0; s < std::size(kSubscribers); ++s) {
+    std::printf("  %-6s %d article(s)%s\n", kSubscribers[s].name,
+                delivered[s],
+                s == 2 ? " (left at article 8)"
+                       : (s == 3 ? " (joined at article 4)" : ""));
+  }
+  vitex::service::ServiceStats stats = service.stats();
+  std::printf(
+      "service: %llu documents through %zu shards, %llu events replayed, "
+      "%llu results delivered\n",
+      static_cast<unsigned long long>(stats.documents_processed),
+      service.shard_count(),
+      static_cast<unsigned long long>(stats.events_replayed),
+      static_cast<unsigned long long>(stats.results_delivered));
   return 0;
 }

@@ -1,0 +1,88 @@
+// A bounded multi-producer / multi-consumer blocking queue: the backpressure
+// primitive of the pub/sub runtime (DESIGN.md §5).
+//
+// Push blocks while the queue is full, so a fast publisher is throttled to
+// the speed of the slowest consumer instead of buffering unboundedly —
+// exactly the behaviour a streaming service needs when "heavy traffic"
+// outruns a shard. Close() releases everyone: pending items still drain
+// (Pop keeps returning them), further Push calls fail, and Pop returns
+// nullopt once the queue is empty.
+
+#ifndef VITEX_SERVICE_BOUNDED_QUEUE_H_
+#define VITEX_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace vitex::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is room (backpressure), then enqueues. Returns
+  /// false — without enqueueing — if the queue is (or becomes) closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available and dequeues it. Returns nullopt
+  /// only when the queue is closed *and* fully drained, so no enqueued
+  /// item is ever lost to a shutdown race.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Closes the queue: wakes every waiter, fails future Push calls, lets
+  /// Pop drain what remains. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Items currently queued (a snapshot; for stats/monitoring).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace vitex::service
+
+#endif  // VITEX_SERVICE_BOUNDED_QUEUE_H_

@@ -1,0 +1,426 @@
+#include "service/stream_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "twigm/builder.h"
+#include "xml/sax_parser.h"
+
+namespace vitex::service {
+
+// ---------------------------------------------------------------------------
+// Internal types.
+// ---------------------------------------------------------------------------
+
+// Thread-safe per-subscriber result queue: the owning shard's machine
+// appends on its thread; the subscriber drains on any thread.
+class StreamService::SubscriberSink : public twigm::ResultHandler {
+ public:
+  explicit SubscriberSink(std::atomic<uint64_t>* delivered)
+      : delivered_(delivered) {}
+
+  void OnResult(std::string_view fragment, uint64_t sequence) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(Delivery{std::string(fragment), sequence});
+    }
+    delivered_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::vector<Delivery> Drain() {
+    std::vector<Delivery> out;
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(pending_);
+    return out;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Delivery> pending_;
+  std::atomic<uint64_t>* delivered_;
+};
+
+// Barrier token for Flush(): every shard decrements once it has processed
+// everything enqueued before the token.
+struct StreamService::FlushGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+};
+
+struct StreamService::IngestItem {
+  enum class Kind { kDocument, kSubscribe, kUnsubscribe, kFlush };
+  Kind kind = Kind::kDocument;
+  std::string document;                 // kDocument
+  std::string xpath;                    // kSubscribe
+  SubscriptionId subscription = 0;      // kSubscribe / kUnsubscribe
+  std::shared_ptr<SubscriberSink> sink; // kSubscribe
+  std::shared_ptr<FlushGate> gate;      // kFlush
+};
+
+struct StreamService::ShardItem {
+  enum class Kind { kDocument, kSubscribe, kUnsubscribe, kFlush };
+  Kind kind = Kind::kDocument;
+  std::shared_ptr<const xml::EventLog> log;         // kDocument
+  std::unique_ptr<twigm::BuiltMachine> machine;     // kSubscribe
+  SubscriptionId subscription = 0;                  // kSubscribe/kUnsubscribe
+  std::shared_ptr<SubscriberSink> sink;             // kSubscribe
+  std::shared_ptr<FlushGate> gate;                  // kFlush
+};
+
+// One worker shard: a queue, a thread, and a private MultiQueryEngine whose
+// machines are this shard's slice of the subscription set. Everything below
+// `queue` is touched only by the shard thread, except the atomics and the
+// mutex-guarded dispatch snapshot.
+struct StreamService::Shard {
+  Shard(size_t queue_capacity, xml::SaxParserOptions sax_options)
+      : queue(queue_capacity),
+        engine(std::make_unique<twigm::MultiQueryEngine>(sax_options)) {}
+
+  BoundedQueue<ShardItem> queue;
+  std::unique_ptr<twigm::MultiQueryEngine> engine;
+  std::thread thread;
+  bool failed = false;  // fail-stop: skip further documents after an error
+
+  // Subscription bookkeeping (shard thread only).
+  std::unordered_map<SubscriptionId, twigm::QueryId> queries;
+  std::unordered_map<SubscriptionId, std::shared_ptr<SubscriberSink>> sinks;
+
+  // Written by the shard thread, read by stats().
+  std::atomic<uint64_t> documents{0};
+  std::atomic<uint64_t> events{0};
+  std::atomic<size_t> live_queries{0};
+  std::mutex dispatch_mu;
+  twigm::DispatchStats dispatch;  // snapshot after each document
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown.
+// ---------------------------------------------------------------------------
+
+StreamService::StreamService(StreamServiceOptions options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
+  size_t shard_count = std::max<size_t>(1, options_.shard_count);
+  ingest_queue_ =
+      std::make_unique<BoundedQueue<IngestItem>>(options_.queue_capacity);
+  xml::SaxParserOptions shard_sax = options_.sax_options;
+  shard_sax.symbols = &symbols_;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(
+        std::make_unique<Shard>(options_.queue_capacity, shard_sax));
+  }
+  for (auto& shard : shards_) {
+    shard->thread = std::thread(&StreamService::ShardLoop, this, shard.get());
+  }
+  ingest_thread_ = std::thread(&StreamService::IngestLoop, this);
+}
+
+StreamService::~StreamService() { (void)Stop(); }
+
+Status StreamService::Stop() {
+  // Serializes stops: a concurrent second caller blocks here until the
+  // first caller has finished joining, so no caller (in particular the
+  // destructor) can proceed while threads are still running.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return first_error_;
+    stopped_ = true;
+  }
+  // Closing the ingest queue lets the ingest thread drain what is already
+  // queued, then close every shard queue (which likewise drain) — so work
+  // accepted before Stop() is still fully processed.
+  ingest_queue_->Close();
+  ingest_thread_.join();
+  for (auto& shard : shards_) shard->thread.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  return first_error_;
+}
+
+void StreamService::RecordError(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok()) first_error_ = status;
+}
+
+size_t StreamService::ShardOf(SubscriptionId id) const {
+  // splitmix64 finalizer: subscription ids are sequential, so mix before
+  // taking the residue to spread consecutive subscribers across shards.
+  uint64_t x = id;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % shards_.size());
+}
+
+// ---------------------------------------------------------------------------
+// Caller-facing API.
+// ---------------------------------------------------------------------------
+
+Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return Status::InvalidArgument("service is stopped");
+  }
+  // Validate synchronously against a throwaway private table; the real
+  // machine is compiled on the ingest thread, where the shared table may
+  // be mutated safely. Compilation is cheap (O(|Q|)) and subscription is
+  // rare next to document traffic.
+  VITEX_RETURN_IF_ERROR(
+      twigm::TwigMBuilder::Build(xpath, nullptr, options_.machine_options,
+                                 nullptr)
+          .status());
+
+  SubscriptionId id =
+      next_subscription_.fetch_add(1, std::memory_order_relaxed);
+  auto sink = std::make_shared<SubscriberSink>(&results_delivered_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscriptions_[id] = sink;
+  }
+  IngestItem item;
+  item.kind = IngestItem::Kind::kSubscribe;
+  item.xpath = std::string(xpath);
+  item.subscription = id;
+  item.sink = std::move(sink);
+  if (!ingest_queue_->Push(std::move(item))) {
+    std::lock_guard<std::mutex> lock(mu_);
+    subscriptions_.erase(id);
+    return Status::InvalidArgument("service is stopped");
+  }
+  return id;
+}
+
+Status StreamService::Unsubscribe(SubscriptionId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) {
+      return Status::InvalidArgument("unknown subscription id");
+    }
+    subscriptions_.erase(it);
+  }
+  IngestItem item;
+  item.kind = IngestItem::Kind::kUnsubscribe;
+  item.subscription = id;
+  // A closed queue means the service is stopping: teardown removes every
+  // machine anyway, so the unsubscribe is already effectively applied.
+  ingest_queue_->Push(std::move(item));
+  return Status::OK();
+}
+
+Result<std::vector<Delivery>> StreamService::Drain(SubscriptionId id) {
+  std::shared_ptr<SubscriberSink> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = subscriptions_.find(id);
+    if (it == subscriptions_.end()) {
+      return Status::InvalidArgument("unknown subscription id");
+    }
+    sink = it->second;
+  }
+  return sink->Drain();
+}
+
+Status StreamService::Publish(std::string document) {
+  IngestItem item;
+  item.kind = IngestItem::Kind::kDocument;
+  item.document = std::move(document);
+  if (!ingest_queue_->Push(std::move(item))) {
+    return Status::InvalidArgument("service is stopped");
+  }
+  documents_published_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status StreamService::Flush() {
+  auto gate = std::make_shared<FlushGate>();
+  gate->remaining = shards_.size();
+  IngestItem item;
+  item.kind = IngestItem::Kind::kFlush;
+  item.gate = gate;
+  if (!ingest_queue_->Push(std::move(item))) {
+    // Stopping: Stop() drains everything, which is a stronger barrier.
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+  std::unique_lock<std::mutex> lock(gate->mu);
+  gate->cv.wait(lock, [&] { return gate->remaining == 0; });
+  std::lock_guard<std::mutex> err_lock(mu_);
+  return first_error_;
+}
+
+ServiceStats StreamService::stats() const {
+  ServiceStats s;
+  s.documents_published = documents_published_.load(std::memory_order_relaxed);
+  s.documents_rejected = documents_rejected_.load(std::memory_order_relaxed);
+  s.events_parsed = events_parsed_.load(std::memory_order_relaxed);
+  s.results_delivered = results_delivered_.load(std::memory_order_relaxed);
+  s.ingest_queue_depth = ingest_queue_->size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.active_subscriptions = subscriptions_.size();
+  }
+  uint64_t min_docs = 0;
+  bool first = true;
+  for (const auto& shard : shards_) {
+    ShardStatsSnapshot snap;
+    snap.documents = shard->documents.load(std::memory_order_relaxed);
+    snap.events = shard->events.load(std::memory_order_relaxed);
+    snap.queue_depth = shard->queue.size();
+    snap.live_queries = shard->live_queries.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard->dispatch_mu);
+      snap.dispatch = shard->dispatch;
+    }
+    s.events_replayed += snap.events;
+    min_docs = first ? snap.documents : std::min(min_docs, snap.documents);
+    first = false;
+    s.shards.push_back(snap);
+  }
+  s.documents_processed = min_docs;
+  s.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (s.uptime_seconds > 0) {
+    s.docs_per_sec = static_cast<double>(s.documents_processed) /
+                     s.uptime_seconds;
+    s.events_per_sec =
+        static_cast<double>(s.events_replayed) / s.uptime_seconds;
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Ingest thread: parse once, fan out; compile subscriptions. The ONLY
+// thread that touches the shared SymbolTable after construction.
+// ---------------------------------------------------------------------------
+
+void StreamService::IngestLoop() {
+  xml::SaxParserOptions parse_options = options_.sax_options;
+  parse_options.symbols = &symbols_;
+  while (std::optional<IngestItem> item = ingest_queue_->Pop()) {
+    switch (item->kind) {
+      case IngestItem::Kind::kDocument: {
+        auto log = std::make_shared<xml::EventLog>();
+        xml::EventRecorder recorder(log.get());
+        Status parsed =
+            xml::ParseString(item->document, &recorder, parse_options);
+        if (!parsed.ok()) {
+          // A malformed publication is dropped, not fatal: pub/sub streams
+          // outlive one bad document.
+          documents_rejected_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        events_parsed_.fetch_add(log->size(), std::memory_order_relaxed);
+        for (auto& shard : shards_) {
+          ShardItem doc;
+          doc.kind = ShardItem::Kind::kDocument;
+          doc.log = log;  // shared: one parse, N replays
+          shard->queue.Push(std::move(doc));  // blocks on backpressure
+        }
+        break;
+      }
+      case IngestItem::Kind::kSubscribe: {
+        // Recompile against the shared table (the Subscribe-time build
+        // only validated). Interning happens here, on this thread.
+        auto built = twigm::TwigMBuilder::Build(
+            item->xpath, item->sink.get(), options_.machine_options,
+            &symbols_);
+        if (!built.ok()) {
+          RecordError(built.status());  // passed validation; cannot differ
+          break;
+        }
+        ShardItem sub;
+        sub.kind = ShardItem::Kind::kSubscribe;
+        sub.machine =
+            std::make_unique<twigm::BuiltMachine>(std::move(built).value());
+        sub.subscription = item->subscription;
+        sub.sink = std::move(item->sink);
+        shards_[ShardOf(item->subscription)]->queue.Push(std::move(sub));
+        break;
+      }
+      case IngestItem::Kind::kUnsubscribe: {
+        ShardItem unsub;
+        unsub.kind = ShardItem::Kind::kUnsubscribe;
+        unsub.subscription = item->subscription;
+        shards_[ShardOf(item->subscription)]->queue.Push(std::move(unsub));
+        break;
+      }
+      case IngestItem::Kind::kFlush: {
+        for (auto& shard : shards_) {
+          ShardItem flush;
+          flush.kind = ShardItem::Kind::kFlush;
+          flush.gate = item->gate;
+          shard->queue.Push(std::move(flush));
+        }
+        break;
+      }
+    }
+  }
+  // Ingest queue closed and drained: release the shards the same way.
+  for (auto& shard : shards_) shard->queue.Close();
+}
+
+// ---------------------------------------------------------------------------
+// Shard threads: replay documents into the private engine; apply
+// subscription changes between documents (epoch boundaries).
+// ---------------------------------------------------------------------------
+
+void StreamService::ShardLoop(Shard* shard) {
+  twigm::MultiQueryEngine& engine = *shard->engine;
+  while (std::optional<ShardItem> item = shard->queue.Pop()) {
+    switch (item->kind) {
+      case ShardItem::Kind::kDocument: {
+        if (shard->failed) break;  // fail-stop, but keep draining the queue
+        Status status = engine.RunEvents(*item->log);
+        if (!status.ok()) {
+          shard->failed = true;
+          RecordError(status);
+          break;
+        }
+        shard->documents.fetch_add(1, std::memory_order_relaxed);
+        shard->events.fetch_add(item->log->size(),
+                                std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(shard->dispatch_mu);
+        shard->dispatch = engine.dispatch_stats();
+        break;
+      }
+      case ShardItem::Kind::kSubscribe: {
+        if (shard->failed) break;
+        Result<twigm::QueryId> qid =
+            engine.AddBuilt(std::move(*item->machine));
+        if (!qid.ok()) {
+          RecordError(qid.status());
+          break;
+        }
+        shard->queries[item->subscription] = qid.value();
+        shard->sinks[item->subscription] = std::move(item->sink);
+        shard->live_queries.store(shard->queries.size(),
+                                  std::memory_order_relaxed);
+        break;
+      }
+      case ShardItem::Kind::kUnsubscribe: {
+        auto it = shard->queries.find(item->subscription);
+        if (it == shard->queries.end()) break;  // never installed (failed)
+        if (!shard->failed) {
+          (void)engine.RemoveQuery(it->second);
+        }
+        shard->queries.erase(it);
+        shard->sinks.erase(item->subscription);
+        shard->live_queries.store(shard->queries.size(),
+                                  std::memory_order_relaxed);
+        break;
+      }
+      case ShardItem::Kind::kFlush: {
+        std::lock_guard<std::mutex> lock(item->gate->mu);
+        if (--item->gate->remaining == 0) item->gate->cv.notify_all();
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace vitex::service

@@ -1,0 +1,193 @@
+// StreamService: a sharded, multi-threaded pub/sub runtime over the TwigM
+// pipeline — the paper's motivating deployment (stock tickers, sports
+// feeds, personalized newspapers: one stream, many standing subscriptions)
+// run across cores. See DESIGN.md §5.
+//
+// Architecture (threads left to right):
+//
+//   callers ──Publish──▶ [ingest queue] ── ingest thread ──▶ [shard queues]
+//   callers ──Subscribe/Unsubscribe──────────┘ (same FIFO)        │
+//                                                    shard 0..N-1 threads,
+//                                                    each a private
+//                                                    MultiQueryEngine
+//
+//   * Documents are parsed ONCE, on the ingest thread, into an
+//     xml::EventLog (symbol- and sequence-stamped), then the log is
+//     replayed into every shard — N shards cost one parse.
+//   * Subscriptions are hash-partitioned across shards; each shard's
+//     engine dispatches events only to its own machines, so per-event
+//     match work splits N ways.
+//   * Every queue is bounded: a slow shard backpressures the ingest
+//     thread, which backpressures Publish. Nothing buffers unboundedly.
+//   * Subscribe/Unsubscribe flow through the SAME queues as documents, so
+//     they apply at exact document epoch boundaries: a subscription sees
+//     every document published after the Subscribe call returned, and
+//     none published before.
+//   * All SymbolTable mutation (query compilation, parse-time interning)
+//     is confined to the ingest thread; shard threads consume only stamped
+//     integer symbols, so the shared table needs no lock.
+//   * Results are delivered into a per-subscriber thread-safe sink; the
+//     caller collects them with Drain(id) at its own pace.
+
+#ifndef VITEX_SERVICE_STREAM_SERVICE_H_
+#define VITEX_SERVICE_STREAM_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "service/bounded_queue.h"
+#include "twigm/multi_query.h"
+#include "xml/event_log.h"
+
+namespace vitex::service {
+
+/// Identifier of one standing subscription. Never reused.
+using SubscriptionId = uint64_t;
+
+/// One query solution, as drained by the subscriber.
+struct Delivery {
+  std::string fragment;
+  /// Document-order sequence number within its document (see
+  /// twigm::ResultHandler::OnResult).
+  uint64_t sequence = 0;
+};
+
+struct StreamServiceOptions {
+  /// Worker shards (each one thread + one MultiQueryEngine). Clamped to 1.
+  size_t shard_count = 4;
+  /// Capacity of the ingest queue and of each shard's queue (documents +
+  /// control ops). Smaller values bound memory harder and backpressure
+  /// sooner.
+  size_t queue_capacity = 64;
+  /// Parser options for the single ingest-side parse. The `symbols` field
+  /// is overridden with the service's shared table.
+  xml::SaxParserOptions sax_options;
+  /// Options applied to every subscription's TwigM machine.
+  twigm::TwigMachine::Options machine_options;
+};
+
+/// Per-shard counters (monotonic except queue_depth/live_queries).
+struct ShardStatsSnapshot {
+  uint64_t documents = 0;  ///< documents fully processed by this shard
+  uint64_t events = 0;     ///< SAX events replayed into this shard
+  size_t queue_depth = 0;
+  size_t live_queries = 0;
+  twigm::DispatchStats dispatch;  ///< as of the last completed document
+};
+
+/// Service-wide snapshot (stats()).
+struct ServiceStats {
+  uint64_t documents_published = 0;  ///< accepted by Publish
+  uint64_t documents_rejected = 0;   ///< failed to parse on ingest
+  uint64_t documents_processed = 0;  ///< completed by EVERY shard (min)
+  uint64_t events_parsed = 0;        ///< SAX events recorded on ingest
+  uint64_t events_replayed = 0;      ///< sum over shards
+  uint64_t results_delivered = 0;    ///< OnResult calls across all sinks
+  uint64_t active_subscriptions = 0;
+  size_t ingest_queue_depth = 0;
+  double uptime_seconds = 0;
+  double docs_per_sec = 0;    ///< documents_processed / uptime
+  double events_per_sec = 0;  ///< events_replayed / uptime (total work rate)
+  std::vector<ShardStatsSnapshot> shards;
+};
+
+class StreamService {
+ public:
+  explicit StreamService(StreamServiceOptions options = {});
+  ~StreamService();  // Stop()s if still running
+
+  StreamService(const StreamService&) = delete;
+  StreamService& operator=(const StreamService&) = delete;
+
+  /// Registers a standing subscription. The query is validated
+  /// synchronously (errors return immediately); the machine itself is
+  /// compiled on the ingest thread and installed in its shard at the next
+  /// document boundary. The subscription receives results for every
+  /// document published after this call returns.
+  Result<SubscriptionId> Subscribe(std::string_view xpath);
+
+  /// Ends a subscription at the next document boundary; undrained results
+  /// are discarded and the id becomes invalid immediately.
+  Status Unsubscribe(SubscriptionId id);
+
+  /// Collects the subscription's pending results (thread-safe; any
+  /// thread). Results of one document arrive only after the owning shard
+  /// finishes that document (Flush() to force completion).
+  Result<std::vector<Delivery>> Drain(SubscriptionId id);
+
+  /// Publishes one complete XML document to every subscription. Blocks
+  /// only for backpressure (ingest queue full); processing is
+  /// asynchronous. A document that fails to parse is counted rejected and
+  /// dropped; it does not stop the service.
+  Status Publish(std::string document);
+
+  /// Blocks until everything published (and every subscribe/unsubscribe
+  /// issued) before this call has been fully processed by every shard.
+  /// Returns the first shard error, if any.
+  Status Flush();
+
+  /// Drains all queues, stops every thread, and returns the first error
+  /// the service encountered (ingest parse errors excluded — those only
+  /// count as rejected documents). Idempotent; called by the destructor.
+  Status Stop();
+
+  size_t shard_count() const { return shards_.size(); }
+  ServiceStats stats() const;
+
+ private:
+  class SubscriberSink;
+  struct FlushGate;
+  struct IngestItem;
+  struct ShardItem;
+  struct Shard;
+
+  void IngestLoop();
+  void ShardLoop(Shard* shard);
+  size_t ShardOf(SubscriptionId id) const;
+  void RecordError(const Status& status);
+
+  StreamServiceOptions options_;
+  // Shared by the ingest parser and every shard engine. Mutated (Intern)
+  // only on the ingest thread; shard threads never call into it — they
+  // read stamped symbols off replayed events, and MultiQueryEngine sizes
+  // its dispatch index from query vocabulary, not from the table.
+  SymbolTable symbols_;
+
+  std::unique_ptr<BoundedQueue<IngestItem>> ingest_queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::thread ingest_thread_;
+
+  // Held for the whole of Stop() so concurrent stops (destructor racing an
+  // explicit Stop) wait for the joins instead of returning early.
+  std::mutex stop_mu_;
+  mutable std::mutex mu_;  // subscriptions_, first_error_, stopped_
+  // Live subscriptions' sinks (routing is recomputed from the id by
+  // ShardOf). The owning shard holds a second shared_ptr until it applies
+  // the unsubscribe, so a sink is never destroyed under a running machine.
+  std::unordered_map<SubscriptionId, std::shared_ptr<SubscriberSink>>
+      subscriptions_;
+  Status first_error_;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> next_subscription_{1};
+  std::atomic<uint64_t> documents_published_{0};
+  std::atomic<uint64_t> documents_rejected_{0};
+  std::atomic<uint64_t> events_parsed_{0};
+  std::atomic<uint64_t> results_delivered_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vitex::service
+
+#endif  // VITEX_SERVICE_STREAM_SERVICE_H_

@@ -18,7 +18,7 @@ Result<QueryId> MultiQueryEngine::AddQuery(std::string_view xpath,
                                            TwigMachine::Options options) {
   if (started_) {
     return Status::InvalidArgument(
-        "queries must be registered before the stream starts");
+        "queries may be registered only at document boundaries");
   }
   VITEX_ASSIGN_OR_RETURN(
       BuiltMachine built,
@@ -29,7 +29,7 @@ Result<QueryId> MultiQueryEngine::AddQuery(std::string_view xpath,
 Result<QueryId> MultiQueryEngine::AddBuilt(BuiltMachine built) {
   if (started_) {
     return Status::InvalidArgument(
-        "queries must be registered before the stream starts");
+        "queries may be registered only at document boundaries");
   }
   if (&built.machine().symbols() != symbols_) {
     return Status::InvalidArgument(
@@ -37,8 +37,33 @@ Result<QueryId> MultiQueryEngine::AddBuilt(BuiltMachine built) {
         "TwigMBuilder::Build(..., engine.symbols()) so dispatch symbols "
         "agree");
   }
-  machines_.push_back(std::make_unique<BuiltMachine>(std::move(built)));
-  return machines_.size() - 1;
+  QueryId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    machines_[id] = std::make_unique<BuiltMachine>(std::move(built));
+  } else {
+    id = machines_.size();
+    machines_.push_back(std::make_unique<BuiltMachine>(std::move(built)));
+  }
+  dispatcher_.InvalidateIndex();
+  return id;
+}
+
+Status MultiQueryEngine::RemoveQuery(QueryId id) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "queries may be removed only at document boundaries");
+  }
+  if (!has_query(id)) {
+    return Status::InvalidArgument("no live query with this id");
+  }
+  machines_[id] = nullptr;
+  free_slots_.push_back(id);
+  // The next document rebuilds the dispatch index, compacting this
+  // machine out of every posting list and interest set.
+  dispatcher_.InvalidateIndex();
+  return Status::OK();
 }
 
 Status MultiQueryEngine::Feed(std::string_view chunk) {
@@ -53,9 +78,26 @@ Status MultiQueryEngine::RunString(std::string_view document) {
   return Finish();
 }
 
+Status MultiQueryEngine::RunEvents(const xml::EventLog& log) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "documents may be replayed only at document boundaries (mid-stream "
+        "state is in flight; Finish or ResetStream first)");
+  }
+  started_ = true;
+  Status status = log.Replay(&dispatcher_);
+  if (!status.ok()) return status;  // poisoned mid-document: ResetStream
+  // The document completed: back at a boundary, open for Add/RemoveQuery
+  // and the next RunEvents.
+  started_ = false;
+  return status;
+}
+
 void MultiQueryEngine::ResetStream() {
   sax_->Reset();
-  for (auto& m : machines_) m->machine().Reset();
+  for (auto& m : machines_) {
+    if (m != nullptr) m->machine().Reset();
+  }
   dispatcher_.ResetStream();
   dispatch_stats_ = DispatchStats();
   started_ = false;
@@ -64,7 +106,7 @@ void MultiQueryEngine::ResetStream() {
 size_t MultiQueryEngine::total_live_bytes() const {
   size_t total = dispatcher_.pending_text_bytes();
   for (const auto& m : machines_) {
-    total += m->machine().memory().live_bytes();
+    if (m != nullptr) total += m->machine().memory().live_bytes();
   }
   return total;
 }
@@ -75,15 +117,29 @@ size_t MultiQueryEngine::total_live_bytes() const {
 
 void MultiQueryEngine::Dispatcher::BuildIndex() {
   size_t n = owner_->machines_.size();
-  postings_.assign(owner_->symbols_->size(), {});
+  // Size postings to the query vocabulary, not the table: the largest
+  // symbol any live machine interned. Dispatch already treats out-of-range
+  // symbols as "no interested query", which is exactly what a document-only
+  // symbol is — and this keeps index rebuilds off the SymbolTable, so a
+  // shared table may grow concurrently on another thread (DESIGN.md §5).
+  size_t posting_size = 0;
+  for (const auto& mp : owner_->machines_) {
+    if (mp == nullptr) continue;
+    for (const auto& entry : mp->machine().element_index()) {
+      posting_size = std::max(posting_size, static_cast<size_t>(entry.first) + 1);
+    }
+  }
+  postings_.assign(posting_size, {});
   info_.assign(n, MachineInfo());
   element_broadcast_.clear();
   attribute_machines_.clear();
   text_machines_.clear();
   visit_stamp_.assign(n, 0);
+  event_id_ = 0;
   is_active_recorder_.assign(n, 0);
   min_memory_limit_ = 0;
   for (size_t i = 0; i < n; ++i) {
+    if (owner_->machines_[i] == nullptr) continue;  // removed query
     const TwigMachine& m = owner_->machines_[i]->machine();
     size_t limit = m.options().memory_limit_bytes;
     if (limit != 0 && (min_memory_limit_ == 0 || limit < min_memory_limit_)) {
@@ -190,7 +246,15 @@ Status MultiQueryEngine::Dispatcher::FlushTextNode() {
 
 Status MultiQueryEngine::Dispatcher::StartDocument() {
   if (!index_built_) BuildIndex();
+  // Per-document dispatch state: machines reset below, so nothing records
+  // and no element is open. Clearing here (not only in ResetStream) lets
+  // RunEvents chain documents without an explicit stream reset.
+  open_symbols_.clear();
+  active_recorders_.clear();
+  std::fill(is_active_recorder_.begin(), is_active_recorder_.end(), 0);
+  pending_text_.Clear();
   for (auto& m : owner_->machines_) {
+    if (m == nullptr) continue;
     VITEX_RETURN_IF_ERROR(m->machine().StartDocument());
   }
   return Status::OK();
@@ -199,8 +263,14 @@ Status MultiQueryEngine::Dispatcher::StartDocument() {
 Status MultiQueryEngine::Dispatcher::StartElement(
     const xml::StartElementEvent& event) {
   VITEX_RETURN_IF_ERROR(FlushTextNode());
-  open_symbols_.push_back(event.symbol);
-  CollectTagTargets(event.symbol, !event.attributes.empty());
+  // The engine's own parser always stamps (symbol or kAbsentSymbol).
+  // Unstamped events only arrive from replayed logs recorded without our
+  // table; resolve them here so dispatch matches the parse path. (Stamped
+  // replay — the StreamService path — never touches the table.)
+  Symbol symbol = event.symbol;
+  if (symbol == kNoSymbol) symbol = owner_->symbols_->Lookup(event.name);
+  open_symbols_.push_back(symbol);
+  CollectTagTargets(symbol, !event.attributes.empty());
   ++owner_->dispatch_stats_.start_events;
   owner_->dispatch_stats_.start_visits += targets_.size();
   for (uint32_t i : targets_) {
@@ -249,6 +319,7 @@ Status MultiQueryEngine::Dispatcher::Text(const xml::TextEvent& event) {
 Status MultiQueryEngine::Dispatcher::EndDocument() {
   VITEX_RETURN_IF_ERROR(FlushTextNode());
   for (auto& m : owner_->machines_) {
+    if (m == nullptr) continue;
     VITEX_RETURN_IF_ERROR(m->machine().EndDocument());
   }
   return Status::OK();

@@ -50,6 +50,7 @@
 #include "twigm/builder.h"
 #include "twigm/machine.h"
 #include "twigm/result.h"
+#include "xml/event_log.h"
 #include "xml/sax_parser.h"
 
 namespace vitex::twigm {
@@ -81,8 +82,9 @@ class MultiQueryEngine {
   MultiQueryEngine(const MultiQueryEngine&) = delete;
   MultiQueryEngine& operator=(const MultiQueryEngine&) = delete;
 
-  /// Registers a standing query. All registrations must happen before the
-  /// first Feed(). `results` must outlive the engine; may be null.
+  /// Registers a standing query. Registrations must happen at a document
+  /// boundary: before the first Feed(), after ResetStream(), or between
+  /// RunEvents() documents. `results` must outlive the engine; may be null.
   Result<QueryId> AddQuery(std::string_view xpath, ResultHandler* results,
                            TwigMachine::Options options = {});
 
@@ -91,7 +93,21 @@ class MultiQueryEngine {
   /// against this engine's symbols() table; InvalidArgument otherwise.
   Result<QueryId> AddBuilt(BuiltMachine built);
 
-  size_t query_count() const { return machines_.size(); }
+  /// Deregisters a query at a document boundary (subscription lifecycle:
+  /// DESIGN.md §5). The machine and its dispatch postings are dropped; the
+  /// ResultHandler is never touched again. The id's slot is recycled by a
+  /// *later* AddQuery/AddBuilt, so a removed id must not be used again —
+  /// ids are stable only for live queries. InvalidArgument mid-document or
+  /// for an id that is not live.
+  Status RemoveQuery(QueryId id);
+
+  /// True if `id` names a currently registered query.
+  bool has_query(QueryId id) const {
+    return id < machines_.size() && machines_[id] != nullptr;
+  }
+
+  /// Number of live (registered, not removed) queries.
+  size_t query_count() const { return machines_.size() - free_slots_.size(); }
 
   /// The shared symbol table all registered machines and the parser resolve
   /// names against: the table the caller put in sax_options.symbols, or an
@@ -105,10 +121,23 @@ class MultiQueryEngine {
   /// Convenience whole-document runs.
   Status RunString(std::string_view document);
 
+  /// Runs one pre-parsed document: replays a recorded event stream into the
+  /// registered queries, equivalent to RunString() on the original text but
+  /// with zero parse cost (parse-once fan-out: StreamService records each
+  /// document once and replays it into every shard). The log's symbol
+  /// stamps must come from a parse against this engine's symbols() table
+  /// (or be unstamped). Must be called at a document boundary
+  /// (InvalidArgument while a Feed() stream is mid-document); on success
+  /// the engine is back at a boundary — queries may be added/removed and
+  /// another document run, with dispatch stats accumulating. On failure
+  /// the document was abandoned midway: ResetStream() before reuse.
+  Status RunEvents(const xml::EventLog& log);
+
   /// Prepares for a new document; registered queries stay (and more may be
   /// added before the next Feed()).
   void ResetStream();
 
+  /// Accessors for a live query; `id` must satisfy has_query(id).
   const xpath::Query& query(QueryId id) const {
     return machines_[id]->query();
   }
@@ -136,6 +165,8 @@ class MultiQueryEngine {
 
     void BuildIndex();
     void ResetStream();
+    /// Forces an index rebuild at the next document (query set changed).
+    void InvalidateIndex() { index_built_ = false; }
     /// Bytes held in the central text buffer (counts toward live memory).
     size_t pending_text_bytes() const { return pending_text_.buffer.size(); }
 
@@ -161,7 +192,11 @@ class MultiQueryEngine {
     MultiQueryEngine* owner_;
     bool index_built_ = false;
 
-    // symbol -> machines whose queries name that tag.
+    // symbol -> machines whose queries name that tag. Sized to the largest
+    // symbol any registered query interned (not the table's current size):
+    // document-only symbols can never match, and not reading the table here
+    // lets shards rebuild their index while another thread interns new
+    // query vocabulary into a shared table (DESIGN.md §5).
     std::vector<std::vector<uint32_t>> postings_;
     std::vector<MachineInfo> info_;
     std::vector<uint32_t> element_broadcast_;  // wildcard machines
@@ -190,7 +225,11 @@ class MultiQueryEngine {
     size_t min_memory_limit_ = 0;  // 0 = no machine has a limit
   };
 
+  // Slot i holds query id i; removed queries leave a null slot that the
+  // next registration recycles, so the vector is bounded by the peak number
+  // of concurrent queries however many subscribe/unsubscribe cycles run.
   std::vector<std::unique_ptr<BuiltMachine>> machines_;
+  std::vector<QueryId> free_slots_;
   SymbolTable owned_symbols_;
   // The engine's table: caller-supplied via sax_options.symbols (must then
   // outlive the engine) or &owned_symbols_.

@@ -25,12 +25,14 @@ Status EventLog::Replay(ContentHandler* handler) const {
         ev.name = HeapView(e.name_offset, e.name_size);
         ev.depth = e.depth;
         ev.byte_offset = e.byte_offset;
+        ev.symbol = e.symbol;
+        ev.sequence = e.sequence;
         ev.attributes.clear();
         for (uint32_t i = 0; i < e.attr_count; ++i) {
           const AttrRef& a = attrs_[e.first_attr + i];
           ev.attributes.push_back(
               Attribute{HeapView(a.name_offset, a.name_size),
-                        HeapView(a.value_offset, a.value_size)});
+                        HeapView(a.value_offset, a.value_size), a.symbol});
         }
         VITEX_RETURN_IF_ERROR(handler->StartElement(ev));
         break;
@@ -39,10 +41,14 @@ Status EventLog::Replay(ContentHandler* handler) const {
         VITEX_RETURN_IF_ERROR(
             handler->EndElement(HeapView(e.name_offset, e.name_size), e.depth));
         break;
-      case Kind::kText:
-        VITEX_RETURN_IF_ERROR(handler->Characters(
-            HeapView(e.name_offset, e.name_size), e.depth));
+      case Kind::kText: {
+        TextEvent text;
+        text.text = HeapView(e.name_offset, e.name_size);
+        text.depth = e.depth;
+        text.sequence = e.sequence;
+        VITEX_RETURN_IF_ERROR(handler->Text(text));
         break;
+      }
     }
   }
   return handler->EndDocument();
@@ -53,6 +59,8 @@ Status EventRecorder::StartElement(const StartElementEvent& event) {
   e.kind = EventLog::Kind::kStart;
   e.depth = event.depth;
   e.byte_offset = event.byte_offset;
+  e.symbol = event.symbol;
+  e.sequence = event.sequence;
   e.name_offset = log_->Intern(event.name);
   e.name_size = static_cast<uint32_t>(event.name.size());
   e.first_attr = static_cast<uint32_t>(log_->attrs_.size());
@@ -63,6 +71,7 @@ Status EventRecorder::StartElement(const StartElementEvent& event) {
     ref.name_size = static_cast<uint32_t>(a.name.size());
     ref.value_offset = log_->Intern(a.value);
     ref.value_size = static_cast<uint32_t>(a.value.size());
+    ref.symbol = a.symbol;
     log_->attrs_.push_back(ref);
   }
   log_->events_.push_back(e);
@@ -83,12 +92,20 @@ Status EventRecorder::EndElement(std::string_view name, int depth) {
 }
 
 Status EventRecorder::Characters(std::string_view text, int depth) {
+  TextEvent event;
+  event.text = text;
+  event.depth = depth;
+  return Text(event);
+}
+
+Status EventRecorder::Text(const TextEvent& event) {
   EventLog::Event e;
   e.kind = EventLog::Kind::kText;
-  e.depth = depth;
+  e.depth = event.depth;
   e.byte_offset = 0;
-  e.name_offset = log_->Intern(text);
-  e.name_size = static_cast<uint32_t>(text.size());
+  e.sequence = event.sequence;
+  e.name_offset = log_->Intern(event.text);
+  e.name_size = static_cast<uint32_t>(event.text.size());
   e.first_attr = 0;
   e.attr_count = 0;
   log_->events_.push_back(e);

@@ -1,15 +1,25 @@
 // EventLog: a compact in-memory recording of a SAX event stream, replayable
 // into any ContentHandler.
 //
-// Two uses:
+// Three uses:
 //   * ablation benchmarking — replaying pre-parsed events into TwigM
 //     isolates the matcher's cost from the parser's (the paper's 6.02 s vs
 //     4.43 s split, taken one step further);
 //   * testing — a recorded stream replays bit-identically, so handler
-//     behaviour can be compared with and without a real parser in front.
+//     behaviour can be compared with and without a real parser in front;
+//   * parse-once fan-out — service::StreamService parses each published
+//     document into one EventLog on its ingest thread and replays it into
+//     every worker shard, so N shards cost one parse (DESIGN.md §5).
+//
+// Replay is faithful to the producer's stamps: interned symbols
+// (StartElementEvent::symbol, Attribute::symbol) and document-order
+// sequence numbers (StartElementEvent::sequence, TextEvent::sequence) are
+// recorded and replayed verbatim, so symbol-aware consumers (TwigM's match
+// index, the multi-query dispatcher, UnionEngine's sequence-keyed dedup)
+// behave identically on a replayed stream and on the original parse.
 //
 // All strings are appended to one heap buffer; an event is a fixed-size
-// record of offsets, so a log of n events costs O(total text) + 40n bytes.
+// record of offsets, so a log of n events costs O(total text) + ~56n bytes.
 
 #ifndef VITEX_XML_EVENT_LOG_H_
 #define VITEX_XML_EVENT_LOG_H_
@@ -49,6 +59,7 @@ class EventLog {
   struct AttrRef {
     uint32_t name_offset, name_size;
     uint32_t value_offset, value_size;
+    Symbol symbol = kNoSymbol;
   };
 
   struct Event {
@@ -57,6 +68,8 @@ class EventLog {
     uint32_t name_offset, name_size;  // element name or text content
     uint32_t first_attr, attr_count;
     uint64_t byte_offset;
+    Symbol symbol = kNoSymbol;        // kStart: producer-stamped tag symbol
+    uint64_t sequence = kNoSequence;  // kStart/kText: producer stamp
   };
 
   std::string_view HeapView(uint32_t offset, uint32_t size) const {
@@ -78,7 +91,10 @@ class EventRecorder : public ContentHandler {
 
   Status StartElement(const StartElementEvent& event) override;
   Status EndElement(std::string_view name, int depth) override;
+  // Both text entry points record; sequence-stamped producers deliver via
+  // Text, unstamped ones via Characters (recorded with kNoSequence).
   Status Characters(std::string_view text, int depth) override;
+  Status Text(const TextEvent& event) override;
 
  private:
   EventLog* log_;

@@ -1,0 +1,101 @@
+#include "service/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vitex::service {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  EXPECT_EQ(q.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, CapacityClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingThenEnds) {
+  BoundedQueue<std::string> q(4);
+  EXPECT_TRUE(q.Push("a"));
+  EXPECT_TRUE(q.Push("b"));
+  q.Close();
+  EXPECT_FALSE(q.Push("c"));  // closed: rejected
+  auto a = q.Pop();
+  auto b = q.Pop();
+  ASSERT_TRUE(a && b);  // already-queued items still drain
+  EXPECT_EQ(*a, "a");
+  EXPECT_EQ(*b, "b");
+  EXPECT_FALSE(q.Pop().has_value());  // drained + closed
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilPopMakesRoom) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.Push(2));  // blocks: queue is full
+    second_pushed.store(true);
+  });
+  // The producer cannot complete until we pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&] { EXPECT_FALSE(q.Push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  producer.join();
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (size_t i = kProducers; i < threads.size(); ++i) threads[i].join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace vitex::service

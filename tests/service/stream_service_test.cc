@@ -1,0 +1,269 @@
+#include "service/stream_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "twigm/multi_query.h"
+
+namespace vitex::service {
+namespace {
+
+// A small news-wire document cycling over `tags` distinct item tags.
+std::string MakeDoc(int tags, int items, int salt) {
+  std::string doc = "<feed>";
+  for (int i = 0; i < items; ++i) {
+    int tag = (i + salt) % tags;
+    doc += "<item" + std::to_string(tag) + " id=\"d" + std::to_string(salt) +
+           "i" + std::to_string(i) + "\"><val>v" + std::to_string(salt) +
+           "_" + std::to_string(i) + "</val></item" + std::to_string(tag) +
+           ">";
+  }
+  doc += "</feed>";
+  return doc;
+}
+
+std::vector<std::string> SortedFragments(std::vector<Delivery> deliveries) {
+  std::vector<std::string> out;
+  out.reserve(deliveries.size());
+  for (auto& d : deliveries) out.push_back(std::move(d.fragment));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(StreamServiceTest, DeliveriesMatchDirectEngine) {
+  const std::vector<std::string> queries = {
+      "//item0/val/text()", "//item1/@id", "//item2[val]/val/text()",
+      "//*/val/text()",     "//feed//item3"};
+  const std::vector<std::string> docs = {MakeDoc(5, 9, 0), MakeDoc(5, 7, 1),
+                                         MakeDoc(5, 12, 2)};
+
+  // Reference: one single-threaded engine over the same documents.
+  twigm::MultiQueryEngine reference;
+  std::vector<twigm::VectorResultCollector> expected(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_TRUE(reference.AddQuery(queries[q], &expected[q]).ok());
+  }
+  for (const std::string& doc : docs) {
+    ASSERT_TRUE(reference.RunString(doc).ok());
+    reference.ResetStream();
+  }
+
+  for (size_t shard_count : {1, 2, 4}) {
+    StreamServiceOptions options;
+    options.shard_count = shard_count;
+    StreamService service(options);
+    std::vector<SubscriptionId> subs;
+    for (const std::string& q : queries) {
+      auto id = service.Subscribe(q);
+      ASSERT_TRUE(id.ok()) << q << ": " << id.status();
+      subs.push_back(id.value());
+    }
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE(service.Publish(doc).ok());
+    }
+    ASSERT_TRUE(service.Flush().ok());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto drained = service.Drain(subs[q]);
+      ASSERT_TRUE(drained.ok());
+      std::vector<std::string> want;
+      for (const auto& e : expected[q].results()) want.push_back(e.fragment);
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(SortedFragments(std::move(drained).value()), want)
+          << "query " << queries[q] << " shards=" << shard_count;
+    }
+    EXPECT_TRUE(service.Stop().ok());
+  }
+}
+
+TEST(StreamServiceTest, SubscribeAppliesAtDocumentBoundary) {
+  StreamServiceOptions options;
+  options.shard_count = 2;
+  StreamService service(options);
+  ASSERT_TRUE(service.Publish(MakeDoc(2, 4, 0)).ok());
+  ASSERT_TRUE(service.Flush().ok());
+
+  // Joined after the first document: must see only the later ones.
+  auto late = service.Subscribe("//item0/@id");
+  ASSERT_TRUE(late.ok());
+  ASSERT_TRUE(service.Publish(MakeDoc(2, 4, 7)).ok());
+  ASSERT_TRUE(service.Flush().ok());
+
+  auto drained = service.Drain(late.value());
+  ASSERT_TRUE(drained.ok());
+  ASSERT_FALSE(drained->empty());
+  for (const Delivery& d : drained.value()) {
+    EXPECT_EQ(d.fragment.substr(0, 2), "d7")
+        << "saw a result from a document published before the subscribe: "
+        << d.fragment;
+  }
+}
+
+TEST(StreamServiceTest, UnsubscribeStopsDeliveriesAndInvalidatesId) {
+  StreamService service;
+  auto id = service.Subscribe("//item0/val/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Publish(MakeDoc(1, 3, 0)).ok());
+  ASSERT_TRUE(service.Flush().ok());
+  auto first = service.Drain(id.value());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->size(), 3u);
+
+  ASSERT_TRUE(service.Unsubscribe(id.value()).ok());
+  EXPECT_TRUE(service.Drain(id.value()).status().IsInvalidArgument());
+  EXPECT_TRUE(service.Unsubscribe(id.value()).IsInvalidArgument());
+  ASSERT_TRUE(service.Publish(MakeDoc(1, 3, 1)).ok());
+  EXPECT_TRUE(service.Flush().ok());  // machine is gone; nothing crashes
+}
+
+TEST(StreamServiceTest, InvalidQueryRejectedSynchronously) {
+  StreamService service;
+  EXPECT_FALSE(service.Subscribe("][not-xpath").ok());
+  EXPECT_FALSE(service.Subscribe("//a[").ok());
+  EXPECT_EQ(service.stats().active_subscriptions, 0u);
+}
+
+TEST(StreamServiceTest, MalformedDocumentRejectedNotFatal) {
+  StreamService service;
+  auto id = service.Subscribe("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Publish("<a>unclosed").ok());   // accepted async...
+  ASSERT_TRUE(service.Publish("<a>good</a>").ok());
+  ASSERT_TRUE(service.Flush().ok());                  // ...rejected on ingest
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.documents_rejected, 1u);
+  EXPECT_EQ(stats.documents_processed, 1u);
+  auto drained = service.Drain(id.value());
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained->size(), 1u);
+  EXPECT_EQ(drained->front().fragment, "good");
+}
+
+TEST(StreamServiceTest, BackpressureWithTinyQueues) {
+  StreamServiceOptions options;
+  options.shard_count = 3;
+  options.queue_capacity = 1;  // every hop backpressures
+  StreamService service(options);
+  auto id = service.Subscribe("//item0/val/text()");
+  ASSERT_TRUE(id.ok());
+  constexpr int kDocs = 50;
+  for (int i = 0; i < kDocs; ++i) {
+    ASSERT_TRUE(service.Publish(MakeDoc(4, 6, i)).ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.documents_processed, static_cast<uint64_t>(kDocs));
+  EXPECT_EQ(stats.ingest_queue_depth, 0u);
+  for (const auto& shard : stats.shards) EXPECT_EQ(shard.queue_depth, 0u);
+}
+
+// The TSAN acceptance scenario: subscriptions churn on several threads
+// while documents are being fed. The stable subscriber (installed before
+// any publish) must still see every matching document exactly once.
+TEST(StreamServiceTest, ConcurrentSubscribeUnsubscribeWhilePublishing) {
+  StreamServiceOptions options;
+  options.shard_count = 4;
+  options.queue_capacity = 8;
+  StreamService service(options);
+
+  auto stable = service.Subscribe("//item0/val/text()");
+  ASSERT_TRUE(stable.ok());
+  ASSERT_TRUE(service.Flush().ok());  // stable machine installed
+
+  constexpr int kDocs = 60;
+  constexpr int kChurners = 3;
+  std::vector<std::string> docs;
+  size_t expected = 0;  // one <val> text result per <item0 ...> element
+  for (int i = 0; i < kDocs; ++i) {
+    docs.push_back(MakeDoc(6, 8, i));
+    for (size_t pos = docs.back().find("<item0 "); pos != std::string::npos;
+         pos = docs.back().find("<item0 ", pos + 1)) {
+      ++expected;
+    }
+  }
+  std::atomic<bool> publishing_done{false};
+  std::thread publisher([&] {
+    for (const std::string& doc : docs) {
+      ASSERT_TRUE(service.Publish(doc).ok());
+    }
+    publishing_done.store(true);
+  });
+  std::vector<std::thread> churners;
+  for (int c = 0; c < kChurners; ++c) {
+    churners.emplace_back([&service, &publishing_done, c] {
+      int made = 0;
+      while (!publishing_done.load() || made < 5) {
+        auto id = service.Subscribe("//item" + std::to_string(1 + c) +
+                                    "[val]/@id");
+        ASSERT_TRUE(id.ok());
+        ++made;
+        (void)service.Drain(id.value());
+        ASSERT_TRUE(service.Unsubscribe(id.value()).ok());
+      }
+    });
+  }
+  publisher.join();
+  for (auto& t : churners) t.join();
+  ASSERT_TRUE(service.Flush().ok());
+
+  auto drained = service.Drain(stable.value());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), expected);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.documents_processed, static_cast<uint64_t>(kDocs));
+  EXPECT_EQ(stats.active_subscriptions, 1u);
+  EXPECT_TRUE(service.Stop().ok());
+}
+
+TEST(StreamServiceTest, StatsReportScalePerShard) {
+  StreamServiceOptions options;
+  options.shard_count = 2;
+  StreamService service(options);
+  auto a = service.Subscribe("//item0");
+  auto b = service.Subscribe("//item1/val/text()");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(service.Publish(MakeDoc(2, 6, 0)).ok());
+  ASSERT_TRUE(service.Flush().ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.documents_published, 1u);
+  EXPECT_EQ(stats.documents_processed, 1u);
+  EXPECT_GT(stats.events_parsed, 0u);
+  // Parse-once fan-out: every shard replays the full event stream.
+  EXPECT_EQ(stats.events_replayed, stats.events_parsed * 2);
+  EXPECT_EQ(stats.active_subscriptions, 2u);
+  EXPECT_GT(stats.results_delivered, 0u);
+  EXPECT_GT(stats.uptime_seconds, 0.0);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  size_t live = 0;
+  uint64_t dispatched = 0;
+  for (const auto& shard : stats.shards) {
+    live += shard.live_queries;
+    dispatched += shard.dispatch.start_events;
+    EXPECT_EQ(shard.documents, 1u);
+  }
+  EXPECT_EQ(live, 2u);
+  EXPECT_GT(dispatched, 0u);
+}
+
+TEST(StreamServiceTest, StopIsIdempotentAndDrainSurvivesIt) {
+  StreamService service;
+  auto id = service.Subscribe("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Publish("<a>x</a>").ok());
+  EXPECT_TRUE(service.Stop().ok());   // drains queued work
+  EXPECT_TRUE(service.Stop().ok());   // idempotent
+  EXPECT_FALSE(service.Publish("<a>y</a>").ok());
+  EXPECT_FALSE(service.Subscribe("//b").ok());
+  auto drained = service.Drain(id.value());
+  ASSERT_TRUE(drained.ok());  // results from before the stop are kept
+  ASSERT_EQ(drained->size(), 1u);
+  EXPECT_EQ(drained->front().fragment, "x");
+}
+
+}  // namespace
+}  // namespace vitex::service

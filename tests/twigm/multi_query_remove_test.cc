@@ -1,0 +1,171 @@
+// RemoveQuery: the dynamic half of the subscription lifecycle. The key
+// property is differential: removing queries at a document (epoch) boundary
+// must leave the survivors' behaviour byte-identical to an engine that
+// never saw the removed queries at all.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "twigm/multi_query.h"
+#include "workload/random_generator.h"
+
+namespace vitex::twigm {
+namespace {
+
+std::vector<std::string> Fragments(const VectorResultCollector& c) {
+  return c.SortedFragments();
+}
+
+TEST(MultiQueryRemoveTest, RemoveMidStreamRejected) {
+  MultiQueryEngine engine;
+  auto id = engine.AddQuery("//a", nullptr);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.Feed("<r><a/>").ok());
+  EXPECT_TRUE(engine.RemoveQuery(id.value()).IsInvalidArgument());
+  ASSERT_TRUE(engine.Feed("</r>").ok());
+  ASSERT_TRUE(engine.Finish().ok());
+}
+
+TEST(MultiQueryRemoveTest, RemoveUnknownIdRejected) {
+  MultiQueryEngine engine;
+  EXPECT_TRUE(engine.RemoveQuery(0).IsInvalidArgument());
+  auto id = engine.AddQuery("//a", nullptr);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(engine.RemoveQuery(id.value()).ok());
+  EXPECT_TRUE(engine.RemoveQuery(id.value()).IsInvalidArgument());
+  EXPECT_EQ(engine.query_count(), 0u);
+}
+
+TEST(MultiQueryRemoveTest, SlotReuseKeepsLiveIdsStable) {
+  MultiQueryEngine engine;
+  VectorResultCollector keep_results;
+  auto removed = engine.AddQuery("//a", nullptr);
+  auto keep = engine.AddQuery("//b/text()", &keep_results);
+  ASSERT_TRUE(removed.ok());
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(engine.RemoveQuery(removed.value()).ok());
+  EXPECT_FALSE(engine.has_query(removed.value()));
+  EXPECT_TRUE(engine.has_query(keep.value()));
+
+  // The freed slot is recycled; the surviving query keeps its id.
+  auto added = engine.AddQuery("//c", nullptr);
+  ASSERT_TRUE(added.ok());
+  EXPECT_EQ(added.value(), removed.value());
+  EXPECT_EQ(engine.query_count(), 2u);
+
+  ASSERT_TRUE(engine.RunString("<r><a/><b>t</b><c/></r>").ok());
+  ASSERT_EQ(keep_results.size(), 1u);
+  EXPECT_EQ(engine.machine(keep.value()).stats().results_emitted, 1u);
+}
+
+// The satellite differential test: K queries, a random subset removed at an
+// epoch boundary mid-stream; survivors must produce byte-identical results
+// to a fresh engine registered with only the survivors.
+TEST(MultiQueryRemoveTest, DifferentialAgainstFreshEngineWithSurvivors) {
+  constexpr int kQueries = 12;
+  constexpr int kRounds = 8;
+  Random rng(2005);
+  workload::RandomDocOptions doc_options;
+  doc_options.max_elements = 80;
+  workload::RandomQueryOptions query_options;
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::string> queries;
+    for (int q = 0; q < kQueries; ++q) {
+      queries.push_back(workload::GenerateRandomQuery(query_options, &rng));
+    }
+    std::string doc1 = workload::GenerateRandomDocument(doc_options, &rng);
+    std::string doc2 = workload::GenerateRandomDocument(doc_options, &rng);
+
+    // Engine A: all K queries over doc1, then remove a random subset at the
+    // document boundary, then doc2.
+    MultiQueryEngine full;
+    std::vector<std::unique_ptr<VectorResultCollector>> full_results;
+    std::vector<QueryId> ids;
+    for (const std::string& q : queries) {
+      full_results.push_back(std::make_unique<VectorResultCollector>());
+      auto id = full.AddQuery(q, full_results.back().get());
+      ASSERT_TRUE(id.ok()) << q;
+      ids.push_back(id.value());
+    }
+    ASSERT_TRUE(full.RunString(doc1).ok());
+    full.ResetStream();
+
+    std::set<int> removed;
+    for (int q = 0; q < kQueries; ++q) {
+      if (rng.OneIn(0.5)) removed.insert(q);
+    }
+    for (int q : removed) {
+      ASSERT_TRUE(full.RemoveQuery(ids[q]).ok());
+      full_results[q]->Clear();  // ignore doc1 output of removed queries
+    }
+    for (int q = 0; q < kQueries; ++q) {
+      if (removed.count(q) == 0) full_results[q]->Clear();
+    }
+    ASSERT_TRUE(full.RunString(doc2).ok());
+
+    // Engine B: only the survivors, doc2 only.
+    MultiQueryEngine survivors;
+    std::vector<std::unique_ptr<VectorResultCollector>> survivor_results(
+        kQueries);
+    for (int q = 0; q < kQueries; ++q) {
+      if (removed.count(q) != 0) continue;
+      survivor_results[q] = std::make_unique<VectorResultCollector>();
+      ASSERT_TRUE(
+          survivors.AddQuery(queries[q], survivor_results[q].get()).ok());
+    }
+    ASSERT_TRUE(survivors.RunString(doc2).ok());
+
+    for (int q = 0; q < kQueries; ++q) {
+      if (removed.count(q) != 0) {
+        EXPECT_EQ(full_results[q]->size(), 0u)
+            << "removed query still delivered: " << queries[q];
+        continue;
+      }
+      EXPECT_EQ(Fragments(*full_results[q]), Fragments(*survivor_results[q]))
+          << "round " << round << " query " << queries[q] << "\ndoc2 "
+          << doc2;
+    }
+  }
+}
+
+TEST(MultiQueryRemoveTest, RunEventsMidStreamRejected) {
+  auto log = xml::RecordEvents("<x/>");
+  ASSERT_TRUE(log.ok());
+  MultiQueryEngine engine;
+  ASSERT_TRUE(engine.AddQuery("//a", nullptr).ok());
+  ASSERT_TRUE(engine.Feed("<r><a>").ok());
+  EXPECT_TRUE(engine.RunEvents(log.value()).IsInvalidArgument());
+  ASSERT_TRUE(engine.Feed("</a></r>").ok());
+  ASSERT_TRUE(engine.Finish().ok());
+}
+
+// Same lifecycle via the replay path the service uses: RunEvents documents
+// with removals between them.
+TEST(MultiQueryRemoveTest, RemoveBetweenReplayedDocuments) {
+  auto log1 = xml::RecordEvents("<r><a>1</a><b>x</b></r>");
+  auto log2 = xml::RecordEvents("<r><a>2</a><b>y</b></r>");
+  ASSERT_TRUE(log1.ok());
+  ASSERT_TRUE(log2.ok());
+
+  MultiQueryEngine engine;
+  VectorResultCollector a_results, b_results;
+  auto a = engine.AddQuery("//a/text()", &a_results);
+  auto b = engine.AddQuery("//b/text()", &b_results);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(engine.RunEvents(log1.value()).ok());
+  ASSERT_TRUE(engine.RemoveQuery(b.value()).ok());
+  ASSERT_TRUE(engine.RunEvents(log2.value()).ok());
+
+  EXPECT_EQ(Fragments(a_results), (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(Fragments(b_results), (std::vector<std::string>{"x"}));
+}
+
+}  // namespace
+}  // namespace vitex::twigm

@@ -94,6 +94,90 @@ TEST(EventLogTest, TwigMOnReplayMatchesTwigMOnParse) {
   }
 }
 
+// Replay must preserve the producer's stamps: interned symbols and
+// document-order sequence numbers. (A replay that drops them silently
+// desynchronizes symbol-aware consumers — the multi-query dispatcher would
+// fall back to broadcast-or-miss, and UnionEngine's sequence-keyed dedup
+// would double-report.)
+class StampTraceHandler : public ContentHandler {
+ public:
+  Status StartElement(const StartElementEvent& event) override {
+    trace.push_back("S:" + std::string(event.name) + ":" +
+                    std::to_string(event.symbol) + ":" +
+                    std::to_string(event.sequence));
+    for (const Attribute& a : event.attributes) {
+      trace.push_back("A:" + std::string(a.name) + ":" +
+                      std::to_string(a.symbol));
+    }
+    return Status::OK();
+  }
+  Status Text(const TextEvent& event) override {
+    trace.push_back("T:" + std::string(event.text) + ":" +
+                    std::to_string(event.sequence));
+    return Status::OK();
+  }
+  std::vector<std::string> trace;
+};
+
+TEST(EventLogTest, SymbolAndSequenceStampsRoundTrip) {
+  const std::string doc =
+      R"(<news><article id="1" cat="eu"><headline>hi</headline></article>)"
+      R"(<other/><article id="2">x</article></news>)";
+  SymbolTable symbols;
+  // Pre-intern the "query vocabulary"; parser stamping is lookup-only.
+  symbols.Intern("article");
+  symbols.Intern("headline");
+  symbols.Intern("id");
+  SaxParserOptions options;
+  options.symbols = &symbols;
+
+  StampTraceHandler direct;
+  ASSERT_TRUE(ParseString(doc, &direct, options).ok());
+  // The direct parse stamped real symbols and sequences (sanity).
+  ASSERT_FALSE(direct.trace.empty());
+  EXPECT_NE(direct.trace[1].find(":article:"), std::string::npos);
+
+  auto log = RecordEvents(doc, options);
+  ASSERT_TRUE(log.ok());
+  StampTraceHandler replayed;
+  ASSERT_TRUE(log->Replay(&replayed).ok());
+  EXPECT_EQ(direct.trace, replayed.trace);
+}
+
+TEST(EventLogTest, RandomDocumentStampsRoundTrip) {
+  Random rng(93);
+  workload::RandomDocOptions options;
+  options.max_elements = 60;
+  for (int i = 0; i < 10; ++i) {
+    std::string doc = workload::GenerateRandomDocument(options, &rng);
+    SymbolTable direct_symbols, recorded_symbols;
+    SaxParserOptions direct_options, recorded_options;
+    direct_options.symbols = &direct_symbols;
+    recorded_options.symbols = &recorded_symbols;
+
+    StampTraceHandler direct, replayed;
+    ASSERT_TRUE(ParseString(doc, &direct, direct_options).ok());
+    auto log = RecordEvents(doc, recorded_options);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Replay(&replayed).ok());
+    EXPECT_EQ(direct.trace, replayed.trace) << doc;
+  }
+}
+
+TEST(EventLogTest, UnstampedRecordingsReplayUnstamped) {
+  // No table, no producer stamps: replay must deliver kNoSymbol /
+  // kNoSequence untouched... except sequences, which the parser always
+  // stamps. Attribute and element symbols stay kAbsentSymbol-free.
+  auto log = RecordEvents("<a x=\"1\">t</a>");
+  ASSERT_TRUE(log.ok());
+  StampTraceHandler replayed;
+  ASSERT_TRUE(log->Replay(&replayed).ok());
+  ASSERT_EQ(replayed.trace.size(), 3u);
+  EXPECT_EQ(replayed.trace[0],
+            "S:a:" + std::to_string(kNoSymbol) + ":0");
+  EXPECT_EQ(replayed.trace[1], "A:x:" + std::to_string(kNoSymbol));
+}
+
 TEST(EventLogTest, MemoryAccounting) {
   auto log = RecordEvents("<a><b>hello</b></a>");
   ASSERT_TRUE(log.ok());

@@ -213,6 +213,21 @@ std::vector<std::string> DomEvaluator::EvaluateToFragments(
   return out;
 }
 
+std::vector<std::pair<uint64_t, std::string>>
+DomEvaluator::EvaluateToSequencedFragments(const xpath::Query& query) {
+  std::vector<const DomNode*> nodes = Evaluate(query);
+  std::vector<std::pair<uint64_t, std::string>> out;
+  out.reserve(nodes.size());
+  for (const DomNode* n : nodes) {
+    if (n->IsAttribute() || n->IsText()) {
+      out.emplace_back(n->order, std::string(n->value));
+    } else {
+      out.emplace_back(n->order, xml::Document::Serialize(n));
+    }
+  }
+  return out;
+}
+
 Result<std::vector<std::string>> EvaluateOnDocument(std::string_view xml_text,
                                                     std::string_view xpath) {
   VITEX_ASSIGN_OR_RETURN(xml::Document doc, xml::ParseIntoDom(xml_text));

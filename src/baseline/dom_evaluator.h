@@ -12,6 +12,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -32,6 +33,15 @@ class DomEvaluator {
   /// TwigMachine emits for the same query and document (element results as
   /// canonical subtree XML, attribute/text results as raw values).
   std::vector<std::string> EvaluateToFragments(const xpath::Query& query);
+
+  /// Like EvaluateToFragments, but each fragment is paired with its node's
+  /// document-order sequence number (DomNode::order — the producer's stamp
+  /// when the document was parsed by the stamping SAX parser). This is the
+  /// ground-truth normal form the differential oracle compares every
+  /// streaming route against: identical (sequence, fragment) sets mean the
+  /// routes selected exactly the same document nodes.
+  std::vector<std::pair<uint64_t, std::string>> EvaluateToSequencedFragments(
+      const xpath::Query& query);
 
   /// Number of (element, query-node) satisfaction checks performed by the
   /// last Evaluate call (work metric for benchmarks).

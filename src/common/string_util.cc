@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace vitex {
 
@@ -52,6 +53,26 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
 
 bool Contains(std::string_view haystack, std::string_view needle) {
   return haystack.find(needle) != std::string_view::npos;
+}
+
+bool ParseXPathNumber(std::string_view s, double* out) {
+  std::string_view trimmed = TrimWhitespace(s);
+  if (trimmed.empty()) return false;
+  // strtod accepts "inf"/"-inf"/"nan" and hex floats; XPath number() does
+  // not. Restricting the alphabet up front rejects all of them (including
+  // signed spellings) while leaving sign, fraction and exponent forms to
+  // strtod's grammar check below.
+  for (char c : trimmed) {
+    bool ok = (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+              c == 'e' || c == 'E';
+    if (!ok) return false;
+  }
+  std::string owned(trimmed);
+  char* end = nullptr;
+  double d = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0') return false;
+  *out = d;
+  return true;
 }
 
 std::string JoinStrings(const std::vector<std::string>& pieces,

@@ -25,6 +25,14 @@ bool EndsWith(std::string_view s, std::string_view suffix);
 /// Case-sensitive containment test.
 bool Contains(std::string_view haystack, std::string_view needle);
 
+/// Numeric coercion per XPath 1.0 `number()`: surrounding whitespace is
+/// trimmed, then the whole remainder must be a decimal number (optional
+/// sign, digits, optional fraction, optional exponent). Returns false —
+/// leaving `*out` untouched — for empty, whitespace-only or non-numeric
+/// input, and for the hex/infinity/NaN spellings strtod would accept but
+/// XPath does not.
+bool ParseXPathNumber(std::string_view s, double* out);
+
 /// Joins `pieces` with `sep`.
 std::string JoinStrings(const std::vector<std::string>& pieces,
                         std::string_view sep);

@@ -1,0 +1,200 @@
+#include "difftest/query_fuzzer.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "xpath/query.h"
+
+namespace vitex::difftest {
+
+namespace {
+
+QueryFuzzerOptions WithAlphabet(std::vector<std::string> tags,
+                                std::vector<std::string> attributes,
+                                std::vector<std::string> values) {
+  QueryFuzzerOptions o;
+  o.tags = std::move(tags);
+  o.attributes = std::move(attributes);
+  o.values = std::move(values);
+  return o;
+}
+
+}  // namespace
+
+QueryFuzzerOptions ProteinAlphabet() {
+  return WithAlphabet(
+      {"ProteinEntry", "protein", "header", "reference", "refinfo", "authors",
+       "author", "citation", "organism", "classification", "superfamily",
+       "sequence", "gene", "genetics", "source", "year", "accession"},
+      {"id", "refid", "type"},
+      {"1990", "2000", "320", "PIR1", "complete"});
+}
+
+QueryFuzzerOptions BookAlphabet() {
+  QueryFuzzerOptions o = WithAlphabet(
+      {"book", "section", "table", "cell", "position", "title", "author"},
+      {},
+      {"A", "B", "C"});
+  // Book documents are deeply recursive; lean on descendant chains.
+  o.descendant_probability = 0.65;
+  return o;
+}
+
+QueryFuzzerOptions XmarkAlphabet() {
+  return WithAlphabet(
+      {"site", "regions", "item", "name", "description", "listitem",
+       "parlist", "incategory", "people", "person", "profile", "interest",
+       "income", "open_auction", "bidder", "increase", "initial", "current",
+       "itemref", "quantity", "category", "emailaddress"},
+      {"id", "category", "person", "item"},
+      {"10", "100", "1.50", "40000", "person0", "item3", "category7"});
+}
+
+QueryFuzzerOptions RecursiveAlphabet() {
+  QueryFuzzerOptions o = WithAlphabet({"root", "a", "p", "v", "m", "leaf"},
+                                      {}, {"0", "1", "2"});
+  // The adversarial shape: long //a chains with marker predicates, where
+  // candidate-stack bookkeeping is under the most pressure.
+  o.descendant_probability = 0.75;
+  o.max_main_steps = 5;
+  return o;
+}
+
+QueryFuzzerOptions RandomDocAlphabet(int alphabet_size, int value_vocabulary) {
+  std::vector<std::string> tags;
+  for (int i = 0; i < alphabet_size; ++i) {
+    tags.push_back("t" + std::to_string(i));
+  }
+  tags.push_back("root");
+  std::vector<std::string> values;
+  for (int i = 0; i < value_vocabulary; ++i) {
+    values.push_back(std::to_string(i));
+  }
+  return WithAlphabet(std::move(tags), {"x", "y"}, std::move(values));
+}
+
+QueryFuzzer::QueryFuzzer(QueryFuzzerOptions options)
+    : options_(std::move(options)) {
+  assert(!options_.tags.empty());
+  if (options_.values.empty()) options_.values.push_back("0");
+}
+
+std::string QueryFuzzer::RandomTag(Random* rng) {
+  if (rng->OneIn(options_.wildcard_probability)) return "*";
+  return options_.tags[rng->Uniform(options_.tags.size())];
+}
+
+std::string QueryFuzzer::RandomAttribute(Random* rng) {
+  return options_.attributes[rng->Uniform(options_.attributes.size())];
+}
+
+std::string QueryFuzzer::CompareSuffix(Random* rng) {
+  static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
+  const std::string& value = options_.values[rng->Uniform(options_.values.size())];
+  std::string op = kOps[rng->Uniform(6)];
+  // Numeric spellings go out unquoted half the time, so both numeric-token
+  // and string-literal comparison paths are fuzzed.
+  double unused;
+  bool numeric = ParseXPathNumber(value, &unused);
+  if (numeric && rng->OneIn(0.5)) {
+    return " " + op + " " + value;
+  }
+  return " " + op + " '" + value + "'";
+}
+
+std::string QueryFuzzer::RelativePath(int depth, Random* rng) {
+  std::string out;
+  int steps = 1 + static_cast<int>(rng->Uniform(2));
+  for (int i = 0; i < steps; ++i) {
+    bool descendant = rng->OneIn(options_.descendant_probability);
+    if (i == 0) {
+      if (descendant) out += "//";
+    } else {
+      out += descendant ? "//" : "/";
+    }
+    out += RandomTag(rng);
+    if (depth < options_.max_predicate_depth &&
+        rng->OneIn(options_.predicate_probability * 0.5)) {
+      out += "[" + Predicate(depth + 1, rng) + "]";
+    }
+  }
+  // Possibly end in an attribute or text() step (attribute/text query nodes
+  // cannot have further children, so this is always the tail).
+  double r = rng->NextDouble();
+  if (r < options_.attribute_step_probability && !options_.attributes.empty()) {
+    out += rng->OneIn(options_.descendant_probability) ? "//@" : "/@";
+    out += RandomAttribute(rng);
+  } else if (r < options_.attribute_step_probability +
+                     options_.text_step_probability) {
+    out += rng->OneIn(options_.descendant_probability) ? "//text()"
+                                                       : "/text()";
+  }
+  return out;
+}
+
+std::string QueryFuzzer::Predicate(int depth, Random* rng) {
+  double r = rng->NextDouble();
+  if (depth < options_.max_predicate_depth) {
+    if (r < options_.not_probability) {
+      return "not(" + Predicate(depth + 1, rng) + ")";
+    }
+    r -= options_.not_probability;
+    if (r < options_.or_probability) {
+      return Predicate(depth + 1, rng) + " or " + Predicate(depth + 1, rng);
+    }
+    r -= options_.or_probability;
+    if (r < options_.and_probability) {
+      return Predicate(depth + 1, rng) + " and " + Predicate(depth + 1, rng);
+    }
+  }
+  // `[. = 'v']` self comparison (bare '.' without a comparison is outside
+  // the fragment, so the suffix is mandatory here).
+  if (rng->OneIn(options_.self_compare_probability)) {
+    return "." + CompareSuffix(rng);
+  }
+  std::string path = RelativePath(depth, rng);
+  if (rng->OneIn(options_.value_predicate_probability)) {
+    return path + CompareSuffix(rng);
+  }
+  return path;
+}
+
+std::string QueryFuzzer::Generate(Random* rng) {
+  std::string out;
+  int steps = 1 + static_cast<int>(
+                      rng->Uniform(static_cast<uint64_t>(options_.max_main_steps)));
+  for (int i = 0; i < steps; ++i) {
+    out += rng->OneIn(options_.descendant_probability) ? "//" : "/";
+    out += RandomTag(rng);
+    if (rng->OneIn(options_.predicate_probability)) {
+      out += "[" + Predicate(0, rng) + "]";
+      if (rng->OneIn(options_.second_predicate_probability)) {
+        out += "[" + Predicate(0, rng) + "]";
+      }
+    }
+  }
+  double r = rng->NextDouble();
+  if (r < options_.attribute_output_probability &&
+      !options_.attributes.empty()) {
+    out += rng->OneIn(options_.descendant_probability) ? "//@" : "/@";
+    out += RandomAttribute(rng);
+  } else if (r < options_.attribute_output_probability +
+                     options_.text_output_probability) {
+    out += rng->OneIn(options_.descendant_probability) ? "//text()"
+                                                       : "/text()";
+  }
+  return out;
+}
+
+std::string QueryFuzzer::Next(Random* rng) {
+  // The grammar stays inside the fragment by construction; the retry loop
+  // is a safety net so a generator bug degrades to skew, not to a crash in
+  // every consumer.
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    std::string query = Generate(rng);
+    if (xpath::ParseAndCompile(query).ok()) return query;
+  }
+  return "//" + options_.tags[0];
+}
+
+}  // namespace vitex::difftest

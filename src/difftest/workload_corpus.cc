@@ -1,0 +1,112 @@
+#include "difftest/workload_corpus.h"
+
+#include "workload/book_generator.h"
+#include "workload/protein_generator.h"
+#include "workload/random_generator.h"
+#include "workload/recursive_generator.h"
+#include "workload/xmark_generator.h"
+
+namespace vitex::difftest {
+
+const std::vector<WorkloadKind>& AllWorkloads() {
+  static const std::vector<WorkloadKind> kAll = {
+      WorkloadKind::kProtein, WorkloadKind::kBooks, WorkloadKind::kXmark,
+      WorkloadKind::kRecursive, WorkloadKind::kRandom};
+  return kAll;
+}
+
+std::string_view WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kProtein:
+      return "protein";
+    case WorkloadKind::kBooks:
+      return "books";
+    case WorkloadKind::kXmark:
+      return "xmark";
+    case WorkloadKind::kRecursive:
+      return "recursive";
+    case WorkloadKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+bool WorkloadFromName(std::string_view name, WorkloadKind* out) {
+  for (WorkloadKind kind : AllWorkloads()) {
+    if (WorkloadName(kind) == name) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+QueryFuzzerOptions WorkloadAlphabet(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kProtein:
+      return ProteinAlphabet();
+    case WorkloadKind::kBooks:
+      return BookAlphabet();
+    case WorkloadKind::kXmark:
+      return XmarkAlphabet();
+    case WorkloadKind::kRecursive:
+      return RecursiveAlphabet();
+    case WorkloadKind::kRandom:
+      return RandomDocAlphabet();
+  }
+  return RandomDocAlphabet();
+}
+
+std::string GenerateWorkloadDocument(WorkloadKind kind, uint64_t seed,
+                                     Random* rng) {
+  switch (kind) {
+    case WorkloadKind::kProtein: {
+      workload::ProteinOptions o;
+      o.entries = 2 + rng->Uniform(4);
+      o.seed = seed;
+      return workload::GenerateProteinString(o).value_or("<ProteinDatabase/>");
+    }
+    case WorkloadKind::kBooks: {
+      workload::BookOptions o;
+      o.seed = seed;
+      o.section_depth = 2 + static_cast<int>(rng->Uniform(3));
+      o.table_depth = 2 + static_cast<int>(rng->Uniform(2));
+      o.chains = 1 + static_cast<int>(rng->Uniform(2));
+      o.author_probability = 0.5;
+      o.position_probability = 0.5;
+      return workload::GenerateBookString(o).value_or("<book/>");
+    }
+    case WorkloadKind::kXmark: {
+      workload::XmarkOptions o;
+      o.seed = seed;
+      o.items_per_region = 1 + rng->Uniform(2);
+      return workload::GenerateXmarkString(o).value_or("<site/>");
+    }
+    case WorkloadKind::kRecursive: {
+      // Deep recursion is where candidate-stack bugs hide: bias toward
+      // depth, occasionally with multiple spines.
+      workload::RecursiveOptions o;
+      o.seed = seed;
+      o.depth = 8 + static_cast<int>(rng->Uniform(10));
+      o.width = 1 + static_cast<int>(rng->Uniform(2));
+      o.marker_probability = 0.7;
+      return workload::GenerateRecursiveString(o).value_or("<root/>");
+    }
+    case WorkloadKind::kRandom: {
+      workload::RandomDocOptions o;
+      o.max_elements = 80;
+      // Full markup variety: comments, CDATA, entities, padded and
+      // whitespace-only text — the constructs that stress text coalescing
+      // and sequence stamping across routes.
+      o.comment_probability = 0.1;
+      o.cdata_probability = 0.15;
+      o.entity_probability = 0.15;
+      o.padded_text_probability = 0.2;
+      o.whitespace_text_probability = 0.1;
+      return workload::GenerateRandomDocument(o, rng);
+    }
+  }
+  return "<root/>";
+}
+
+}  // namespace vitex::difftest

@@ -1,0 +1,44 @@
+// Workload corpus for the differential oracle: one place that knows, for
+// each workload generator, how to draw a document and which query alphabet
+// matches its vocabulary. Shared by the difftest gtest suite and the
+// long-running difftest_main fuzz tool so both sample the same space.
+
+#ifndef VITEX_DIFFTEST_WORKLOAD_CORPUS_H_
+#define VITEX_DIFFTEST_WORKLOAD_CORPUS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "difftest/query_fuzzer.h"
+
+namespace vitex::difftest {
+
+enum class WorkloadKind : uint8_t {
+  kProtein,    // long shallow ProteinEntry runs, attribute-heavy
+  kBooks,      // recursive section/table nesting (paper Figure 1 shape)
+  kXmark,      // auction data, value predicates
+  kRecursive,  // adversarial //a chains — candidate-stack pressure
+  kRandom,     // small-alphabet random trees with full markup variety
+};
+
+/// The four paper workloads plus the random generator.
+const std::vector<WorkloadKind>& AllWorkloads();
+std::string_view WorkloadName(WorkloadKind kind);
+/// Resolves a name ("protein", "books", ...) back to a kind; false if
+/// unknown.
+bool WorkloadFromName(std::string_view name, WorkloadKind* out);
+
+/// Query-fuzzer alphabet matching the workload's document vocabulary.
+QueryFuzzerOptions WorkloadAlphabet(WorkloadKind kind);
+
+/// Draws one document. `seed` picks the generator's own seed; `rng` drives
+/// the size/shape knobs (kept small: the oracle's DOM ground truth
+/// materializes every document).
+std::string GenerateWorkloadDocument(WorkloadKind kind, uint64_t seed,
+                                     Random* rng);
+
+}  // namespace vitex::difftest
+
+#endif  // VITEX_DIFFTEST_WORKLOAD_CORPUS_H_

@@ -7,6 +7,14 @@
 // outruns a shard. Close() releases everyone: pending items still drain
 // (Pop keeps returning them), further Push calls fail, and Pop returns
 // nullopt once the queue is empty.
+//
+// The drain guarantee — tested behaviour, not aspiration (see
+// tests/service/bounded_queue_test.cc):
+//   * a Push that returned true has its item delivered by exactly one Pop,
+//     even when Push races Close() on a full queue (no loss, no dupes);
+//   * a Push that returned false enqueued nothing;
+//   * consumers blocked in Pop wake on Close() only after the queue is
+//     empty, so shutdown never discards accepted work.
 
 #ifndef VITEX_SERVICE_BOUNDED_QUEUE_H_
 #define VITEX_SERVICE_BOUNDED_QUEUE_H_

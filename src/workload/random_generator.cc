@@ -1,5 +1,7 @@
 #include "workload/random_generator.h"
 
+#include <cstdio>
+
 #include "xml/escape.h"
 
 namespace vitex::workload {
@@ -18,6 +20,45 @@ struct DocBuilder {
   std::string out;
   int elements = 0;
 
+  // Emits one text piece, optionally dressed up in the markup variants the
+  // differential fuzzer wants to stress: CDATA wrapping, entity escaping,
+  // surrounding whitespace. The logical content after parsing is the same
+  // value (modulo deliberate padding), so predicates still hit.
+  void Text() {
+    std::string value = Value(options.value_vocabulary, rng);
+    if (rng->OneIn(options.padded_text_probability)) {
+      value = " " + value + " ";
+    }
+    if (rng->OneIn(options.cdata_probability)) {
+      out += "<![CDATA[" + value + "]]>";
+      return;
+    }
+    if (rng->OneIn(options.entity_probability)) {
+      // Escape the first character as a numeric character reference (and
+      // sometimes as the hex form) — decoded content is unchanged.
+      char c = value[0];
+      bool hex = rng->OneIn(0.5);
+      char buf[16];
+      if (hex) {
+        std::snprintf(buf, sizeof(buf), "&#x%x;", static_cast<int>(c));
+      } else {
+        std::snprintf(buf, sizeof(buf), "&#%d;", static_cast<int>(c));
+      }
+      out += buf + value.substr(1);
+      return;
+    }
+    out += value;
+  }
+
+  void Decoration() {
+    if (rng->OneIn(options.comment_probability)) {
+      out += "<!-- c" + Value(options.value_vocabulary, rng) + " -->";
+    }
+    if (rng->OneIn(options.whitespace_text_probability)) {
+      out += rng->OneIn(0.5) ? "  " : "\n\t";
+    }
+  }
+
   void Element(int depth) {
     if (elements >= options.max_elements) return;
     ++elements;
@@ -31,8 +72,9 @@ struct DocBuilder {
       out += " y=\"" + Value(options.value_vocabulary, rng) + "\"";
     }
     out += ">";
+    Decoration();
     if (rng->OneIn(options.text_probability)) {
-      out += Value(options.value_vocabulary, rng);
+      Text();
     }
     if (depth < options.max_depth) {
       // Geometric-ish branching: flip a coin weighted to mean_children.
@@ -40,8 +82,9 @@ struct DocBuilder {
           options.mean_children / (options.mean_children + 1.0);
       while (rng->OneIn(continue_p) && elements < options.max_elements) {
         Element(depth + 1);
+        Decoration();
         if (rng->OneIn(options.text_probability * 0.5)) {
-          out += Value(options.value_vocabulary, rng);
+          Text();
         }
       }
     }

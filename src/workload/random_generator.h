@@ -27,6 +27,18 @@ struct RandomDocOptions {
   int value_vocabulary = 5;
   /// Hard cap on total elements to keep documents bounded.
   int max_elements = 400;
+
+  /// Markup-variety knobs for the differential fuzzer: probabilities of
+  /// injecting a comment between children, wrapping a text piece in CDATA,
+  /// entity-escaping a text piece, padding text with surrounding
+  /// whitespace, or emitting a whitespace-only text node. All default to 0
+  /// so existing seeded documents keep their exact byte streams (a draw is
+  /// only consumed when the probability is positive).
+  double comment_probability = 0.0;
+  double cdata_probability = 0.0;
+  double entity_probability = 0.0;
+  double padded_text_probability = 0.0;
+  double whitespace_text_probability = 0.0;
 };
 
 /// Generates a random well-formed document.

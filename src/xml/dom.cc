@@ -116,16 +116,24 @@ Status DomBuilder::StartElement(const StartElementEvent& event) {
   DomNode* el = doc_.NewNode(NodeKind::kElement);
   el->name = doc_.arena()->CopyString(event.name);
   el->depth = event.depth;
-  el->order = next_order_++;
+  // Adopt the producer's document-order stamp when present (the SAX parser
+  // always stamps): DOM node orders then equal the sequence numbers every
+  // streaming route reports, which is what makes cross-route result
+  // comparison in the differential oracle exact. Unstamped producers fall
+  // back to dense local numbering.
+  bool stamped = event.sequence != kNoSequence;
+  el->order = stamped ? event.sequence : next_order_++;
   Append(current_, el);
   DomNode* attr_tail = nullptr;
+  uint64_t attr_index = 0;
   for (const Attribute& a : event.attributes) {
     DomNode* an = doc_.NewNode(NodeKind::kAttribute);
     an->name = doc_.arena()->CopyString(a.name);
     an->value = doc_.arena()->CopyString(a.value);
     an->parent = el;
     an->depth = event.depth + 1;
-    an->order = next_order_++;
+    an->order = stamped ? event.sequence + 1 + attr_index : next_order_++;
+    ++attr_index;
     if (attr_tail == nullptr) {
       el->first_attribute = an;
     } else {
@@ -149,9 +157,18 @@ Status DomBuilder::EndElement(std::string_view name, int depth) {
 
 Status DomBuilder::Characters(std::string_view text, int depth) {
   (void)depth;
+  return AppendText(text, kNoSequence);
+}
+
+Status DomBuilder::Text(const TextEvent& event) {
+  return AppendText(event.text, event.sequence);
+}
+
+Status DomBuilder::AppendText(std::string_view text, uint64_t sequence) {
   // Coalesce adjacent text nodes so chunk boundaries are invisible in the
   // tree. Arena strings are immutable, so adjacent runs concatenate into a
-  // fresh arena copy only when needed.
+  // fresh arena copy only when needed. Pieces of one node share the first
+  // piece's stamp, so coalescing keeps it.
   if (current_->last_child != nullptr && current_->last_child->IsText()) {
     DomNode* prev = current_->last_child;
     std::string merged;
@@ -164,7 +181,7 @@ Status DomBuilder::Characters(std::string_view text, int depth) {
   DomNode* tn = doc_.NewNode(NodeKind::kText);
   tn->value = doc_.arena()->CopyString(text);
   tn->depth = current_->depth + 1;
-  tn->order = next_order_++;
+  tn->order = sequence != kNoSequence ? sequence : next_order_++;
   Append(current_, tn);
   return Status::OK();
 }

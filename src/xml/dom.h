@@ -49,7 +49,12 @@ struct DomNode {
   /// 1-based depth of an element (document node is 0). Attributes share the
   /// owner's depth + 1, matching how TwigM levels attribute events.
   int depth = 0;
-  /// Document-order sequence number (document node is 0).
+  /// Document-order sequence number (document node is 0). When the producer
+  /// stamps sequences (the SAX parser always does), this IS the producer's
+  /// stamp — identical to the sequence a streaming route reports for the
+  /// same node, which is what lets the differential oracle compare DOM and
+  /// streaming results exactly. Unstamped producers get dense 1-based
+  /// numbering instead; both are strictly increasing in document order.
   uint64_t order = 0;
 
   bool IsElement() const { return kind == NodeKind::kElement; }
@@ -106,6 +111,7 @@ class DomBuilder : public ContentHandler {
   Status StartElement(const StartElementEvent& event) override;
   Status EndElement(std::string_view name, int depth) override;
   Status Characters(std::string_view text, int depth) override;
+  Status Text(const TextEvent& event) override;
   Status EndDocument() override;
 
   /// Takes the finished document; valid only after a successful parse.
@@ -118,6 +124,7 @@ class DomBuilder : public ContentHandler {
   bool done_ = false;
 
   void Append(DomNode* parent, DomNode* child);
+  Status AppendText(std::string_view text, uint64_t sequence);
 };
 
 /// Parses an in-memory document into a DOM.

@@ -64,7 +64,7 @@ void SaxParser::Reset() {
   pos_ = 0;
   consumed_total_ = 0;
   open_elements_.clear();
-  text_run_open_ = false;
+  pending_leading_ws_.clear();
   sequence_counter_ = 0;
   text_node_open_ = false;
   text_node_sequence_ = 0;
@@ -162,10 +162,13 @@ Status SaxParser::Pump(bool at_eof) {
       std::string_view text =
           lt == std::string_view::npos ? rest : rest.substr(0, lt);
       if (lt == std::string_view::npos && !at_eof) {
-        // The text node is not complete yet. Hold it so that whitespace
-        // skipping and entity decoding see whole nodes regardless of chunk
-        // boundaries — unless the run is pathologically long, in which case
-        // emit a prefix to keep memory O(one token).
+        // The text node is not complete yet. Hold it so that entity
+        // decoding sees whole runs regardless of chunk boundaries — unless
+        // the run is pathologically long, in which case emit a prefix to
+        // keep memory O(one token). (Whitespace suppression is immune to
+        // the early emit: leading whitespace is staged node-level in
+        // HandleText, so a whitespace-only node is suppressed identically
+        // however the stream is chunked.)
         if (text.size() < kTextHoldBytes) return Status::OK();
         // Hold back a possible incomplete trailing entity.
         size_t amp = text.rfind('&');
@@ -174,13 +177,11 @@ Status SaxParser::Pump(bool at_eof) {
           text = text.substr(0, amp);
         }
         if (text.empty()) return Status::OK();
-        VITEX_RETURN_IF_ERROR(HandleText(text, /*partial=*/true));
-        text_run_open_ = true;
+        VITEX_RETURN_IF_ERROR(HandleText(text));
         pos_ += text.size();
         continue;
       }
-      VITEX_RETURN_IF_ERROR(HandleText(text, /*partial=*/false));
-      text_run_open_ = false;
+      VITEX_RETURN_IF_ERROR(HandleText(text));
       pos_ += text.size();
       continue;
     }
@@ -281,7 +282,7 @@ Symbol SaxParser::ResolveSymbol(std::string_view name) const {
   return sym == kNoSymbol ? kAbsentSymbol : sym;
 }
 
-Status SaxParser::HandleText(std::string_view raw, bool partial) {
+Status SaxParser::HandleText(std::string_view raw) {
   if (raw.empty()) return Status::OK();
   if (open_elements_.empty()) {
     if (!IsAllWhitespace(raw)) {
@@ -290,11 +291,25 @@ Status SaxParser::HandleText(std::string_view raw, bool partial) {
     }
     return Status::OK();
   }
-  // Whitespace-only *nodes* are skippable; a whitespace-only *fragment* of
-  // a longer (partial) run is not — it would change content under chunking.
-  if (options_.skip_whitespace_text && !partial && !text_run_open_ &&
+  // Whitespace suppression is a *node*-level rule: a text node is skipped
+  // iff the whole coalesced node is whitespace. Leading whitespace pieces
+  // are therefore staged until the node either shows real content (flush)
+  // or ends at a tag (drop). Deciding piece by piece — the old behaviour —
+  // disagreed with whole-document parsing whenever a chunk boundary, CDATA
+  // seam or comment split a node around its whitespace. The check is on the
+  // RAW bytes: a character reference like &#32; is explicit content, not
+  // formatting whitespace, even when it decodes to a space.
+  if (options_.skip_whitespace_text && !text_node_open_ &&
       IsAllWhitespace(raw)) {
-    return Status::OK();
+    if (pending_leading_ws_.size() + raw.size() <= kTextHoldBytes) {
+      pending_leading_ws_.append(raw);
+      return Status::OK();
+    }
+    // A whitespace run beyond the hold budget is delivered as content —
+    // in BOTH parse modes, since the decision depends only on cumulative
+    // size — keeping parser memory O(kTextHoldBytes) on adversarial
+    // all-whitespace streams. (DeliverText releases the staged prefix
+    // first, so nothing is reordered or lost.)
   }
   std::string_view text = raw;
   if (raw.find('&') != std::string_view::npos) {
@@ -305,7 +320,6 @@ Status SaxParser::HandleText(std::string_view raw, bool partial) {
     text_scratch_ = std::move(decoded).value();
     text = text_scratch_;
   }
-  ++stats_.text_events;
   return DeliverText(text);
 }
 
@@ -317,6 +331,16 @@ Status SaxParser::DeliverText(std::string_view text) {
     text_node_open_ = true;
     text_node_sequence_ = sequence_counter_++;
   }
+  if (!pending_leading_ws_.empty()) {
+    // The node turned out to have real content: release its staged leading
+    // whitespace first, in order.
+    std::string staged = std::move(pending_leading_ws_);
+    pending_leading_ws_.clear();
+    ++stats_.text_events;
+    VITEX_RETURN_IF_ERROR(
+        handler_->Text(TextEvent{staged, depth(), text_node_sequence_}));
+  }
+  ++stats_.text_events;
   return handler_->Text(TextEvent{text, depth(), text_node_sequence_});
 }
 
@@ -325,10 +349,9 @@ Status SaxParser::HandleCData(std::string_view content) {
     return Status::ParseError("CDATA section outside the root element");
   }
   if (content.empty()) return Status::OK();
-  if (options_.skip_whitespace_text && IsAllWhitespace(content)) {
-    return Status::OK();
-  }
-  ++stats_.text_events;
+  // CDATA is explicitly marked character data — never subject to the
+  // formatting-whitespace suppression heuristic, and it makes the whole
+  // coalesced node "real" (so staged leading whitespace is released).
   return DeliverText(content);
 }
 
@@ -435,6 +458,9 @@ Status SaxParser::HandleStartTag(std::string_view body, uint64_t offset) {
     // the hash.
     event.symbol = ResolveSymbol(name);
   }
+  // A tag ends any open text node; staged leading whitespace that never met
+  // real content belongs to a whitespace-only node and is dropped here.
+  pending_leading_ws_.clear();
   text_node_open_ = false;
   event.sequence = sequence_counter_;
   sequence_counter_ += 1 + event.attributes.size();
@@ -469,6 +495,7 @@ Status SaxParser::HandleEndTag(std::string_view body) {
                               open_elements_.back() + ">' but found '</" +
                               std::string(name) + ">'");
   }
+  pending_leading_ws_.clear();
   text_node_open_ = false;
   int d = depth();
   std::string owned = std::move(open_elements_.back());

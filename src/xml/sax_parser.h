@@ -30,10 +30,15 @@ namespace vitex::xml {
 
 /// Tuning knobs for SaxParser.
 struct SaxParserOptions {
-  /// When true (default), text events consisting solely of whitespace are
-  /// suppressed. Data-oriented XML (the paper's protein dataset) uses
-  /// whitespace only for indentation; suppressing it keeps the event stream
-  /// and TwigM's text buffers small. Set false for document-oriented XML.
+  /// When true (default), text *nodes* consisting solely of whitespace are
+  /// suppressed (a node is one coalesced run between two tags; comments,
+  /// PIs and CDATA seams do not split it). Data-oriented XML (the paper's
+  /// protein dataset) uses whitespace only for indentation; suppressing it
+  /// keeps the event stream and TwigM's text buffers small. Set false for
+  /// document-oriented XML. Explicitly marked content is never suppressed:
+  /// CDATA sections and character references (&#32;) count as real content
+  /// and make their whole node deliverable. The rule is applied per node,
+  /// not per delivered piece, so it is invariant under chunking.
   bool skip_whitespace_text = true;
 
   /// Maximum element nesting depth; 0 disables the check. Exceeding the
@@ -100,10 +105,11 @@ class SaxParser {
   // pos_. Leaves pos_ at the first byte of an incomplete token.
   Status Pump(bool at_eof);
 
-  // `partial` marks a prefix of a text run whose terminator has not been
-  // seen yet (only happens for runs longer than kTextHoldBytes).
-  Status HandleText(std::string_view raw, bool partial);
-  // Stamps the text-node sequence number and delivers one piece.
+  // Handles one piece of character data (a full run, or a prefix of a run
+  // longer than kTextHoldBytes whose terminator has not been seen yet).
+  Status HandleText(std::string_view raw);
+  // Stamps the text-node sequence number and delivers one piece, releasing
+  // any staged leading whitespace of the node first.
   Status DeliverText(std::string_view text);
   Status HandleStartTag(std::string_view tag_body, uint64_t offset);
   Status HandleEndTag(std::string_view tag_body);
@@ -134,8 +140,15 @@ class SaxParser {
   static constexpr size_t kTextHoldBytes = 64 * 1024;
 
   std::vector<std::string> open_elements_;
-  // True while a long text run is being streamed out in partial pieces.
-  bool text_run_open_ = false;
+  // Leading whitespace of the current text node, staged until the node
+  // either shows real content (flushed ahead of it, in order) or ends at a
+  // tag (dropped: the whole node was formatting whitespace). This makes
+  // skip_whitespace_text a node-level rule — invariant under chunk
+  // boundaries, CDATA seams and comments splitting a node. Capped at
+  // kTextHoldBytes: a whitespace run beyond that is delivered as content
+  // (identically in whole-document and chunked parses), so the parser's
+  // memory stays bounded on adversarial all-whitespace streams.
+  std::string pending_leading_ws_;
   // Document-order sequence stamping (query-independent, mirrored by every
   // consumer that counts for itself): one number per element, then one per
   // attribute, one per coalesced text node.

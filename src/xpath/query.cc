@@ -1,7 +1,6 @@
 #include "xpath/query.h"
 
-#include <cstdlib>
-
+#include "common/string_util.h"
 #include "xpath/parser.h"
 
 namespace vitex::xpath {
@@ -96,19 +95,14 @@ bool QueryNode::CompareValue(std::string_view value) const {
     case CompareOp::kEq:
     case CompareOp::kNe: {
       bool eq;
-      if (literal_is_number) {
-        // Numeric equality per XPath 1.0 when the literal is a number; a
-        // non-numeric value compares unequal.
-        char* end = nullptr;
-        std::string v(value);
-        double d = std::strtod(v.c_str(), &end);
-        while (end != nullptr && (*end == ' ' || *end == '\t' ||
-                                  *end == '\n' || *end == '\r')) {
-          ++end;
-        }
-        bool numeric = end != nullptr && *end == '\0' && !v.empty();
-        eq = numeric && d == number;
+      double v;
+      if (literal_is_number && ParseXPathNumber(value, &v)) {
+        // Numeric equality per XPath 1.0 when both sides coerce (node text
+        // is whitespace-trimmed by ParseXPathNumber, so " 10 " = 10).
+        eq = v == number;
       } else {
+        // String comparison otherwise — including non-numeric text against
+        // a numeric literal, so = and != stay exact complements.
         eq = value == literal;
       }
       return value_op == CompareOp::kEq ? eq : !eq;
@@ -117,27 +111,20 @@ bool QueryNode::CompareValue(std::string_view value) const {
     case CompareOp::kLe:
     case CompareOp::kGt:
     case CompareOp::kGe: {
-      // Relational comparison is numeric; non-numeric values never satisfy.
-      char* end = nullptr;
-      std::string v(value);
-      double d = std::strtod(v.c_str(), &end);
-      while (end != nullptr && (*end == ' ' || *end == '\t' || *end == '\n' ||
-                                *end == '\r')) {
-        ++end;
-      }
-      if (end == nullptr || *end != '\0' || v.empty()) return false;
-      double rhs = literal_is_number
-                       ? number
-                       : std::strtod(std::string(literal).c_str(), nullptr);
+      // Relational comparison is numeric; a non-numeric side never
+      // satisfies (NaN semantics). The literal side was coerced at compile
+      // time (literal_numeric / number).
+      double v;
+      if (!literal_numeric || !ParseXPathNumber(value, &v)) return false;
       switch (value_op) {
         case CompareOp::kLt:
-          return d < rhs;
+          return v < number;
         case CompareOp::kLe:
-          return d <= rhs;
+          return v <= number;
         case CompareOp::kGt:
-          return d > rhs;
+          return v > number;
         case CompareOp::kGe:
-          return d >= rhs;
+          return v >= number;
         default:
           return false;
       }
@@ -309,8 +296,15 @@ class TwigCompiler {
   static void SetValueTest(QueryNode* node, CompareOp op, const PredExpr& e) {
     node->value_op = op;
     node->literal = e.literal;
-    node->number = e.number;
     node->literal_is_number = e.literal_is_number;
+    // Coerce the RHS once, at compile time; CompareValue never re-parses
+    // the literal per event.
+    if (e.literal_is_number) {
+      node->number = e.number;
+      node->literal_numeric = true;
+    } else {
+      node->literal_numeric = ParseXPathNumber(e.literal, &node->number);
+    }
   }
 
   // Adds "child atom" as a further conjunct of node->formula.

@@ -68,8 +68,17 @@ struct QueryNode {
   /// Value comparison, only on text and attribute nodes (kNone otherwise).
   CompareOp value_op = CompareOp::kNone;
   std::string literal;
+  /// Numeric value of the RHS, resolved ONCE at compile time (never
+  /// re-parsed per event): the lexer's value for a numeric token, or the
+  /// XPath number() coercion of a string literal. Valid iff literal_numeric.
   double number = 0.0;
+  /// The RHS was written as a numeric token (`[a = 10]`). Equality against
+  /// it is numeric when the node value coerces to a number, with a string
+  /// fallback otherwise (applied consistently for = and !=).
   bool literal_is_number = false;
+  /// The RHS coerces to a number (numeric token, or string literal like
+  /// '10'); relational comparisons require this and a numeric node value.
+  bool literal_numeric = false;
 
   /// True for the single node whose matches are the query solutions.
   bool is_output = false;

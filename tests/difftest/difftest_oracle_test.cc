@@ -1,0 +1,206 @@
+// Unit tests for the differential oracle machinery itself: the fuzzer only
+// emits compilable queries, the four routes produce identical normalized
+// sets on hand-picked cases, sequence numbers line up across routes (the
+// property that makes comparison exact), and the repro writer round-trips.
+
+#include "difftest/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "difftest/query_fuzzer.h"
+#include "xpath/query.h"
+
+namespace vitex::difftest {
+namespace {
+
+TEST(QueryFuzzerTest, EveryQueryCompiles) {
+  const QueryFuzzerOptions alphabets[] = {
+      ProteinAlphabet(), BookAlphabet(), XmarkAlphabet(), RecursiveAlphabet(),
+      RandomDocAlphabet()};
+  for (const auto& alphabet : alphabets) {
+    QueryFuzzer fuzzer(alphabet);
+    Random rng(7);
+    for (int i = 0; i < 500; ++i) {
+      std::string q = fuzzer.Next(&rng);
+      auto compiled = xpath::ParseAndCompile(q);
+      EXPECT_TRUE(compiled.ok()) << q << ": " << compiled.status();
+    }
+  }
+}
+
+TEST(QueryFuzzerTest, CoversTheGrammar) {
+  // One alphabet, many draws: the fuzzer must exercise every construct the
+  // oracle is supposed to stress (not a distribution test, just presence).
+  QueryFuzzer fuzzer(XmarkAlphabet());
+  Random rng(11);
+  bool saw_descendant = false, saw_wildcard = false, saw_not = false,
+       saw_or = false, saw_and = false, saw_attr = false, saw_text = false,
+       saw_compare = false, saw_nested = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::string q = fuzzer.Next(&rng);
+    saw_descendant |= q.find("//") != std::string::npos;
+    saw_wildcard |= q.find('*') != std::string::npos;
+    saw_not |= q.find("not(") != std::string::npos;
+    saw_or |= q.find(" or ") != std::string::npos;
+    saw_and |= q.find(" and ") != std::string::npos;
+    saw_attr |= q.find('@') != std::string::npos;
+    saw_text |= q.find("text()") != std::string::npos;
+    saw_compare |= q.find('=') != std::string::npos ||
+                   q.find('<') != std::string::npos ||
+                   q.find('>') != std::string::npos;
+    // A '[' inside an open '[' means nested predicates.
+    int open = 0;
+    for (char c : q) {
+      if (c == '[') {
+        if (open > 0) saw_nested = true;
+        ++open;
+      } else if (c == ']') {
+        --open;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_descendant);
+  EXPECT_TRUE(saw_wildcard);
+  EXPECT_TRUE(saw_not);
+  EXPECT_TRUE(saw_or);
+  EXPECT_TRUE(saw_and);
+  EXPECT_TRUE(saw_attr);
+  EXPECT_TRUE(saw_text);
+  EXPECT_TRUE(saw_compare);
+  EXPECT_TRUE(saw_nested);
+}
+
+TEST(OracleTest, HandPickedCasesAgree) {
+  Oracle oracle;
+  const std::pair<const char*, const char*> cases[] = {
+      {"//a", "<a><a/></a>"},
+      {"//a[b]//c", "<r><a><c/><b/></a><a><c/></a></r>"},
+      {"//a[not(b)]", "<r><a><b/></a><a/></r>"},
+      {"//a[@x = '1']//b", "<r><a x=\"1\"><b/></a><a x=\"2\"><b/></a></r>"},
+      {"//a//@x", "<r><a x=\"s\"><b x=\"d\"/></a></r>"},
+      {"//a//text()", "<r><a>one<b>two</b></a></r>"},
+      {"//a[b = 5]", "<r><a><b>5</b></a><a><b>6</b></a></r>"},
+      {"//a[b = 5]", "<r><a><b> 5 </b></a></r>"},  // number() trims
+      {"//*[b]", "<r><a><b/></a><c><b/></c><d/></r>"},
+  };
+  for (const auto& [query, doc] : cases) {
+    auto d = oracle.Check(query, doc);
+    EXPECT_FALSE(d.has_value()) << d->ToString();
+  }
+}
+
+TEST(OracleTest, SequenceNumbersIdenticalAcrossRoutes) {
+  // The exactness claim: each route reports the same (sequence, fragment)
+  // pairs, not merely the same fragments. Check the sets explicitly.
+  const std::string doc =
+      "<r><a x=\"1\"><b>t1</b></a><c/><a x=\"2\"><b>t2</b></a></r>";
+  const std::string query = "//a/b";
+  auto dom = Oracle::RunDom(query, doc);
+  Oracle oracle;
+  auto twig = oracle.RunTwigM(query, doc);
+  auto multi = Oracle::RunMultiQuery({query}, {"//*"}, doc);
+  auto service = Oracle::RunService({query}, {}, doc, 2);
+  ASSERT_TRUE(dom.ok());
+  ASSERT_TRUE(twig.ok());
+  ASSERT_TRUE(multi.ok());
+  ASSERT_TRUE(service.ok());
+  ASSERT_EQ(dom.value().size(), 2u);
+  // Sequences: r=0, a=1, @x=2, b=3, "t1"=4, c=5, a=6, @x=7, b=8, "t2"=9.
+  EXPECT_EQ(dom.value()[0], (std::pair<uint64_t, std::string>(3, "<b>t1</b>")));
+  EXPECT_EQ(dom.value()[1], (std::pair<uint64_t, std::string>(8, "<b>t2</b>")));
+  EXPECT_EQ(twig.value(), dom.value());
+  EXPECT_EQ(multi.value()[0], dom.value());
+  EXPECT_EQ(service.value()[0], dom.value());
+}
+
+TEST(OracleTest, ShardCountRotatesAndServiceAgrees) {
+  OracleOptions options;
+  options.max_shards = 4;
+  Oracle oracle(options);
+  const std::string doc = "<r><a><b>1</b></a><a><b>2</b></a></r>";
+  for (int i = 0; i < 8; ++i) {  // covers shard counts 1..4 twice
+    auto d = oracle.CheckBatch({"//a[b]", "//a/b/text()"}, {"//*"}, doc);
+    EXPECT_FALSE(d.has_value()) << d->ToString();
+  }
+  EXPECT_EQ(oracle.checks_run(), 16u);
+}
+
+TEST(OracleTest, ChunkedFeedAgrees) {
+  OracleOptions options;
+  options.feed_chunk_bytes = 3;
+  Oracle oracle(options);
+  auto d = oracle.Check("//a[b = 'x']//c",
+                        "<r><a><b>x</b><c>deep</c></a><a><b>y</b><c/></a></r>");
+  EXPECT_FALSE(d.has_value()) << d->ToString();
+}
+
+TEST(MinimizeDocumentTest, ShrinksToTheFailingCore) {
+  // Predicate: "the bug reproduces iff the document still contains a <b>
+  // with text 7 under an <a>". The minimizer must strip everything else.
+  auto still_fails = [](const std::string& doc) {
+    auto r = Oracle::RunDom("//a[b = 7]", doc);
+    return r.ok() && !r.value().empty();
+  };
+  std::string big =
+      "<r><x y=\"1\">noise</x><a><b>7</b><c>keep me not</c></a>"
+      "<deep><deeper><deepest>zzz</deepest></deeper></deep>"
+      "<a><b>8</b></a></r>";
+  ASSERT_TRUE(still_fails(big));
+  std::string minimized = MinimizeDocument(big, still_fails, 500);
+  EXPECT_TRUE(still_fails(minimized)) << minimized;
+  EXPECT_LT(minimized.size(), big.size());
+  // Everything deletable without losing the repro is gone.
+  EXPECT_EQ(minimized, "<r><a><b>7</b></a></r>");
+}
+
+TEST(MinimizeDocumentTest, ReturnsInputWhenNothingCanBeCut) {
+  // Predicate rejects every reduction: the document comes back untouched.
+  auto never = [](const std::string&) { return false; };
+  const std::string doc = "<r><a/><b><a/></b></r>";
+  EXPECT_EQ(MinimizeDocument(doc, never, 100), doc);
+}
+
+TEST(MinimizeDocumentTest, RespectsProbeBudget) {
+  int probes = 0;
+  auto counting = [&probes](const std::string&) {
+    ++probes;
+    return false;
+  };
+  MinimizeDocument("<r><a/><b/><c/><d/><e/><f/></r>", counting, 3);
+  EXPECT_LE(probes, 3);
+}
+
+TEST(OracleTest, WriteReproFilesRoundTrips) {
+  Divergence d;
+  d.route_a = Route::kDom;
+  d.route_b = Route::kService;
+  d.query = "//a[b]";
+  d.decoys = {"//*"};
+  d.shard_count = 3;
+  d.document = "<r><a><b/></a></r>";
+  d.original_document_bytes = 100;
+  d.detail = "entry #0 differs";
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "vitex_repro_test").string();
+  std::filesystem::remove_all(dir);
+  auto path = WriteReproFiles(d, dir, 1);
+  ASSERT_TRUE(path.ok()) << path.status();
+  EXPECT_TRUE(std::filesystem::exists(dir + "/001-report.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/001-query.txt"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/001-document.xml"));
+  std::string report = d.ToString();
+  EXPECT_NE(report.find("dom-baseline"), std::string::npos);
+  EXPECT_NE(report.find("service"), std::string::npos);
+  EXPECT_NE(report.find("//a[b]"), std::string::npos);
+  EXPECT_NE(report.find("minimized from 100"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace vitex::difftest

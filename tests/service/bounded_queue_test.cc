@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <string>
 #include <thread>
@@ -95,6 +97,91 @@ TEST(BoundedQueueTest, ManyProducersManyConsumers) {
   const long n = kProducers * kPerProducer;
   EXPECT_EQ(popped.load(), n);
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// The drain guarantee under a shutdown race: producers blocked in Push on a
+// FULL queue race Close(). Every Push that returned true must be popped
+// exactly once; every Push that returned false must never appear. No item
+// lost, none duplicated.
+TEST(BoundedQueueTest, PushRacingCloseWhileFullLosesNothing) {
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> q(2);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 50;
+    std::array<std::atomic<bool>, kProducers * kPerProducer> accepted{};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, &accepted, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          int item = p * kPerProducer + i;
+          if (q.Push(item)) {
+            accepted[item].store(true);
+          } else {
+            return;  // closed: everything after would be rejected too
+          }
+        }
+      });
+    }
+    // Let producers pile up against the tiny capacity, then slam the door
+    // mid-traffic.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 + 100 * round));
+    q.Close();
+    for (auto& t : producers) t.join();
+
+    std::vector<int> popped;
+    while (auto v = q.Pop()) popped.push_back(*v);
+    // Exactly the accepted items, each exactly once.
+    std::vector<int> expected;
+    for (size_t i = 0; i < accepted.size(); ++i) {
+      if (accepted[i].load()) expected.push_back(static_cast<int>(i));
+    }
+    std::sort(popped.begin(), popped.end());
+    EXPECT_EQ(popped, expected) << "round " << round;
+    // And the queue is now terminally empty.
+    EXPECT_FALSE(q.Pop().has_value());
+  }
+}
+
+// Consumers blocked in Pop on an EMPTY queue must all wake with nullopt
+// when Close() arrives — after first draining anything still queued.
+TEST(BoundedQueueTest, BlockedConsumersDrainThenEndOnClose) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.Push(1));
+  std::atomic<int> drained{0};
+  std::atomic<int> ended{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) drained.fetch_add(*v);
+      ended.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(drained.load(), 1);  // the queued item was not lost to Close
+  EXPECT_EQ(ended.load(), 3);    // every blocked consumer ended cleanly
+}
+
+// Capacity-1 ping-pong: producer and consumer strictly alternate through
+// the single slot; order and completeness must survive the tight handoff.
+TEST(BoundedQueueTest, CapacityOnePingPongUnderThreads) {
+  BoundedQueue<int> q(1);
+  constexpr int kItems = 5000;
+  std::vector<int> received;
+  received.reserve(kItems);
+  std::thread consumer([&] {
+    while (auto v = q.Pop()) received.push_back(*v);
+  });
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_TRUE(q.Push(i));
+  }
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(received.size(), static_cast<size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) {
+    ASSERT_EQ(received[i], i) << "FIFO violated at " << i;
+  }
 }
 
 }  // namespace

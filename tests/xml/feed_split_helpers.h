@@ -1,0 +1,134 @@
+// FeedSplitEverywhere: the chunk-invariance harness for the SAX parser.
+//
+// A streaming parser must produce the same event sequence — and the same
+// error — no matter where the input is split. This helper parses a document
+// whole, then at EVERY two-chunk split point, then byte at a time, and
+// asserts the canonical event streams are identical. The canonical form
+// includes the parser's document-order sequence stamps, so stamping
+// variance under chunking is caught too (the differential oracle depends
+// on those stamps being chunking-invariant).
+
+#ifndef VITEX_TESTS_XML_FEED_SPLIT_HELPERS_H_
+#define VITEX_TESTS_XML_FEED_SPLIT_HELPERS_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "xml/sax_parser.h"
+
+namespace vitex::xml {
+
+/// Event stream + final status of one parse, in canonical text form.
+struct CanonicalParse {
+  Status status = Status::OK();
+  std::vector<std::string> events;
+
+  bool operator==(const CanonicalParse& other) const {
+    return status.code() == other.status.code() &&
+           status.message() == other.status.message() &&
+           events == other.events;
+  }
+};
+
+/// Records every event with its stamps. Pieces of one text node (same
+/// sequence number) are merged, since chunking may legally split a node
+/// into multiple Text() deliveries.
+class CanonicalEventHandler : public ContentHandler {
+ public:
+  Status StartElement(const StartElementEvent& event) override {
+    events.push_back("S:" + std::string(event.name) + ":" +
+                     std::to_string(event.depth) + ":" +
+                     std::to_string(event.sequence));
+    for (const Attribute& a : event.attributes) {
+      events.push_back("A:" + std::string(a.name) + "=" +
+                       std::string(a.value));
+    }
+    return Status::OK();
+  }
+  Status EndElement(std::string_view name, int depth) override {
+    events.push_back("E:" + std::string(name) + ":" + std::to_string(depth));
+    return Status::OK();
+  }
+  Status Text(const TextEvent& event) override {
+    std::string tag = "T:" + std::to_string(event.depth) + ":" +
+                      std::to_string(event.sequence) + ":";
+    if (!events.empty() && events.back().rfind(tag, 0) == 0) {
+      events.back() += std::string(event.text);
+    } else {
+      events.push_back(tag + std::string(event.text));
+    }
+    return Status::OK();
+  }
+  Status Comment(std::string_view text) override {
+    events.push_back("C:" + std::string(text));
+    return Status::OK();
+  }
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override {
+    events.push_back("P:" + std::string(target) + ":" + std::string(data));
+    return Status::OK();
+  }
+
+  std::vector<std::string> events;
+};
+
+/// Parses `doc` split at the given ascending boundary offsets.
+inline CanonicalParse ParseWithBoundaries(const std::string& doc,
+                                          const std::vector<size_t>& boundaries,
+                                          SaxParserOptions options = {}) {
+  CanonicalEventHandler handler;
+  SaxParser parser(&handler, options);
+  CanonicalParse out;
+  size_t pos = 0;
+  for (size_t b : boundaries) {
+    if (b <= pos || b >= doc.size()) continue;
+    out.status = parser.Feed(std::string_view(doc).substr(pos, b - pos));
+    if (!out.status.ok()) {
+      out.events = std::move(handler.events);
+      return out;
+    }
+    pos = b;
+  }
+  out.status = parser.Feed(std::string_view(doc).substr(pos));
+  if (out.status.ok()) out.status = parser.Finish();
+  out.events = std::move(handler.events);
+  return out;
+}
+
+/// Parses `doc` in fixed-size chunks.
+inline CanonicalParse ParseWithChunkSize(const std::string& doc,
+                                         size_t chunk_size,
+                                         SaxParserOptions options = {}) {
+  std::vector<size_t> boundaries;
+  for (size_t b = chunk_size; b < doc.size(); b += chunk_size) {
+    boundaries.push_back(b);
+  }
+  return ParseWithBoundaries(doc, boundaries, options);
+}
+
+/// The harness: whole-document parse vs every two-chunk split vs byte at a
+/// time. Works for error documents too (the error must be split-invariant).
+/// `context` names the document in failure output.
+inline void FeedSplitEverywhere(const std::string& doc,
+                                SaxParserOptions options = {},
+                                const std::string& context = "") {
+  CanonicalParse whole = ParseWithBoundaries(doc, {}, options);
+  for (size_t split = 1; split < doc.size(); ++split) {
+    CanonicalParse two = ParseWithBoundaries(doc, {split}, options);
+    ASSERT_EQ(whole, two)
+        << context << "\nsplit at byte " << split << " of: " << doc
+        << "\nwhole status: " << whole.status
+        << "\nsplit status: " << two.status;
+  }
+  CanonicalParse bytewise = ParseWithChunkSize(doc, 1, options);
+  ASSERT_EQ(whole, bytewise)
+      << context << "\nbyte-at-a-time on: " << doc
+      << "\nwhole status: " << whole.status
+      << "\nbytewise status: " << bytewise.status;
+}
+
+}  // namespace vitex::xml
+
+#endif  // VITEX_TESTS_XML_FEED_SPLIT_HELPERS_H_

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "feed_split_helpers.h"
 #include "workload/random_generator.h"
 #include "xml/sax_parser.h"
 
@@ -128,6 +129,175 @@ TEST(ChunkingTest, ErrorDetectionIndependentOfChunking) {
     if (status.ok()) status = parser.Finish();
     EXPECT_TRUE(status.IsParseError()) << "chunk " << chunk;
   }
+}
+
+// ---------------------------------------------------------------------------
+// FeedSplitEverywhere corpus: every document below is parsed whole, at every
+// two-chunk split point, and byte at a time; the canonical event streams
+// (including sequence stamps) and final statuses must be identical. This is
+// the satellite harness that found / pins the whitespace-staging fixes.
+// ---------------------------------------------------------------------------
+
+TEST(FeedSplitEverywhereTest, WellFormednessCorpus) {
+  const char* corpus[] = {
+      kTortureDoc,
+      "<a/>",
+      "<a x=\"1\" y=\"2\"><b/>text</a>",
+      "<a>one<b>two</b>three</a>",
+      // Entities straddling any split point.
+      "<a>a&amp;b&lt;c&gt;d&quot;e&apos;f</a>",
+      "<a x=\"v&amp;w\">&#65;&#x42;</a>",
+      // CDATA with markup-significant content and surrounding text.
+      "<a>x<![CDATA[<not>&a;tag]]>y</a>",
+      "<a><![CDATA[]]></a>",
+      // Comments and PIs inside and between text pieces.
+      "<a>x<!-- c -->y<?pi data?>z</a>",
+      "<?xml version=\"1.0\"?><!-- lead --><a/><!-- trail -->",
+      "<!DOCTYPE r [<!ENTITY x \"y\">]><r>t</r>",
+      // Whitespace interacting with CDATA / comments / entities — the node-
+      // level suppression cases.
+      "<a>x<![CDATA[ ]]>y</a>",
+      "<a> <![CDATA[x]]></a>",
+      "<a><![CDATA[ ]]></a>",
+      "<a>x<!--c--> </a>",
+      "<a> <!--c--> </a>",
+      "<a>&#32;</a>",
+      "<a>&#x20;</a>",
+      "<a> &#32; </a>",
+      "<a>  <b/>  </a>",
+      // Self-closing and deep nesting.
+      "<a><b><c><d/></c></b></a>",
+  };
+  for (const char* doc : corpus) {
+    FeedSplitEverywhere(doc, SaxParserOptions(), "skip_whitespace=true");
+    SaxParserOptions keep_ws;
+    keep_ws.skip_whitespace_text = false;
+    FeedSplitEverywhere(doc, keep_ws, "skip_whitespace=false");
+  }
+}
+
+TEST(FeedSplitEverywhereTest, ErrorCorpusFailsIdentically) {
+  const char* corpus[] = {
+      "<a><b>mismatch</a></b>",
+      "<a>unclosed",
+      "<a x=1></a>",
+      "<a x=\"1></a>",
+      "<a><!-- -- --></a>",
+      "<a>&unknown;</a>",
+      "<a/><b/>",
+      "text outside<a/>",
+  };
+  for (const char* doc : corpus) {
+    FeedSplitEverywhere(doc, SaxParserOptions(), "error corpus");
+  }
+}
+
+TEST(FeedSplitEverywhereTest, RandomMarkupRichDocuments) {
+  Random rng(4242);
+  workload::RandomDocOptions options;
+  options.max_elements = 25;
+  options.comment_probability = 0.2;
+  options.cdata_probability = 0.25;
+  options.entity_probability = 0.25;
+  options.padded_text_probability = 0.3;
+  options.whitespace_text_probability = 0.2;
+  for (int trial = 0; trial < 12; ++trial) {
+    std::string doc = workload::GenerateRandomDocument(options, &rng);
+    FeedSplitEverywhere(doc, SaxParserOptions(),
+                        "random trial " + std::to_string(trial));
+  }
+}
+
+// Regression: a whitespace-only text run longer than the parser's hold
+// buffer used to be delivered piecemeal when fed in chunks but suppressed
+// entirely when fed whole — the first divergence the split harness caught.
+// The fix stages leading whitespace up to the hold budget and, beyond it,
+// delivers the run as content in BOTH parse modes (the decision depends
+// only on cumulative size, so it is chunk-invariant, and parser memory
+// stays bounded). (Byte-at-a-time over 80 KB is quadratic, so this one
+// probes fixed chunk sizes around the 64 KB hold boundary instead of
+// every split.)
+TEST(FeedSplitEverywhereTest, LongWhitespaceRunHandledIdenticallyChunked) {
+  std::string doc = "<a>" + std::string(80 * 1024, ' ') + "<b/></a>";
+  CanonicalParse whole = ParseWithBoundaries(doc, {});
+  EXPECT_TRUE(whole.status.ok()) << whole.status;
+  bool has_text = false;
+  for (const std::string& e : whole.events) has_text |= e[0] == 'T';
+  EXPECT_TRUE(has_text);  // beyond the hold budget: delivered as content
+  for (size_t chunk : {4096u, 65536u, 65537u}) {
+    CanonicalParse chunked = ParseWithChunkSize(doc, chunk);
+    EXPECT_EQ(whole, chunked) << "chunk size " << chunk;
+  }
+
+  // Below the hold budget the node-level rule applies: suppressed, and
+  // suppressed identically under chunking.
+  std::string small = "<a>" + std::string(32 * 1024, ' ') + "<b/></a>";
+  CanonicalParse small_whole = ParseWithBoundaries(small, {});
+  EXPECT_TRUE(small_whole.status.ok());
+  for (const std::string& e : small_whole.events) {
+    EXPECT_NE(e[0], 'T') << e;
+  }
+  for (size_t chunk : {4096u, 32768u}) {
+    EXPECT_EQ(small_whole, ParseWithChunkSize(small, chunk))
+        << "chunk size " << chunk;
+  }
+}
+
+// Regression: long non-whitespace runs flush early; a whitespace tail piece
+// of such a run is *content* (the node is not whitespace-only) and must
+// survive chunked parsing identically.
+TEST(FeedSplitEverywhereTest, LongTextRunWithWhitespaceTail) {
+  std::string doc =
+      "<a>" + std::string(70 * 1024, 'x') + std::string(1024, ' ') + "</a>";
+  CanonicalParse whole = ParseWithBoundaries(doc, {});
+  ASSERT_TRUE(whole.status.ok()) << whole.status;
+  for (size_t chunk : {4096u, 65536u}) {
+    CanonicalParse chunked = ParseWithChunkSize(doc, chunk);
+    EXPECT_EQ(whole, chunked) << "chunk size " << chunk;
+  }
+}
+
+// Regression: whitespace-only CDATA is explicitly marked character data —
+// it must be delivered (it used to be silently dropped), and it makes
+// adjacent plain whitespace part of a real node.
+TEST(FeedSplitEverywhereTest, WhitespaceCdataIsContent) {
+  CanonicalParse r = ParseWithBoundaries("<a><![CDATA[ ]]></a>", {});
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[1], "T:1:1: ");
+
+  // "x" + CDATA space + "y" is ONE node "x y", not "xy".
+  r = ParseWithBoundaries("<a>x<![CDATA[ ]]>y</a>", {});
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[1], "T:1:1:x y");
+
+  // Leading plain whitespace before CDATA content belongs to the node.
+  r = ParseWithBoundaries("<a> <![CDATA[x]]></a>", {});
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[1], "T:1:1: x");
+}
+
+// Regression: a character reference that decodes to whitespace is explicit
+// content, not formatting whitespace.
+TEST(FeedSplitEverywhereTest, CharacterReferenceWhitespaceIsContent) {
+  CanonicalParse r = ParseWithBoundaries("<a>&#32;</a>", {});
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.events.size(), 3u);
+  EXPECT_EQ(r.events[1], "T:1:1: ");
+}
+
+// Whitespace after delivered content stays part of the coalesced node even
+// when a comment separates the pieces (the node is "x ", not "x").
+TEST(FeedSplitEverywhereTest, TrailingWhitespaceAfterCommentStaysInNode) {
+  CanonicalParse r = ParseWithBoundaries("<a>x<!--c--> </a>", {});
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_EQ(r.events.size(), 5u);
+  EXPECT_EQ(r.events[1], "T:1:1:x");
+  EXPECT_EQ(r.events[2], "C:c");
+  EXPECT_EQ(r.events[3], "T:1:1: ");
+  EXPECT_EQ(r.events[4], "E:a:1");
 }
 
 TEST(ChunkingTest, ParserMemoryStaysBoundedOnLongText) {

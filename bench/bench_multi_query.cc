@@ -136,6 +136,102 @@ void BM_MultiQueryDisjointTags(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiQueryDisjointTags)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
+// The pub/sub population shape (DESIGN.md §7): n subscriptions drawn from
+// 16 structural skeletons, differing only in comparison literals — every
+// ticker symbol its own subscription. With plan sharing the engine
+// hash-conses them into ~16 machines (plus 64-group overflow chains), so
+// `machines` and `visits_per_event` must stay ~flat as n grows; with
+// sharing off both scale with n. Run both modes to see the gap.
+std::string SharedSkeletonQuery(int skeleton, int literal) {
+  std::string lit = std::to_string(literal % 97);
+  std::string qlit = "'" + lit + "'";
+  switch (skeleton % 16) {
+    case 0:
+      return "//item[quantity = " + lit + "]/name";
+    case 1:
+      return "//item[quantity = " + qlit + "]/@id";
+    case 2:
+      return "//open_auction[initial > " + lit + "]/current";
+    case 3:
+      return "//open_auction[initial >= " + lit + "]/@id";
+    case 4:
+      return "//person[profile/income > " +
+             std::to_string(20000 + literal * 37) + "]/name";
+    case 5:
+      return "//person[profile/income <= " +
+             std::to_string(30000 + literal * 41) + "]//emailaddress";
+    case 6:
+      return "//item[incategory/@category = 'category" +
+             std::to_string(literal % 10) + "']/name";
+    case 7:
+      return "//bidder[increase = " + qlit + "]/increase/text()";
+    case 8:
+      return "//item[not(quantity = " + qlit + ")]/@id";
+    case 9:
+      return "//open_auction[bidder and initial < " + lit + "]/@id";
+    case 10:
+      return "//person[profile[interest] and profile/income > " + lit +
+             "]/name";
+    case 11:
+      return "//item[quantity = " + lit + " or quantity = " +
+             std::to_string((literal + 1) % 97) + "]/name";
+    case 12:
+      return "//incategory[@category = 'category" +
+             std::to_string(literal % 10) + "']";
+    case 13:
+      return "//open_auction[current > " + lit + "]/current/text()";
+    case 14:
+      return "//item[description and quantity >= " + lit + "]/name";
+    default:
+      return "//person[@id = 'person" + std::to_string(literal) + "']/name";
+  }
+}
+
+void BM_MultiQuerySharedSkeletons(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  bool share = state.range(1) != 0;
+  const std::string& doc = Doc();
+  double visits_per_event = 0;
+  double machines = 0;
+  for (auto _ : state) {
+    vitex::twigm::MultiQueryEngine::Options options;
+    options.share_plans = share;
+    vitex::twigm::MultiQueryEngine engine{vitex::xml::SaxParserOptions(),
+                                          options};
+    std::vector<std::unique_ptr<vitex::twigm::CountingResultHandler>> handlers;
+    for (int i = 0; i < n; ++i) {
+      handlers.push_back(
+          std::make_unique<vitex::twigm::CountingResultHandler>());
+      auto id = engine.AddQuery(SharedSkeletonQuery(i % 16, i / 16),
+                                handlers.back().get());
+      if (!id.ok()) {
+        state.SkipWithError(id.status().ToString().c_str());
+        return;
+      }
+    }
+    vitex::Status s = engine.RunString(doc);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    const vitex::twigm::DispatchStats& ds = engine.dispatch_stats();
+    uint64_t events = ds.start_events + ds.end_events + ds.text_nodes;
+    uint64_t visits = ds.start_visits + ds.end_visits + ds.text_visits;
+    visits_per_event =
+        events == 0 ? 0 : static_cast<double>(visits) / events;
+    machines = static_cast<double>(ds.machines);
+  }
+  state.SetBytesProcessed(state.iterations() * doc.size());
+  state.counters["subscriptions"] = n;
+  state.counters["machines"] = machines;
+  state.counters["visits_per_event"] = visits_per_event;
+}
+BENCHMARK(BM_MultiQuerySharedSkeletons)
+    ->ArgNames({"subs", "shared"})
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({64, 0})
+    ->Args({256, 0})
+    ->Args({1024, 0});
+
 }  // namespace
 
 VITEX_BENCH_MAIN("multi_query");

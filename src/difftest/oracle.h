@@ -1,4 +1,4 @@
-// Differential oracle: evaluates one (query, document) pair through four
+// Differential oracle: evaluates one (query, document) pair through five
 // independent routes and cross-checks the results byte-for-byte.
 //
 //   1. dom-baseline — baseline::DomEvaluator over a materialized DOM:
@@ -7,10 +7,17 @@
 //   2. twigm — a single twigm::Engine (SAX → TwigMachine), one pass.
 //   3. multi-query — twigm::MultiQueryEngine with the checked queries and K
 //      extra decoy queries co-registered, so the dispatch index, broadcast
-//      fallbacks and central text coalescing are in play.
+//      fallbacks and central text coalescing are in play. Plan sharing is
+//      explicitly OFF: one private machine per query, pinning the
+//      pre-sharing execution path as a reference.
 //   4. service — service::StreamService end to end: ingest-thread parse
 //      into an EventLog, replay across 1..max_shards shard threads,
 //      delivery through per-subscriber sinks.
+//   5. shared-plan — the same MultiQueryEngine registration with plan
+//      sharing ON (hash-consed skeletons, per-group parameter masks,
+//      subscriber fan-out; DESIGN.md §7). Routes 3 and 5 differ only in
+//      Options::share_plans, so any divergence between them indicts the
+//      plan cache directly.
 //
 // Results are normalized to the sorted set of (sequence number, serialized
 // output node) pairs. Sequence numbers are stamped once by the SAX parser
@@ -36,8 +43,9 @@
 
 namespace vitex::difftest {
 
-/// The four evaluation routes.
-enum class Route : uint8_t { kDom, kTwigM, kMultiQuery, kService };
+/// The five evaluation routes.
+enum class Route : uint8_t { kDom, kTwigM, kMultiQuery, kService,
+                             kSharedPlan };
 std::string_view RouteName(Route route);
 
 /// Normal form of one route's answer: (document-order sequence number,
@@ -98,9 +106,17 @@ class Oracle {
                                   const std::string& document);
   Result<ResultSet> RunTwigM(const std::string& query,
                              const std::string& document) const;
+  /// `share_plans` selects route 3 (false: one private machine per query)
+  /// or route 5 (true: hash-consed shared plans).
   static Result<std::vector<ResultSet>> RunMultiQuery(
       const std::vector<std::string>& queries,
-      const std::vector<std::string>& decoys, const std::string& document);
+      const std::vector<std::string>& decoys, const std::string& document,
+      bool share_plans = false);
+  static Result<std::vector<ResultSet>> RunSharedPlan(
+      const std::vector<std::string>& queries,
+      const std::vector<std::string>& decoys, const std::string& document) {
+    return RunMultiQuery(queries, decoys, document, /*share_plans=*/true);
+  }
   static Result<std::vector<ResultSet>> RunService(
       const std::vector<std::string>& queries,
       const std::vector<std::string>& decoys, const std::string& document,

@@ -79,7 +79,19 @@ QueryFuzzer::QueryFuzzer(QueryFuzzerOptions options)
   if (options_.values.empty()) options_.values.push_back("0");
 }
 
+namespace {
+// Template placeholder bytes for SharedSkeletonBatch (never valid XPath, so
+// an un-instantiated template cannot accidentally parse).
+constexpr char kLiteralMarker = '\x01';
+constexpr char kTagMarker = '\x02';
+}  // namespace
+
 std::string QueryFuzzer::RandomTag(Random* rng) {
+  if (template_mode_ && want_tag_marker_ && !tag_marker_emitted_ &&
+      rng->OneIn(0.35)) {
+    tag_marker_emitted_ = true;
+    return std::string(1, kTagMarker);
+  }
   if (rng->OneIn(options_.wildcard_probability)) return "*";
   return options_.tags[rng->Uniform(options_.tags.size())];
 }
@@ -90,8 +102,13 @@ std::string QueryFuzzer::RandomAttribute(Random* rng) {
 
 std::string QueryFuzzer::CompareSuffix(Random* rng) {
   static const char* kOps[] = {"=", "!=", "<", "<=", ">", ">="};
-  const std::string& value = options_.values[rng->Uniform(options_.values.size())];
   std::string op = kOps[rng->Uniform(6)];
+  if (template_mode_) {
+    // The operator is part of the skeleton; the literal is the per-variant
+    // parameter.
+    return " " + op + " " + std::string(1, kLiteralMarker);
+  }
+  const std::string& value = options_.values[rng->Uniform(options_.values.size())];
   // Numeric spellings go out unquoted half the time, so both numeric-token
   // and string-literal comparison paths are fuzzed.
   double unused;
@@ -184,6 +201,58 @@ std::string QueryFuzzer::Generate(Random* rng) {
                                                        : "/text()";
   }
   return out;
+}
+
+std::string QueryFuzzer::Instantiate(const std::string& tmpl, Random* rng) {
+  std::string out;
+  out.reserve(tmpl.size() + 16);
+  for (char c : tmpl) {
+    if (c == kLiteralMarker) {
+      const std::string& value =
+          options_.values[rng->Uniform(options_.values.size())];
+      double unused;
+      // Both literal spellings per variant, as in CompareSuffix: unquoted
+      // numeric tokens and quoted strings land in *different* parameter
+      // groups of one plan (different comparison semantics).
+      if (ParseXPathNumber(value, &unused) && rng->OneIn(0.5)) {
+        out += value;
+      } else {
+        out += "'" + value + "'";
+      }
+    } else if (c == kTagMarker) {
+      out += options_.tags[rng->Uniform(options_.tags.size())];
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> QueryFuzzer::NextSharedBatch(int count, Random* rng) {
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    template_mode_ = true;
+    want_tag_marker_ = rng->OneIn(options_.tag_variant_probability);
+    tag_marker_emitted_ = false;
+    std::string tmpl = Generate(rng);
+    template_mode_ = false;
+    // A template without any marker is a fixed query; identical members
+    // still share a plan (one group, many subscribers), so it stays a
+    // valid — just less interesting — batch. Prefer parameterized ones.
+    if (attempt < 8 && tmpl.find(kLiteralMarker) == std::string::npos &&
+        tmpl.find(kTagMarker) == std::string::npos) {
+      continue;
+    }
+    std::vector<std::string> batch;
+    bool all_ok = true;
+    for (int i = 0; i < count && all_ok; ++i) {
+      std::string query = Instantiate(tmpl, rng);
+      all_ok = xpath::ParseAndCompile(query).ok();
+      batch.push_back(std::move(query));
+    }
+    if (all_ok) return batch;
+  }
+  return std::vector<std::string>(static_cast<size_t>(count),
+                                  "//" + options_.tags[0]);
 }
 
 std::string QueryFuzzer::Next(Random* rng) {

@@ -53,6 +53,12 @@ struct QueryFuzzerOptions {
   /// Query output node: @attr / text() suffix probabilities.
   double attribute_output_probability = 0.12;
   double text_output_probability = 0.08;
+
+  /// SharedSkeletonBatch: probability that the batch template marks one
+  /// name test for per-variant substitution too (tags drawn from the
+  /// alphabet), so a batch mixes literal-only siblings (one shared plan)
+  /// with tag siblings (neighboring plans in the cache).
+  double tag_variant_probability = 0.35;
 };
 
 /// Alphabets matching the workload generators (see src/workload/).
@@ -72,6 +78,17 @@ class QueryFuzzer {
   /// generator stays inside the fragment and retries defensively).
   std::string Next(Random* rng);
 
+  /// SharedSkeletonBatch mode: `count` queries instantiated from ONE random
+  /// query template, differing only in comparison literals (and, with
+  /// options().tag_variant_probability, one name test) drawn from the
+  /// workload alphabet — the shape a pub/sub subscriber population has
+  /// (`//quote[@symbol = 'X']/price` for every ticker X). Feeding a batch
+  /// to Oracle::CheckBatch makes the shared-plan route hash-cons the
+  /// members into one (or a few sibling) plan machines while the other
+  /// routes stay per-query, which is exactly the differential the plan
+  /// cache must survive. Every member parses and compiles.
+  std::vector<std::string> NextSharedBatch(int count, Random* rng);
+
   const QueryFuzzerOptions& options() const { return options_; }
 
  private:
@@ -81,8 +98,16 @@ class QueryFuzzer {
   std::string CompareSuffix(Random* rng);
   std::string RandomTag(Random* rng);
   std::string RandomAttribute(Random* rng);
+  // SharedSkeletonBatch internals: templates carry kLiteralMarker /
+  // kTagMarker bytes where variants substitute fresh draws.
+  std::string Instantiate(const std::string& tmpl, Random* rng);
 
   QueryFuzzerOptions options_;
+  // True while Generate() emits a batch template (markers instead of
+  // literals; at most one tag marker).
+  bool template_mode_ = false;
+  bool want_tag_marker_ = false;
+  bool tag_marker_emitted_ = false;
 };
 
 }  // namespace vitex::difftest

@@ -90,6 +90,7 @@ struct StreamService::Shard {
   std::atomic<uint64_t> documents{0};
   std::atomic<uint64_t> events{0};
   std::atomic<size_t> live_queries{0};
+  std::atomic<size_t> live_machines{0};  // plan instances (DESIGN.md §7)
   std::mutex dispatch_mu;
   twigm::DispatchStats dispatch;  // snapshot after each document
 };
@@ -271,6 +272,8 @@ ServiceStats StreamService::stats() const {
     snap.events = shard->events.load(std::memory_order_relaxed);
     snap.queue_depth = shard->queue.size();
     snap.live_queries = shard->live_queries.load(std::memory_order_relaxed);
+    snap.live_machines = shard->live_machines.load(std::memory_order_relaxed);
+    s.active_plan_machines += snap.live_machines;
     {
       std::lock_guard<std::mutex> lock(shard->dispatch_mu);
       snap.dispatch = shard->dispatch;
@@ -400,6 +403,8 @@ void StreamService::ShardLoop(Shard* shard) {
         shard->sinks[item->subscription] = std::move(item->sink);
         shard->live_queries.store(shard->queries.size(),
                                   std::memory_order_relaxed);
+        shard->live_machines.store(engine.machine_count(),
+                                   std::memory_order_relaxed);
         break;
       }
       case ShardItem::Kind::kUnsubscribe: {
@@ -412,6 +417,8 @@ void StreamService::ShardLoop(Shard* shard) {
         shard->sinks.erase(item->subscription);
         shard->live_queries.store(shard->queries.size(),
                                   std::memory_order_relaxed);
+        shard->live_machines.store(engine.machine_count(),
+                                   std::memory_order_relaxed);
         break;
       }
       case ShardItem::Kind::kFlush: {

@@ -77,12 +77,17 @@ struct StreamServiceOptions {
   twigm::TwigMachine::Options machine_options;
 };
 
-/// Per-shard counters (monotonic except queue_depth/live_queries).
+/// Per-shard counters (monotonic except queue_depth/live_queries/
+/// live_machines).
 struct ShardStatsSnapshot {
   uint64_t documents = 0;  ///< documents fully processed by this shard
   uint64_t events = 0;     ///< SAX events replayed into this shard
   size_t queue_depth = 0;
   size_t live_queries = 0;
+  /// Plan machines actually executing this shard's queries — under plan
+  /// sharing (DESIGN.md §7) far below live_queries when subscriptions
+  /// share skeletons (`//quote[@symbol = 'X']/price` per ticker X).
+  size_t live_machines = 0;
   twigm::DispatchStats dispatch;  ///< as of the last completed document
 };
 
@@ -95,6 +100,9 @@ struct ServiceStats {
   uint64_t events_replayed = 0;      ///< sum over shards
   uint64_t results_delivered = 0;    ///< OnResult calls across all sinks
   uint64_t active_subscriptions = 0;
+  /// Sum of live plan machines over shards (<= active_subscriptions; the
+  /// gap is what hash-consed plan sharing saves per event).
+  uint64_t active_plan_machines = 0;
   size_t ingest_queue_depth = 0;
   double uptime_seconds = 0;
   double docs_per_sec = 0;    ///< documents_processed / uptime

@@ -34,6 +34,16 @@ class BuiltMachine {
   const TwigMachine& machine() const { return *machine_; }
   const xpath::Query& query() const { return *query_; }
 
+  /// Disassembles the bundle: destroys the machine (it references the
+  /// query's nodes and must not run afterwards) and hands the compiled
+  /// query out. Plan-sharing joins use this to keep a subscription's query
+  /// record while discarding its now-redundant machine — without
+  /// recompiling from source.
+  std::unique_ptr<xpath::Query> TakeQuery() && {
+    machine_.reset();
+    return std::move(query_);
+  }
+
  private:
   std::unique_ptr<xpath::Query> query_;
   std::unique_ptr<TwigMachine> machine_;

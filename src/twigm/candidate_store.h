@@ -48,7 +48,7 @@ class CandidateStore {
     }
     Slot& s = slots_[id];
     s.refs = 1;
-    s.emitted = false;
+    s.emitted_mask = 0;
     s.sequence = sequence;
     s.fragment = std::move(fragment);
     ++stats_.created;
@@ -68,7 +68,7 @@ class CandidateStore {
   void Unref(CandidateId id) {
     Slot& s = slots_[id];
     if (--s.refs == 0) {
-      if (!s.emitted) ++stats_.pruned;
+      if (s.emitted_mask == 0) ++stats_.pruned;
       --live_;
       live_bytes_ -= s.fragment.size();
       memory_->Release(s.fragment.size() + sizeof(Slot));
@@ -86,12 +86,19 @@ class CandidateStore {
 
   /// Marks emission; returns false if it had already been emitted (the
   /// caller must emit only on true).
-  bool MarkEmitted(CandidateId id) {
+  bool MarkEmitted(CandidateId id) { return MarkEmitted(id, ~0ull) != 0; }
+
+  /// Shared-plan variant: marks emission towards the groups in `mask` and
+  /// returns the bits that had NOT been emitted before (the caller delivers
+  /// only those). One candidate may qualify for different groups through
+  /// different pattern matches; each group still sees it at most once.
+  uint64_t MarkEmitted(CandidateId id, uint64_t mask) {
     Slot& s = slots_[id];
-    if (s.emitted) return false;
-    s.emitted = true;
-    ++stats_.emitted;
-    return true;
+    uint64_t newly = mask & ~s.emitted_mask;
+    if (newly == 0) return 0;
+    if (s.emitted_mask == 0) ++stats_.emitted;
+    s.emitted_mask |= newly;
+    return newly;
   }
 
   /// Number of live (referenced) candidates.
@@ -111,8 +118,10 @@ class CandidateStore {
   struct Slot {
     std::string fragment;
     uint64_t sequence = 0;
+    /// Groups this candidate has been delivered to (all-ones semantics for
+    /// single-query machines via the bool MarkEmitted overload).
+    uint64_t emitted_mask = 0;
     uint32_t refs = 0;
-    bool emitted = false;
   };
 
   std::vector<Slot> slots_;

@@ -64,6 +64,65 @@ TwigMachine::TwigMachine(const xpath::Query* query, ResultHandler* results,
   std::sort(element_index_.begin(), element_index_.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   output_is_element_ = query_->output()->IsElementNode();
+
+  // Shared-plan shape: parameter slots in preorder (the numbering
+  // xpath::Canonicalize uses), the parametric closure (a node whose subtree
+  // contains a slot has per-group satisfaction), and each node's
+  // parametric-child -> pmasks-slot map. Cheap and static, so computed
+  // unconditionally; it only takes effect under BindPlan.
+  param_slot_of_node_.assign(query_->size(), -1);
+  parametric_.assign(query_->size(), 0);
+  for (const auto& qn : query_->nodes()) {
+    if (qn->value_op != xpath::CompareOp::kNone) {
+      param_slot_of_node_[qn->id] = static_cast<int>(param_slot_count_++);
+      parametric_[qn->id] = 1;
+    }
+  }
+  // Ids are preorder, so a reverse sweep sees children before parents.
+  for (size_t i = query_->size(); i-- > 0;) {
+    const QueryNode* qn = query_->nodes()[i].get();
+    if (parametric_[qn->id] && qn->parent != nullptr) {
+      parametric_[qn->parent->id] = 1;
+    }
+  }
+  for (MachineNode& m : nodes_) {
+    m.pchild_slot.assign(m.query->children.size(), -1);
+    for (size_t c = 0; c < m.query->children.size(); ++c) {
+      if (parametric_[m.query->children[c]->id]) {
+        m.pchild_slot[c] = m.pchild_count++;
+      }
+    }
+  }
+}
+
+namespace {
+uint64_t MaskForGroups(size_t group_count) {
+  if (group_count >= 64) return ~0ull;
+  return (1ull << group_count) - 1;
+}
+}  // namespace
+
+Status TwigMachine::BindPlan(const PlanBindings* bindings,
+                             GroupResultSink* sink) {
+  if (bindings == nullptr) {
+    bindings_ = nullptr;
+    group_sink_ = nullptr;
+    full_mask_ = ~0ull;
+    return Status::OK();
+  }
+  if (bindings->slot_count != param_slot_count_) {
+    return Status::InvalidArgument(
+        "plan bindings have a different slot count than the query's "
+        "value-tested nodes");
+  }
+  if (bindings->group_count > 64) {
+    return Status::InvalidArgument(
+        "a shared plan machine supports at most 64 subscriber groups");
+  }
+  bindings_ = bindings;
+  group_sink_ = sink;
+  full_mask_ = MaskForGroups(bindings->group_count);
+  return Status::OK();
 }
 
 const std::vector<int>* TwigMachine::FindElementMatches(Symbol symbol) const {
@@ -90,7 +149,84 @@ void TwigMachine::Reset() {
 
 Status TwigMachine::StartDocument() {
   Reset();
+  // Group membership may change between documents (subscribe/unsubscribe at
+  // epoch boundaries mutate the bindings while the machine is idle).
+  if (bindings_ != nullptr) full_mask_ = MaskForGroups(bindings_->group_count);
   return Status::OK();
+}
+
+uint64_t TwigMachine::ParamMatchMask(const xpath::QueryNode* q,
+                                     std::string_view value) const {
+  int slot = param_slot_of_node_[q->id];
+  uint64_t mask = 0;
+  for (size_t g = 0; g < bindings_->group_count; ++g) {
+    if (bindings_->param(g, static_cast<size_t>(slot))
+            .Matches(q->value_op, value)) {
+      mask |= 1ull << g;
+    }
+  }
+  return mask;
+}
+
+uint64_t TwigMachine::EvaluateFormulaMask(const xpath::Formula& f,
+                                          const MachineNode& node,
+                                          const StackEntry& entry) const {
+  using Kind = xpath::Formula::Kind;
+  switch (f.kind) {
+    case Kind::kTrue:
+      return full_mask_;
+    case Kind::kAtom: {
+      int slot = node.pchild_slot[f.atom_child];
+      if (slot >= 0) return entry.pmasks[slot];
+      return ((entry.child_bits >> f.atom_child) & 1u) ? full_mask_ : 0;
+    }
+    case Kind::kAnd: {
+      uint64_t m = full_mask_;
+      for (const xpath::Formula& op : f.operands) {
+        m &= EvaluateFormulaMask(op, node, entry);
+        if (m == 0) break;
+      }
+      return m;
+    }
+    case Kind::kOr: {
+      uint64_t m = 0;
+      for (const xpath::Formula& op : f.operands) {
+        m |= EvaluateFormulaMask(op, node, entry);
+        if (m == full_mask_) break;
+      }
+      return m;
+    }
+    case Kind::kNot:
+      return full_mask_ & ~EvaluateFormulaMask(f.operands[0], node, entry);
+  }
+  return 0;
+}
+
+uint64_t TwigMachine::SatisfactionMask(const MachineNode& node,
+                                       const StackEntry& entry) {
+  if (bindings_ != nullptr && parametric_[node.query->id]) {
+    return EvaluateFormulaMask(node.query->formula, node, entry);
+  }
+  return node.query->formula.Evaluate(entry.child_bits) ? full_mask_ : 0;
+}
+
+void TwigMachine::DeliverResult(std::string_view fragment, uint64_t sequence,
+                                uint64_t group_mask) {
+  if (bindings_ != nullptr) {
+    group_mask &= full_mask_;
+    if (group_mask == 0) return;
+    // One "result" per (solution, group). Groups with several members
+    // (identical queries) fan out further in the sink, so this counts
+    // distinct per-group solutions, not individual subscriber deliveries.
+    stats_.results_emitted +=
+        static_cast<uint64_t>(__builtin_popcountll(group_mask));
+    if (group_sink_ != nullptr) {
+      group_sink_->OnGroupResult(fragment, sequence, group_mask);
+    }
+    return;
+  }
+  ++stats_.results_emitted;
+  if (results_ != nullptr) results_->OnResult(fragment, sequence);
 }
 
 Status TwigMachine::CheckMemoryLimit() const {
@@ -168,13 +304,18 @@ void TwigMachine::ForEachPropagationTarget(const MachineNode& node, int level,
 }
 
 void TwigMachine::PushEntry(MachineNode& node, int level, uint64_t sequence) {
-  node.stack.push_back(StackEntry{level, 0, sequence, {}});
+  node.stack.push_back(StackEntry{level, 0, sequence, {}, {}});
+  size_t extra = 0;
+  if (bindings_ != nullptr && node.pchild_count > 0) {
+    node.stack.back().pmasks.assign(static_cast<size_t>(node.pchild_count), 0);
+    extra = static_cast<size_t>(node.pchild_count) * sizeof(uint64_t);
+  }
   ++live_entries_;
   ++stats_.pushes;
   if (live_entries_ > stats_.peak_stack_entries) {
     stats_.peak_stack_entries = live_entries_;
   }
-  memory_.Add(sizeof(StackEntry));
+  memory_.Add(sizeof(StackEntry) + extra);
 }
 
 StackEntry TwigMachine::PopEntry(MachineNode& node) {
@@ -182,7 +323,7 @@ StackEntry TwigMachine::PopEntry(MachineNode& node) {
   node.stack.pop_back();
   --live_entries_;
   ++stats_.pops;
-  memory_.Release(sizeof(StackEntry));
+  memory_.Release(sizeof(StackEntry) + e.pmasks.size() * sizeof(uint64_t));
   return e;
 }
 
@@ -330,7 +471,15 @@ Status TwigMachine::ProcessAttributes(const xml::StartElementEvent& event,
           continue;
         }
       }
-      if (!q->CompareValue(attr.value)) continue;
+      // Parameterized comparison: the groups whose bound literal matches.
+      // Uniform nodes keep the single compiled-in comparison.
+      uint64_t match_mask = full_mask_;
+      if (bindings_ != nullptr && param_slot_of_node_[id] >= 0) {
+        match_mask = ParamMatchMask(q, attr.value);
+        if (match_mask == 0) continue;
+      } else if (!q->CompareValue(attr.value)) {
+        continue;
+      }
       // The attribute "matches and pops" instantly: bookkeep into the
       // owning/ancestor entries of the parent machine node right away.
       uint64_t attr_seq = element_seq + 1 + ai;
@@ -342,29 +491,31 @@ Status TwigMachine::ProcessAttributes(const xml::StartElementEvent& event,
         // `/@id` asks for attributes of the document node, which cannot
         // exist.
         if (is_output && q->descendant_attribute) {
-          ++stats_.results_emitted;
-          if (results_ != nullptr) {
-            results_->OnResult(attr.value, attr_seq);
-          }
+          DeliverResult(attr.value, attr_seq, match_mask);
         }
         continue;
       }
+      int parent_slot =
+          bindings_ != nullptr && parametric_[id]
+              ? nodes_[node.parent_id].pchild_slot[q->index_in_parent]
+              : -1;
       if (is_output) {
         cand = candidates_.Create(std::string(attr.value), attr_seq);
       }
-      bool delivered = false;
       ForEachPropagationTarget(node, level, [&](StackEntry& target) {
-        target.child_bits |= 1ull << q->index_in_parent;
+        if (parent_slot >= 0) {
+          target.pmasks[parent_slot] |= match_mask;
+        } else {
+          target.child_bits |= 1ull << q->index_in_parent;
+        }
         ++stats_.bit_propagations;
         if (is_output) {
-          target.candidates.push_back(cand);
+          target.candidates.push_back(CandidateRef{cand, match_mask});
           candidates_.Ref(cand);
           ++stats_.candidate_transfers;
-          memory_.Add(sizeof(CandidateId));
+          memory_.Add(sizeof(CandidateRef));
         }
-        delivered = true;
       });
-      (void)delivered;
       if (is_output) {
         candidates_.Unref(cand);  // drop the creation reference
       }
@@ -423,20 +574,29 @@ Status TwigMachine::ProcessTextNode(std::string_view text, int depth,
   for (int id : text_nodes_) {
     MachineNode& node = nodes_[id];
     const QueryNode* q = node.query;
-    if (!q->CompareValue(text)) continue;
+    uint64_t match_mask = full_mask_;
+    if (bindings_ != nullptr && param_slot_of_node_[id] >= 0) {
+      match_mask = ParamMatchMask(q, text);
+      if (match_mask == 0) continue;
+    } else if (!q->CompareValue(text)) {
+      continue;
+    }
     if (node.parent_id < 0) {
       // A bare text query. `//text()` matches every text node in the
       // document; `/text()` asks for text children of the document node,
       // which are not well-formed XML.
       if (q->is_output && q->axis == Axis::kDescendant) {
-        ++stats_.results_emitted;
-        if (results_ != nullptr) results_->OnResult(text, seq);
+        DeliverResult(text, seq, match_mask);
       }
       continue;
     }
     std::vector<StackEntry>& stm = nodes_[node.parent_id].stack;
     if (stm.empty()) continue;
     bool is_output = q->is_output;
+    int parent_slot =
+        bindings_ != nullptr && parametric_[id]
+            ? nodes_[node.parent_id].pchild_slot[q->index_in_parent]
+            : -1;
     CandidateId cand = 0;
     if (is_output) {
       cand = candidates_.Create(std::string(text), seq);
@@ -445,13 +605,17 @@ Status TwigMachine::ProcessTextNode(std::string_view text, int depth,
     // descendant axis — every open entry (all are strict ancestors of the
     // text node).
     auto deliver = [&](StackEntry& target) {
-      target.child_bits |= 1ull << q->index_in_parent;
+      if (parent_slot >= 0) {
+        target.pmasks[parent_slot] |= match_mask;
+      } else {
+        target.child_bits |= 1ull << q->index_in_parent;
+      }
       ++stats_.bit_propagations;
       if (is_output) {
-        target.candidates.push_back(cand);
+        target.candidates.push_back(CandidateRef{cand, match_mask});
         candidates_.Ref(cand);
         ++stats_.candidate_transfers;
-        memory_.Add(sizeof(CandidateId));
+        memory_.Add(sizeof(CandidateRef));
       }
     };
     if (q->axis == Axis::kChild) {
@@ -479,8 +643,11 @@ Status TwigMachine::EndElement(std::string_view name, int depth) {
     if (node.stack.empty() || node.stack.back().level != depth) continue;
     if (!node.query->IsElementNode()) continue;
     StackEntry entry = PopEntry(node);
-    bool satisfied = node.query->formula.Evaluate(entry.child_bits);
-    if (!satisfied) {
+    // Satisfaction as a group mask: all-or-nothing for uniform machines and
+    // uniform nodes, per-group for parametric nodes (a pop may qualify the
+    // subtree for some subscriber groups and not others).
+    uint64_t sat_mask = SatisfactionMask(node, entry);
+    if (sat_mask == 0) {
       DropCandidates(entry);
       continue;
     }
@@ -492,10 +659,11 @@ Status TwigMachine::EndElement(std::string_view name, int depth) {
                                             entry.sequence);
       completed_fragment_.clear();
       has_completed_fragment_ = false;
-      entry.candidates.push_back(cand);
-      memory_.Add(sizeof(CandidateId));
+      // Full mask at birth: qualification narrows via sat_mask on each hop.
+      entry.candidates.push_back(CandidateRef{cand, ~0ull});
+      memory_.Add(sizeof(CandidateRef));
     }
-    PropagateSatisfiedPop(node, entry);
+    PropagateSatisfiedPop(node, entry, sat_mask);
   }
   // A recording completed for an output entry that popped unsatisfied is
   // discarded here.
@@ -506,45 +674,55 @@ Status TwigMachine::EndElement(std::string_view name, int depth) {
   return CheckMemoryLimit();
 }
 
-void TwigMachine::PropagateSatisfiedPop(MachineNode& node, StackEntry& entry) {
+void TwigMachine::PropagateSatisfiedPop(MachineNode& node, StackEntry& entry,
+                                        uint64_t sat_mask) {
   if (node.parent_id < 0) {
-    // Machine root: candidates are proven query solutions.
-    EmitCandidates(entry);
+    // Machine root: candidates are proven query solutions (for the groups
+    // that survive their accumulated mask).
+    EmitCandidates(entry, sat_mask);
     return;
   }
   const QueryNode* q = node.query;
+  int parent_slot =
+      bindings_ != nullptr && parametric_[q->id]
+          ? nodes_[node.parent_id].pchild_slot[q->index_in_parent]
+          : -1;
   ForEachPropagationTarget(node, entry.level, [&](StackEntry& target) {
-    target.child_bits |= 1ull << q->index_in_parent;
+    if (parent_slot >= 0) {
+      target.pmasks[parent_slot] |= sat_mask;
+    } else {
+      target.child_bits |= 1ull << q->index_in_parent;
+    }
     ++stats_.bit_propagations;
-    for (CandidateId cand : entry.candidates) {
-      target.candidates.push_back(cand);
-      candidates_.Ref(cand);
+    for (const CandidateRef& ref : entry.candidates) {
+      uint64_t mask = ref.mask & sat_mask;
+      if (mask == 0) continue;  // no group can still qualify via this path
+      target.candidates.push_back(CandidateRef{ref.id, mask});
+      candidates_.Ref(ref.id);
       ++stats_.candidate_transfers;
-      memory_.Add(sizeof(CandidateId));
+      memory_.Add(sizeof(CandidateRef));
     }
   });
   DropCandidates(entry);
 }
 
-void TwigMachine::EmitCandidates(StackEntry& entry) {
-  memory_.Release(entry.candidates.size() * sizeof(CandidateId));
-  for (CandidateId cand : entry.candidates) {
-    if (candidates_.MarkEmitted(cand)) {
-      ++stats_.results_emitted;
-      if (results_ != nullptr) {
-        results_->OnResult(candidates_.fragment(cand),
-                           candidates_.sequence(cand));
-      }
+void TwigMachine::EmitCandidates(StackEntry& entry, uint64_t sat_mask) {
+  memory_.Release(entry.candidates.size() * sizeof(CandidateRef));
+  for (const CandidateRef& ref : entry.candidates) {
+    uint64_t newly = candidates_.MarkEmitted(ref.id, ref.mask & sat_mask);
+    if (newly != 0) {
+      DeliverResult(candidates_.fragment(ref.id), candidates_.sequence(ref.id),
+                    newly);
     }
-    candidates_.Unref(cand);
+    candidates_.Unref(ref.id);
   }
   entry.candidates.clear();
 }
 
 void TwigMachine::DropCandidates(StackEntry& entry) {
-  memory_.Release(entry.candidates.size() * sizeof(CandidateId));
-  for (CandidateId cand : entry.candidates) {
-    candidates_.Unref(cand);
+  memory_.Release(entry.candidates.size() * sizeof(CandidateRef));
+  for (const CandidateRef& ref : entry.candidates) {
+    candidates_.Unref(ref.id);
   }
   entry.candidates.clear();
 }

@@ -40,20 +40,54 @@
 #include "twigm/candidate_store.h"
 #include "twigm/result.h"
 #include "xml/sax_event.h"
+#include "xpath/canonical.h"
 #include "xpath/query.h"
 
 namespace vitex::twigm {
+
+/// Parameter bindings of a shared plan (DESIGN.md §7): the per-group
+/// comparison literals a skeleton machine evaluates in place of its own
+/// query's literals. Group g's literal for slot s is
+/// `params[g * slot_count + s]` (group-major); slots are numbered in
+/// preorder of the query's value-tested nodes, matching
+/// xpath::CanonicalQuery::params. The engine mutates bindings only at
+/// document boundaries, while the machine is idle.
+struct PlanBindings {
+  size_t group_count = 0;
+  size_t slot_count = 0;
+  std::vector<xpath::ValueParam> params;
+
+  const xpath::ValueParam& param(size_t group, size_t slot) const {
+    return params[group * slot_count + slot];
+  }
+};
+
+/// Reference to a shared candidate held by one stack entry. `mask` is the
+/// set of subscriber groups for which this pattern match can still qualify
+/// the candidate; it narrows (ANDs) with every partially-satisfied pop on
+/// the way to the machine root. Single-query machines keep it all-ones.
+struct CandidateRef {
+  CandidateId id = 0;
+  uint64_t mask = ~0ull;
+};
 
 /// One stack entry: the paper's ⟨level, child-match status, candidates⟩.
 struct StackEntry {
   int level = 0;
   /// Bit i set ⇔ child i of this query node has a satisfied match in the
   /// subtree of this entry's XML node (final when the element closes).
+  /// For *parametric* children (subtree contains a plan-parameterized
+  /// comparison) the bit is unused; their per-group status lives in
+  /// `pmasks`.
   uint64_t child_bits = 0;
   /// Document-order sequence number of the matching XML node.
   uint64_t sequence = 0;
+  /// Per-group match masks of this node's parametric children, indexed by
+  /// MachineNode::pchild_slot. Empty unless the machine runs a
+  /// parameterized plan and this node has parametric children.
+  std::vector<uint64_t> pmasks;
   /// Candidate solutions whose qualification depends on this entry's match.
-  std::vector<CandidateId> candidates;
+  std::vector<CandidateRef> candidates;
 };
 
 /// One machine node: a query node plus its stack.
@@ -61,6 +95,10 @@ struct MachineNode {
   const xpath::QueryNode* query = nullptr;
   int parent_id = -1;
   std::vector<StackEntry> stack;
+  /// pchild_slot[i] is the pmasks index of child i, or -1 for a uniform
+  /// (non-parametric) child. Populated only under plan bindings.
+  std::vector<int> pchild_slot;
+  int pchild_count = 0;
 };
 
 /// Counters for the machine's work (drive the complexity experiments).
@@ -124,6 +162,24 @@ class TwigMachine : public xml::ContentHandler {
   /// to every machine. `sequence` must be the producer-stamped number of the
   /// node (kNoSequence falls back to the internal counter).
   Status TextNode(std::string_view text, int depth, uint64_t sequence);
+
+  // --- Shared-plan interface (MultiQueryEngine, DESIGN.md §7) ------------
+  /// Binds this machine to a shared plan: value comparisons on slot nodes
+  /// evaluate `bindings`' per-group literals instead of the query's own,
+  /// and solutions are delivered to `sink` with the qualifying group mask
+  /// (ResultHandler is bypassed). Both pointers must outlive the machine or
+  /// a later BindPlan. Must be called at a document boundary; the engine
+  /// may mutate `*bindings` between documents (the machine re-reads
+  /// group_count each StartDocument). Pass nullptrs to unbind.
+  /// Precondition: bindings->slot_count equals the query's value-tested
+  /// node count and group_count <= 64 (checked).
+  Status BindPlan(const PlanBindings* bindings, GroupResultSink* sink);
+  /// True when bound to a shared plan (grouped delivery in effect).
+  bool plan_bound() const { return bindings_ != nullptr; }
+
+  /// The ResultHandler this machine was built with (fan-out layers lift it
+  /// into a subscriber list when the machine joins a shared plan).
+  ResultHandler* results() const { return results_; }
 
   /// True while a match of an element-valued output node is open and its
   /// subtree is being serialized: the machine must then observe *every*
@@ -195,10 +251,27 @@ class TwigMachine : public xml::ContentHandler {
   template <typename Fn>
   void ForEachPropagationTarget(const MachineNode& node, int level, Fn fn);
 
-  // Handles a satisfied pop: bit + candidate propagation, or emission at
-  // the root.
-  void PropagateSatisfiedPop(MachineNode& node, StackEntry& entry);
-  void EmitCandidates(StackEntry& entry);
+  // Per-group satisfaction of `node`'s formula against an entry's uniform
+  // bits + parametric-child masks. Only meaningful under plan bindings.
+  uint64_t EvaluateFormulaMask(const xpath::Formula& f,
+                               const MachineNode& node,
+                               const StackEntry& entry) const;
+  // The groups whose bound literal is matched by `value` on slot node `q`.
+  uint64_t ParamMatchMask(const xpath::QueryNode* q,
+                          std::string_view value) const;
+  // Satisfaction of a popped entry as a group mask: all-ones/zero for
+  // uniform machines and uniform nodes, per-group for parametric nodes.
+  uint64_t SatisfactionMask(const MachineNode& node, const StackEntry& entry);
+  // Emission fan-in: group sink (with mask) under a plan, ResultHandler
+  // otherwise.
+  void DeliverResult(std::string_view fragment, uint64_t sequence,
+                     uint64_t group_mask);
+
+  // Handles a satisfied pop (sat_mask != 0): bit/mask + candidate
+  // propagation, or emission at the root.
+  void PropagateSatisfiedPop(MachineNode& node, StackEntry& entry,
+                             uint64_t sat_mask);
+  void EmitCandidates(StackEntry& entry, uint64_t sat_mask);
   void DropCandidates(StackEntry& entry);
 
   void PushEntry(MachineNode& node, int level, uint64_t sequence);
@@ -240,6 +313,20 @@ class TwigMachine : public xml::ContentHandler {
   bool output_is_element_ = false;
   bool has_bare_text_ = false;
   bool has_unanchored_attributes_ = false;
+
+  // Shared-plan state (null/empty for single-query machines).
+  const PlanBindings* bindings_ = nullptr;
+  GroupResultSink* group_sink_ = nullptr;
+  // Bits [0, bindings_->group_count); ~0 when unbound, refreshed each
+  // StartDocument (group count may change between documents).
+  uint64_t full_mask_ = ~0ull;
+  // Parameter slot of each query node (-1 for nodes without a value test);
+  // slot order is preorder, matching xpath::Canonicalize.
+  std::vector<int> param_slot_of_node_;
+  size_t param_slot_count_ = 0;
+  // parametric_[id]: the node's subtree contains a parameter slot, so its
+  // satisfaction is per-group (its parent tracks it in pmasks).
+  std::vector<uint8_t> parametric_;
 
   MemoryTracker memory_;
   CandidateStore candidates_;

@@ -2,15 +2,208 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 namespace vitex::twigm {
 
 MultiQueryEngine::MultiQueryEngine(xml::SaxParserOptions sax_options)
-    : symbols_(sax_options.symbols != nullptr ? sax_options.symbols
+    : MultiQueryEngine(std::move(sax_options), Options()) {}
+
+MultiQueryEngine::MultiQueryEngine(xml::SaxParserOptions sax_options,
+                                   Options options)
+    : options_(options),
+      symbols_(sax_options.symbols != nullptr ? sax_options.symbols
                                               : &owned_symbols_),
       dispatcher_(this) {
   sax_options.symbols = symbols_;
   sax_ = std::make_unique<xml::SaxParser>(&dispatcher_, sax_options);
+}
+
+// ---------------------------------------------------------------------------
+// Registration: hash-consed plan cache.
+// ---------------------------------------------------------------------------
+
+void MultiQueryEngine::GroupFanout::OnGroupResult(std::string_view fragment,
+                                                  uint64_t sequence,
+                                                  uint64_t group_mask) {
+  while (group_mask != 0) {
+    int g = __builtin_ctzll(group_mask);
+    group_mask &= group_mask - 1;
+    for (QueryId member : plan_->group_members[static_cast<size_t>(g)]) {
+      ResultHandler* handler = owner_->subs_[member]->handler;
+      if (handler != nullptr) handler->OnResult(fragment, sequence);
+    }
+  }
+}
+
+QueryId MultiQueryEngine::AllocateSubscription(
+    std::unique_ptr<Subscription> sub) {
+  QueryId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+    subs_[id] = std::move(sub);
+  } else {
+    id = subs_.size();
+    subs_.push_back(std::move(sub));
+  }
+  return id;
+}
+
+uint32_t MultiQueryEngine::AllocateInstance(
+    std::unique_ptr<PlanInstance> instance) {
+  uint32_t index;
+  if (!free_instances_.empty()) {
+    index = free_instances_.back();
+    free_instances_.pop_back();
+    instances_[index] = std::move(instance);
+  } else {
+    index = static_cast<uint32_t>(instances_.size());
+    instances_.push_back(std::move(instance));
+  }
+  return index;
+}
+
+Status MultiQueryEngine::RebindInstance(PlanInstance* instance) {
+  instance->bindings.group_count = instance->group_params.size();
+  instance->bindings.params.clear();
+  instance->bindings.params.reserve(instance->group_params.size() *
+                                    instance->bindings.slot_count);
+  for (const auto& row : instance->group_params) {
+    assert(row.size() == instance->bindings.slot_count);
+    instance->bindings.params.insert(instance->bindings.params.end(),
+                                     row.begin(), row.end());
+  }
+  return instance->built->machine().BindPlan(&instance->bindings,
+                                             instance->sink.get());
+}
+
+void MultiQueryEngine::DestroyInstance(uint32_t index) {
+  PlanInstance* instance = instances_[index].get();
+  if (instance->shared) {
+    auto it = plan_index_.find(instance->plan_hash);
+    if (it != plan_index_.end()) {
+      auto& bucket = it->second;
+      bucket.erase(std::find(bucket.begin(), bucket.end(), index));
+      if (bucket.empty()) plan_index_.erase(it);
+    }
+  }
+  instances_[index] = nullptr;
+  free_instances_.push_back(index);
+}
+
+Result<QueryId> MultiQueryEngine::AddDedicated(
+    std::unique_ptr<BuiltMachine> built) {
+  auto instance = std::make_unique<PlanInstance>();
+  instance->built = std::move(built);
+  instance->shared = false;
+  instance->group_params.push_back({});
+  instance->group_members.push_back({});
+  instance->subscriber_count = 1;
+  uint32_t index = AllocateInstance(std::move(instance));
+
+  auto sub = std::make_unique<Subscription>();
+  sub->instance = index;
+  sub->group = 0;
+  sub->handler = instances_[index]->built->machine().results();
+  QueryId id = AllocateSubscription(std::move(sub));
+  instances_[index]->group_members[0].push_back(id);
+  ++plan_misses_;
+  dispatcher_.InvalidateIndex();
+  return id;
+}
+
+Result<QueryId> MultiQueryEngine::Register(
+    std::unique_ptr<xpath::Query> query, ResultHandler* handler,
+    TwigMachine::Options options, std::unique_ptr<BuiltMachine> built) {
+  // Cache identity: the structural skeleton plus every machine option that
+  // changes execution (subscriptions with different memory ceilings must
+  // not share a machine).
+  const xpath::Query& canon_source =
+      built != nullptr ? built->query() : *query;
+  xpath::CanonicalQuery canon = xpath::Canonicalize(canon_source);
+  std::string opt_suffix =
+      "|mem=" + std::to_string(options.memory_limit_bytes);
+  std::string plan_key = canon.key + opt_suffix;
+  uint64_t plan_hash = xpath::FnvHash64(opt_suffix, canon.hash);
+
+  // Join an existing instance of this skeleton if one has room: the same
+  // parameter vector joins its group (pure fan-out member), a new vector
+  // adds a group (one more mask bit), and a skeleton that outgrew 64 groups
+  // chains to the next instance in the bucket.
+  auto bucket_it = plan_index_.find(plan_hash);
+  if (bucket_it != plan_index_.end()) {
+    for (uint32_t index : bucket_it->second) {
+      PlanInstance* instance = instances_[index].get();
+      if (instance->plan_key != plan_key) continue;  // hash collision
+      size_t group = instance->group_params.size();
+      for (size_t g = 0; g < instance->group_params.size(); ++g) {
+        if (instance->group_params[g] == canon.params) {
+          group = g;
+          break;
+        }
+      }
+      bool new_group = group == instance->group_params.size();
+      if (new_group && group >= 64) continue;  // instance full, try next
+      auto sub = std::make_unique<Subscription>();
+      sub->instance = index;
+      sub->group = static_cast<uint32_t>(group);
+      sub->handler = handler;
+      // The subscription's own query record: the one compiled for it, or —
+      // for a pre-built machine being discarded in favor of this instance —
+      // the query taken out of that machine (no recompilation).
+      sub->query = query != nullptr ? std::move(query)
+                                    : std::move(*built).TakeQuery();
+      QueryId id = AllocateSubscription(std::move(sub));
+      if (new_group) {
+        instance->group_params.push_back(std::move(canon.params));
+        instance->group_members.push_back({});
+        Status rebound = RebindInstance(instance);
+        assert(rebound.ok());
+        (void)rebound;
+      }
+      instance->group_members[group].push_back(id);
+      ++instance->subscriber_count;
+      ++plan_hits_;
+      dispatcher_.InvalidateIndex();
+      return id;
+    }
+  }
+
+  // First subscription of this skeleton (or all instances full): compile a
+  // fresh plan instance. An AddBuilt machine is adopted as the skeleton
+  // machine; an AddQuery subscription moves its Query into the new machine.
+  if (built == nullptr) {
+    VITEX_ASSIGN_OR_RETURN(
+        BuiltMachine fresh,
+        TwigMBuilder::Build(std::move(query), /*results=*/nullptr, options,
+                            symbols_));
+    built = std::make_unique<BuiltMachine>(std::move(fresh));
+  }
+  auto instance = std::make_unique<PlanInstance>();
+  instance->built = std::move(built);
+  instance->shared = true;
+  instance->plan_key = std::move(plan_key);
+  instance->plan_hash = plan_hash;
+  instance->bindings.slot_count = canon.params.size();
+  instance->group_params.push_back(std::move(canon.params));
+  instance->group_members.push_back({});
+  instance->subscriber_count = 1;
+  instance->sink = std::make_unique<GroupFanout>(this, instance.get());
+  VITEX_RETURN_IF_ERROR(RebindInstance(instance.get()));
+  uint32_t index = AllocateInstance(std::move(instance));
+  plan_index_[plan_hash].push_back(index);
+
+  auto sub = std::make_unique<Subscription>();
+  sub->instance = index;
+  sub->group = 0;
+  sub->handler = handler;
+  sub->query = std::move(query);  // null when moved into the machine above
+  QueryId id = AllocateSubscription(std::move(sub));
+  instances_[index]->group_members[0].push_back(id);
+  ++plan_misses_;
+  dispatcher_.InvalidateIndex();
+  return id;
 }
 
 Result<QueryId> MultiQueryEngine::AddQuery(std::string_view xpath,
@@ -20,10 +213,16 @@ Result<QueryId> MultiQueryEngine::AddQuery(std::string_view xpath,
     return Status::InvalidArgument(
         "queries may be registered only at document boundaries");
   }
-  VITEX_ASSIGN_OR_RETURN(
-      BuiltMachine built,
-      TwigMBuilder::Build(xpath, results, options, symbols_));
-  return AddBuilt(std::move(built));
+  if (!options_.share_plans) {
+    VITEX_ASSIGN_OR_RETURN(
+        BuiltMachine built,
+        TwigMBuilder::Build(xpath, results, options, symbols_));
+    return AddDedicated(std::make_unique<BuiltMachine>(std::move(built)));
+  }
+  VITEX_ASSIGN_OR_RETURN(xpath::Query compiled,
+                         xpath::ParseAndCompile(xpath));
+  return Register(std::make_unique<xpath::Query>(std::move(compiled)),
+                  results, options, /*built=*/nullptr);
 }
 
 Result<QueryId> MultiQueryEngine::AddBuilt(BuiltMachine built) {
@@ -37,17 +236,14 @@ Result<QueryId> MultiQueryEngine::AddBuilt(BuiltMachine built) {
         "TwigMBuilder::Build(..., engine.symbols()) so dispatch symbols "
         "agree");
   }
-  QueryId id;
-  if (!free_slots_.empty()) {
-    id = free_slots_.back();
-    free_slots_.pop_back();
-    machines_[id] = std::make_unique<BuiltMachine>(std::move(built));
-  } else {
-    id = machines_.size();
-    machines_.push_back(std::make_unique<BuiltMachine>(std::move(built)));
-  }
-  dispatcher_.InvalidateIndex();
-  return id;
+  auto owned = std::make_unique<BuiltMachine>(std::move(built));
+  if (!options_.share_plans) return AddDedicated(std::move(owned));
+  // Register against the machine's own compiled query: a join takes the
+  // Query out of the discarded machine for the subscription's record, an
+  // adopt moves the whole machine in — either way nothing is recompiled.
+  ResultHandler* handler = owned->machine().results();
+  TwigMachine::Options options = owned->machine().options();
+  return Register(/*query=*/nullptr, handler, options, std::move(owned));
 }
 
 Status MultiQueryEngine::RemoveQuery(QueryId id) {
@@ -58,12 +254,39 @@ Status MultiQueryEngine::RemoveQuery(QueryId id) {
   if (!has_query(id)) {
     return Status::InvalidArgument("no live query with this id");
   }
-  machines_[id] = nullptr;
+  Subscription& sub = *subs_[id];
+  PlanInstance* instance = instances_[sub.instance].get();
+  auto& members = instance->group_members[sub.group];
+  members.erase(std::find(members.begin(), members.end(), id));
+  --instance->subscriber_count;
+  if (instance->subscriber_count == 0) {
+    // Last subscriber of this plan: the machine goes with it.
+    DestroyInstance(sub.instance);
+  } else if (members.empty()) {
+    // The group's last subscriber left: drop its mask bit and renumber the
+    // groups above it. Safe at a document boundary — no masks are live.
+    instance->group_params.erase(instance->group_params.begin() + sub.group);
+    instance->group_members.erase(instance->group_members.begin() +
+                                  sub.group);
+    for (size_t g = 0; g < instance->group_members.size(); ++g) {
+      for (QueryId member : instance->group_members[g]) {
+        subs_[member]->group = static_cast<uint32_t>(g);
+      }
+    }
+    VITEX_RETURN_IF_ERROR(RebindInstance(instance));
+  }
+  subs_[id] = nullptr;
   free_slots_.push_back(id);
-  // The next document rebuilds the dispatch index, compacting this
+  // The next document rebuilds the dispatch index, compacting any dropped
   // machine out of every posting list and interest set.
   dispatcher_.InvalidateIndex();
   return Status::OK();
+}
+
+const xpath::Query& MultiQueryEngine::query(QueryId id) const {
+  const Subscription& sub = *subs_[id];
+  if (sub.query != nullptr) return *sub.query;
+  return instances_[sub.instance]->built->query();
 }
 
 Status MultiQueryEngine::Feed(std::string_view chunk) {
@@ -95,8 +318,8 @@ Status MultiQueryEngine::RunEvents(const xml::EventLog& log) {
 
 void MultiQueryEngine::ResetStream() {
   sax_->Reset();
-  for (auto& m : machines_) {
-    if (m != nullptr) m->machine().Reset();
+  for (auto& instance : instances_) {
+    if (instance != nullptr) instance->built->machine().Reset();
   }
   dispatcher_.ResetStream();
   dispatch_stats_ = DispatchStats();
@@ -105,8 +328,10 @@ void MultiQueryEngine::ResetStream() {
 
 size_t MultiQueryEngine::total_live_bytes() const {
   size_t total = dispatcher_.pending_text_bytes();
-  for (const auto& m : machines_) {
-    if (m != nullptr) total += m->machine().memory().live_bytes();
+  for (const auto& instance : instances_) {
+    if (instance != nullptr) {
+      total += instance->built->machine().memory().live_bytes();
+    }
   }
   return total;
 }
@@ -116,17 +341,18 @@ size_t MultiQueryEngine::total_live_bytes() const {
 // ---------------------------------------------------------------------------
 
 void MultiQueryEngine::Dispatcher::BuildIndex() {
-  size_t n = owner_->machines_.size();
+  size_t n = owner_->instances_.size();
   // Size postings to the query vocabulary, not the table: the largest
   // symbol any live machine interned. Dispatch already treats out-of-range
   // symbols as "no interested query", which is exactly what a document-only
   // symbol is — and this keeps index rebuilds off the SymbolTable, so a
   // shared table may grow concurrently on another thread (DESIGN.md §5).
   size_t posting_size = 0;
-  for (const auto& mp : owner_->machines_) {
-    if (mp == nullptr) continue;
-    for (const auto& entry : mp->machine().element_index()) {
-      posting_size = std::max(posting_size, static_cast<size_t>(entry.first) + 1);
+  for (const auto& instance : owner_->instances_) {
+    if (instance == nullptr) continue;
+    for (const auto& entry : instance->built->machine().element_index()) {
+      posting_size =
+          std::max(posting_size, static_cast<size_t>(entry.first) + 1);
     }
   }
   postings_.assign(posting_size, {});
@@ -139,8 +365,8 @@ void MultiQueryEngine::Dispatcher::BuildIndex() {
   is_active_recorder_.assign(n, 0);
   min_memory_limit_ = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (owner_->machines_[i] == nullptr) continue;  // removed query
-    const TwigMachine& m = owner_->machines_[i]->machine();
+    if (owner_->instances_[i] == nullptr) continue;  // removed plan
+    const TwigMachine& m = owner_->instances_[i]->built->machine();
     size_t limit = m.options().memory_limit_bytes;
     if (limit != 0 && (min_memory_limit_ == 0 || limit < min_memory_limit_)) {
       min_memory_limit_ = limit;
@@ -166,6 +392,24 @@ void MultiQueryEngine::Dispatcher::BuildIndex() {
     }
     if (mi.wants_text) text_machines_.push_back(static_cast<uint32_t>(i));
   }
+  // Plan-sharing shape as of this (re)build: how many subscriptions the
+  // visit counters above are serving through how many machines/skeletons.
+  DispatchStats& ds = owner_->dispatch_stats_;
+  ds.subscriptions = owner_->query_count();
+  ds.machines = owner_->machine_count();
+  std::unordered_set<std::string_view> keys;
+  uint64_t dedicated = 0;
+  for (const auto& instance : owner_->instances_) {
+    if (instance == nullptr) continue;
+    if (instance->shared) {
+      keys.insert(instance->plan_key);
+    } else {
+      ++dedicated;  // a private machine is its own plan
+    }
+  }
+  ds.plans = keys.size() + dedicated;
+  ds.plan_hits = owner_->plan_hits_;
+  ds.plan_misses = owner_->plan_misses_;
   index_built_ = true;
 }
 
@@ -253,9 +497,9 @@ Status MultiQueryEngine::Dispatcher::StartDocument() {
   active_recorders_.clear();
   std::fill(is_active_recorder_.begin(), is_active_recorder_.end(), 0);
   pending_text_.Clear();
-  for (auto& m : owner_->machines_) {
-    if (m == nullptr) continue;
-    VITEX_RETURN_IF_ERROR(m->machine().StartDocument());
+  for (auto& instance : owner_->instances_) {
+    if (instance == nullptr) continue;
+    VITEX_RETURN_IF_ERROR(instance->built->machine().StartDocument());
   }
   return Status::OK();
 }
@@ -318,9 +562,9 @@ Status MultiQueryEngine::Dispatcher::Text(const xml::TextEvent& event) {
 
 Status MultiQueryEngine::Dispatcher::EndDocument() {
   VITEX_RETURN_IF_ERROR(FlushTextNode());
-  for (auto& m : owner_->machines_) {
-    if (m == nullptr) continue;
-    VITEX_RETURN_IF_ERROR(m->machine().EndDocument());
+  for (auto& instance : owner_->instances_) {
+    if (instance == nullptr) continue;
+    VITEX_RETURN_IF_ERROR(instance->built->machine().EndDocument());
   }
   return Status::OK();
 }

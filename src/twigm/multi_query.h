@@ -22,6 +22,20 @@
 //     skipped events never desynchronize machines (UnionEngine's dedup
 //     depends on identical numbering across branches).
 //
+// On top of dispatch, the engine *hash-conses query plans* (DESIGN.md §7):
+// each query is canonicalized to its structural skeleton (axes, name tests,
+// predicate formulas, output marking — comparison literals lifted out as
+// parameters), and subscriptions with equal skeletons share ONE TwigMachine.
+// `//quote[@symbol = 'ACME']/price` for a thousand tickers runs one machine
+// whose matches fan out through per-plan subscriber groups; only the
+// parameterized comparisons are evaluated per group. Structural per-event
+// work (dispatch, pushes, pops, formula evaluation) then scales with the
+// number of distinct skeletons, not subscriptions; what remains per group
+// is one literal comparison on each *matching* parameterized leaf event —
+// the irreducible subscriber-specific work. Disable
+// with Options::share_plans = false to get one private machine per query
+// (the differential oracle pins the two modes against each other).
+//
 // Typical usage:
 //
 //   vitex::twigm::MultiQueryEngine engine;
@@ -35,7 +49,8 @@
 // Callers that compile machines themselves must build them against this
 // engine's table (TwigMBuilder::Build(..., engine.symbols())); AddBuilt
 // rejects machines interned elsewhere, since their symbol ids would alias.
-// Each query keeps its own ResultHandler, stats and memory accounting.
+// Each query keeps its own ResultHandler; a query's machine accessors see
+// the (possibly shared) plan machine executing it.
 
 #ifndef VITEX_TWIGM_MULTI_QUERY_H_
 #define VITEX_TWIGM_MULTI_QUERY_H_
@@ -43,6 +58,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/interner.h"
@@ -52,6 +68,7 @@
 #include "twigm/result.h"
 #include "xml/event_log.h"
 #include "xml/sax_parser.h"
+#include "xpath/canonical.h"
 
 namespace vitex::twigm {
 
@@ -60,7 +77,8 @@ using QueryId = size_t;
 
 /// Counters for the dispatch index (drive the multi-query experiments and
 /// the sublinearity assertions in tests). A "visit" is one machine receiving
-/// one event; without the index every event would cost query_count visits.
+/// one event; without the index every event would cost machine_count visits,
+/// and without plan sharing machine_count would equal subscription count.
 struct DispatchStats {
   uint64_t start_events = 0;
   uint64_t end_events = 0;
@@ -73,11 +91,34 @@ struct DispatchStats {
   /// Portion of the above visits caused by broadcast fallbacks (wildcard
   /// tests, active recordings, unanchored attributes).
   uint64_t broadcast_visits = 0;
+
+  // Plan-sharing shape, snapshotted when the dispatch index is (re)built —
+  // i.e. as of the last started document.
+  /// Live subscriptions (what query_count() returns).
+  uint64_t subscriptions = 0;
+  /// Live machines = plan instances; every visit above hits one of these.
+  uint64_t machines = 0;
+  /// Distinct shared skeletons among the machines (each may chain several
+  /// instances when it outgrows 64 parameter groups).
+  uint64_t plans = 0;
+  /// AddQuery/AddBuilt calls that joined an existing plan instance vs
+  /// created a new one (engine lifetime, survives ResetStream).
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
 };
 
 class MultiQueryEngine {
  public:
+  struct Options {
+    /// Hash-cons compiled plans: subscriptions whose queries share a
+    /// structural skeleton (same twig modulo comparison literals) share one
+    /// TwigMachine and fan results out per subscriber group. Off = one
+    /// private machine per subscription (the pre-sharing behavior).
+    bool share_plans = true;
+  };
+
   explicit MultiQueryEngine(xml::SaxParserOptions sax_options = {});
+  MultiQueryEngine(xml::SaxParserOptions sax_options, Options options);
 
   MultiQueryEngine(const MultiQueryEngine&) = delete;
   MultiQueryEngine& operator=(const MultiQueryEngine&) = delete;
@@ -91,23 +132,34 @@ class MultiQueryEngine {
   /// Registers an already-built machine (used by UnionEngine and callers
   /// that compile queries themselves). The machine must have been built
   /// against this engine's symbols() table; InvalidArgument otherwise.
+  /// Under plan sharing the machine may be discarded in favor of an
+  /// existing instance with the same skeleton and options — its
+  /// ResultHandler then joins that plan's subscriber list.
   Result<QueryId> AddBuilt(BuiltMachine built);
 
   /// Deregisters a query at a document boundary (subscription lifecycle:
-  /// DESIGN.md §5). The machine and its dispatch postings are dropped; the
-  /// ResultHandler is never touched again. The id's slot is recycled by a
-  /// *later* AddQuery/AddBuilt, so a removed id must not be used again —
+  /// DESIGN.md §5). The subscription leaves its plan's subscriber group;
+  /// the machine itself is dropped only when its last subscriber goes (plan
+  /// refcounting), and the dispatch postings follow at the next rebuild.
+  /// The ResultHandler is never touched again. The id's slot is recycled by
+  /// a *later* AddQuery/AddBuilt, so a removed id must not be used again —
   /// ids are stable only for live queries. InvalidArgument mid-document or
   /// for an id that is not live.
   Status RemoveQuery(QueryId id);
 
   /// True if `id` names a currently registered query.
   bool has_query(QueryId id) const {
-    return id < machines_.size() && machines_[id] != nullptr;
+    return id < subs_.size() && subs_[id] != nullptr;
   }
 
   /// Number of live (registered, not removed) queries.
-  size_t query_count() const { return machines_.size() - free_slots_.size(); }
+  size_t query_count() const { return subs_.size() - free_slots_.size(); }
+
+  /// Number of live plan machines (== query_count() when sharing is off or
+  /// no skeletons collide; the whole point is that it can be far smaller).
+  size_t machine_count() const {
+    return instances_.size() - free_instances_.size();
+  }
 
   /// The shared symbol table all registered machines and the parser resolve
   /// names against: the table the caller put in sax_options.symbols, or an
@@ -137,20 +189,68 @@ class MultiQueryEngine {
   /// added before the next Feed()).
   void ResetStream();
 
-  /// Accessors for a live query; `id` must satisfy has_query(id).
-  const xpath::Query& query(QueryId id) const {
-    return machines_[id]->query();
-  }
+  /// The compiled query of a live subscription (its own literals, even when
+  /// the executing machine is shared); `id` must satisfy has_query(id).
+  const xpath::Query& query(QueryId id) const;
+  /// The machine executing a live subscription. Under plan sharing this may
+  /// serve other subscriptions too, so its stats aggregate across them.
   const TwigMachine& machine(QueryId id) const {
-    return machines_[id]->machine();
+    return instances_[subs_[id]->instance]->built->machine();
   }
 
   const DispatchStats& dispatch_stats() const { return dispatch_stats_; }
 
-  /// Sum of live machine memory across all queries.
+  /// Sum of live machine memory across all plan instances.
   size_t total_live_bytes() const;
 
  private:
+  // One compiled plan instance: the unit the dispatcher routes events to.
+  // Shared instances serve up to 64 parameter groups, each a distinct
+  // literal vector with its own subscriber list; a skeleton with more
+  // groups chains additional instances under the same cache key. Dedicated
+  // instances (share_plans off) serve exactly one subscription through the
+  // machine's own ResultHandler.
+  struct PlanInstance;
+  // Fan-out sink: maps a machine's (solution, group mask) to the group's
+  // subscriber handlers.
+  class GroupFanout : public GroupResultSink {
+   public:
+    GroupFanout(MultiQueryEngine* owner, PlanInstance* plan)
+        : owner_(owner), plan_(plan) {}
+    void OnGroupResult(std::string_view fragment, uint64_t sequence,
+                       uint64_t group_mask) override;
+
+   private:
+    MultiQueryEngine* owner_;
+    PlanInstance* plan_;
+  };
+
+  struct PlanInstance {
+    std::unique_ptr<BuiltMachine> built;
+    bool shared = false;
+    // Cache identity (shared instances only): skeleton key + machine
+    // options, FNV hash of the same.
+    std::string plan_key;
+    uint64_t plan_hash = 0;
+    // Parameter groups: group g's literal vector and subscribers. Parallel
+    // to the group-major rows of `bindings`.
+    std::vector<std::vector<xpath::ValueParam>> group_params;
+    std::vector<std::vector<QueryId>> group_members;
+    size_t subscriber_count = 0;
+    PlanBindings bindings;
+    std::unique_ptr<GroupFanout> sink;
+  };
+
+  struct Subscription {
+    uint32_t instance = 0;
+    uint32_t group = 0;
+    ResultHandler* handler = nullptr;
+    // The subscription's own compiled query; null for the subscription
+    // whose Query was moved into the instance machine (query() then reads
+    // it from there).
+    std::unique_ptr<xpath::Query> query;
+  };
+
   // Routes each SAX event to the machines that can use it (see file
   // comment). Owns the central text coalescing buffer and the per-document
   // dispatch state; the index itself is (re)built at stream start.
@@ -181,7 +281,9 @@ class MultiQueryEngine {
       bool output_is_element = false;   // may open recordings
     };
 
-    TwigMachine& machine(size_t i) { return owner_->machines_[i]->machine(); }
+    TwigMachine& machine(size_t i) {
+      return owner_->instances_[i]->built->machine();
+    }
 
     // Appends machine `i` to targets_ if not yet visited this event.
     void AddTarget(size_t i, bool broadcast);
@@ -225,17 +327,45 @@ class MultiQueryEngine {
     size_t min_memory_limit_ = 0;  // 0 = no machine has a limit
   };
 
-  // Slot i holds query id i; removed queries leave a null slot that the
-  // next registration recycles, so the vector is bounded by the peak number
-  // of concurrent queries however many subscribe/unsubscribe cycles run.
-  std::vector<std::unique_ptr<BuiltMachine>> machines_;
+  // Registration internals (shared by AddQuery and AddBuilt). Exactly one
+  // of `query` (caller compiled the query; a machine is built on demand if
+  // no instance can be joined) and `built` (pre-built machine, adopted as
+  // a new instance or disassembled for its Query on a join) must be
+  // non-null.
+  Result<QueryId> Register(std::unique_ptr<xpath::Query> query,
+                           ResultHandler* handler,
+                           TwigMachine::Options options,
+                           std::unique_ptr<BuiltMachine> built);
+  Result<QueryId> AddDedicated(std::unique_ptr<BuiltMachine> built);
+  QueryId AllocateSubscription(std::unique_ptr<Subscription> sub);
+  uint32_t AllocateInstance(std::unique_ptr<PlanInstance> instance);
+  // Rewrites `instance`'s PlanBindings rows from group_params and rebinds
+  // the machine (document boundary only).
+  Status RebindInstance(PlanInstance* instance);
+  void DestroyInstance(uint32_t index);
+
+  // Slot i holds subscription id i; removed subscriptions leave a null
+  // slot that the next registration recycles, so the vector is bounded by
+  // the peak number of concurrent queries however many churn cycles run.
+  std::vector<std::unique_ptr<Subscription>> subs_;
   std::vector<QueryId> free_slots_;
+  // Plan instances, same recycling discipline; the dispatcher indexes
+  // these, not subscriptions.
+  std::vector<std::unique_ptr<PlanInstance>> instances_;
+  std::vector<uint32_t> free_instances_;
+  // Plan cache: hash of (skeleton key + options) -> instance slots with
+  // that hash (key compared exactly on hit; chained instances on overflow).
+  std::unordered_map<uint64_t, std::vector<uint32_t>> plan_index_;
+
+  Options options_;
   SymbolTable owned_symbols_;
   // The engine's table: caller-supplied via sax_options.symbols (must then
   // outlive the engine) or &owned_symbols_.
   SymbolTable* symbols_ = nullptr;
   Dispatcher dispatcher_;
   DispatchStats dispatch_stats_;
+  uint64_t plan_hits_ = 0;
+  uint64_t plan_misses_ = 0;
   std::unique_ptr<xml::SaxParser> sax_;
   bool started_ = false;
 };

@@ -34,6 +34,22 @@ class ResultHandler {
   virtual void OnResult(std::string_view fragment, uint64_t sequence) = 0;
 };
 
+/// Receiver for solutions of a *shared plan* machine serving several
+/// subscriber groups (DESIGN.md §7). `group_mask` has bit g set iff the
+/// solution qualified for group g — the fan-out layer (MultiQueryEngine)
+/// maps bits to subscriber lists. A machine bound to a plan delivers here
+/// instead of ResultHandler.
+class GroupResultSink {
+ public:
+  virtual ~GroupResultSink() = default;
+
+  /// Called once per (solution, newly-qualified group set); a solution that
+  /// later qualifies for further groups is re-delivered with only the new
+  /// bits set (each group sees each solution at most once).
+  virtual void OnGroupResult(std::string_view fragment, uint64_t sequence,
+                             uint64_t group_mask) = 0;
+};
+
 /// Collects solutions into memory (tests, examples).
 class VectorResultCollector : public ResultHandler {
  public:

@@ -88,8 +88,10 @@ std::string Formula::ToString() const {
   return "?";
 }
 
-bool QueryNode::CompareValue(std::string_view value) const {
-  switch (value_op) {
+bool CompareAgainstLiteral(CompareOp op, std::string_view literal,
+                           double number, bool literal_is_number,
+                           bool literal_numeric, std::string_view value) {
+  switch (op) {
     case CompareOp::kNone:
       return true;
     case CompareOp::kEq:
@@ -105,7 +107,7 @@ bool QueryNode::CompareValue(std::string_view value) const {
         // a numeric literal, so = and != stay exact complements.
         eq = value == literal;
       }
-      return value_op == CompareOp::kEq ? eq : !eq;
+      return op == CompareOp::kEq ? eq : !eq;
     }
     case CompareOp::kLt:
     case CompareOp::kLe:
@@ -116,7 +118,7 @@ bool QueryNode::CompareValue(std::string_view value) const {
       // time (literal_numeric / number).
       double v;
       if (!literal_numeric || !ParseXPathNumber(value, &v)) return false;
-      switch (value_op) {
+      switch (op) {
         case CompareOp::kLt:
           return v < number;
         case CompareOp::kLe:
@@ -131,6 +133,11 @@ bool QueryNode::CompareValue(std::string_view value) const {
     }
   }
   return false;
+}
+
+bool QueryNode::CompareValue(std::string_view value) const {
+  return CompareAgainstLiteral(value_op, literal, number, literal_is_number,
+                               literal_numeric, value);
 }
 
 /// Builds Query objects from ASTs. Separate class so Query's constructor

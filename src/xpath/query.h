@@ -151,6 +151,15 @@ class Query {
 /// One-call convenience: lex + parse + compile.
 Result<Query> ParseAndCompile(std::string_view query_text);
 
+/// The value-comparison kernel shared by QueryNode::CompareValue and the
+/// shared-plan parameter evaluators (canonical.h): applies `op` between a
+/// node value and a literal whose numeric coercions were resolved once at
+/// compile time. Keeping one definition guarantees a parameterized plan
+/// compares exactly like a privately compiled query.
+bool CompareAgainstLiteral(CompareOp op, std::string_view literal,
+                           double number, bool literal_is_number,
+                           bool literal_numeric, std::string_view value);
+
 }  // namespace vitex::xpath
 
 #endif  // VITEX_XPATH_QUERY_H_

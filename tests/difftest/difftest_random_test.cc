@@ -1,14 +1,18 @@
 // The randomized differential sweep — the acceptance bar for this harness:
-// thousands of seeded (query, document) cross-checks through all four
+// thousands of seeded (query, document) cross-checks through all five
 // routes (DomEvaluator ground truth, single TwigMachine, MultiQueryEngine
-// with co-registered decoys, StreamService replay across 1..4 shards) over
-// the four workload generators plus the markup-rich random generator, with
-// zero divergences. Failures print a minimized, self-contained repro
-// (Divergence::ToString) and are deterministic per seed.
+// with per-query machines and co-registered decoys, StreamService replay
+// across 1..4 shards, and the shared-plan MultiQueryEngine with hash-consed
+// skeletons) over the four workload generators plus the markup-rich random
+// generator, with zero divergences. Failures print a minimized,
+// self-contained repro (Divergence::ToString) and are deterministic per
+// seed.
 //
-// Totals: 10 seeds × 4 paper workloads × 125 checks = 5000 checks, plus the
-// random-generator and chunked-feed sweeps on top. For longer runs use
-// tools/difftest_main.cc.
+// Totals: 10 seeds × 4 paper workloads × 125 checks = 5000 checks through
+// all five routes, plus another 5000 in SharedSkeletonBatch mode (batches
+// instantiated from one query template, so the shared-plan route folds them
+// into one or a few plan machines), plus the random-generator and
+// chunked-feed sweeps on top. For longer runs use tools/difftest_main.cc.
 
 #include <gtest/gtest.h>
 
@@ -53,6 +57,35 @@ void SweepWorkload(Oracle* oracle, WorkloadKind kind, uint64_t seed,
   }
 }
 
+// SharedSkeletonBatch sweep: every batch is a literal/tag-varied family of
+// one query template — the subscriber-population shape the plan cache
+// exists for. The shared-plan route hash-conses the family; DOM, twigm and
+// the per-query multi-query route evaluate each member independently.
+void SweepSharedSkeletons(Oracle* oracle, WorkloadKind kind, uint64_t seed,
+                          int batches, int batch_size) {
+  Random rng(seed * 0xd1b54a32d192ed03ull +
+             static_cast<uint64_t>(kind) * 0x9e3779b97f4a7c15ull);
+  QueryFuzzer fuzzer(WorkloadAlphabet(kind));
+  for (int b = 0; b < batches; ++b) {
+    std::string doc =
+        GenerateWorkloadDocument(kind, seed * 100 + static_cast<uint64_t>(b),
+                                 &rng);
+    // Draw one extra family member and demote it to a decoy: the shared
+    // plan then serves a registered-but-unchecked subscriber, so fan-out
+    // bookkeeping that only corrupts co-subscribers cannot hide. Plus one
+    // unrelated decoy for dispatch interference.
+    std::vector<std::string> queries =
+        fuzzer.NextSharedBatch(batch_size + 1, &rng);
+    std::vector<std::string> decoys = {queries.back(), fuzzer.Next(&rng)};
+    queries.pop_back();
+    auto d = oracle->CheckBatch(queries, decoys, doc);
+    ASSERT_FALSE(d.has_value())
+        << "shared-skeleton workload " << WorkloadName(kind) << " seed "
+        << seed << " batch " << b << "\n"
+        << d->ToString();
+  }
+}
+
 class DifftestSweep : public ::testing::TestWithParam<uint64_t> {};
 
 // 4 workloads × 25 batches × 5 checked queries = 500 checks per seed;
@@ -72,6 +105,28 @@ TEST_P(DifftestSweep, FourWorkloadsAgreeOnAllRoutes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifftestSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+class DifftestSharedSkeletonSweep
+    : public ::testing::TestWithParam<uint64_t> {};
+
+// 4 workloads × 25 batches × 5 family members = 500 checks per seed; the 10
+// seeds below make the second 5000-iteration sweep, all through the fifth
+// (shared-plan) route alongside the other four.
+TEST_P(DifftestSharedSkeletonSweep, SkeletonFamiliesAgreeOnAllRoutes) {
+  Oracle oracle;
+  const WorkloadKind paper_workloads[] = {
+      WorkloadKind::kProtein, WorkloadKind::kBooks, WorkloadKind::kXmark,
+      WorkloadKind::kRecursive};
+  for (WorkloadKind kind : paper_workloads) {
+    SweepSharedSkeletons(&oracle, kind, GetParam(), /*batches=*/25,
+                         /*batch_size=*/5);
+  }
+  EXPECT_GE(oracle.checks_run(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifftestSharedSkeletonSweep,
+                         ::testing::Values(41, 42, 43, 44, 45, 46, 47, 48,
+                                           49, 50));
 
 class DifftestRandomDocSweep : public ::testing::TestWithParam<uint64_t> {};
 

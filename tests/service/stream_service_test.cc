@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/random.h"
 #include "twigm/multi_query.h"
 
 namespace vitex::service {
@@ -248,6 +249,116 @@ TEST(StreamServiceTest, StatsReportScalePerShard) {
   }
   EXPECT_EQ(live, 2u);
   EXPECT_GT(dispatched, 0u);
+}
+
+// Shared-plan churn through the full service stack: subscriptions drawn
+// from a few skeletons (each shard's engine hash-conses them into shared
+// machines), randomly unsubscribed and re-subscribed at epoch boundaries.
+// Survivors must deliver byte-what a fresh engine with only the survivors
+// delivers — i.e. subscribe/unsubscribe churn keeps every shard's plan
+// cache (group masks, bindings, refcounts) incrementally correct.
+TEST(StreamServiceTest, SharedSkeletonSubscriptionChurn) {
+  auto skeleton_query = [](int skeleton, int literal) {
+    std::string lit = "'w" + std::to_string(literal) + "'";
+    switch (skeleton) {
+      case 0:
+        return "//item0[val = " + lit + "]";
+      case 1:
+        return "//item1[@id = " + lit + "]/val/text()";
+      default:
+        return "//feed//item2[not(val = " + lit + ")]/@id";
+    }
+  };
+  auto make_doc = [](int salt) {
+    std::string doc = "<feed>";
+    for (int i = 0; i < 15; ++i) {
+      int tag = i % 3;
+      doc += "<item" + std::to_string(tag) + " id=\"w" +
+             std::to_string((i + salt) % 6) + "\"><val>w" +
+             std::to_string((i * 2 + salt) % 6) + "</val></item" +
+             std::to_string(tag) + ">";
+    }
+    return doc + "</feed>";
+  };
+
+  vitex::Random rng(77);
+  for (size_t shard_count : {1, 3}) {
+    StreamServiceOptions options;
+    options.shard_count = shard_count;
+    StreamService service(options);
+
+    struct Sub {
+      SubscriptionId id;
+      std::string query;
+      bool live = true;
+    };
+    std::vector<Sub> subs;
+    for (int k = 0; k < 3; ++k) {
+      for (int j = 0; j < 6; ++j) {
+        std::string q = skeleton_query(k, j);
+        auto id = service.Subscribe(q);
+        ASSERT_TRUE(id.ok()) << q;
+        subs.push_back(Sub{id.value(), q, true});
+      }
+    }
+
+    // Epoch 1: a document everyone sees; drain it away.
+    ASSERT_TRUE(service.Publish(make_doc(0)).ok());
+    ASSERT_TRUE(service.Flush().ok());
+    for (Sub& s : subs) ASSERT_TRUE(service.Drain(s.id).ok());
+
+    // Every shard hash-conses its partition: 18 subscriptions over 3
+    // skeletons run on at most 3 plan machines per shard.
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.active_subscriptions, 18u);
+    EXPECT_GE(stats.active_plan_machines, 1u);
+    EXPECT_LE(stats.active_plan_machines, 3 * shard_count);
+
+    // Churn: random unsubscribes, plus fresh literal variants that re-join
+    // the surviving plans.
+    for (Sub& s : subs) {
+      if (rng.OneIn(0.4)) {
+        ASSERT_TRUE(service.Unsubscribe(s.id).ok());
+        s.live = false;
+      }
+    }
+    for (int j = 6; j < 9; ++j) {
+      std::string q = skeleton_query(j % 3, j);
+      auto id = service.Subscribe(q);
+      ASSERT_TRUE(id.ok()) << q;
+      subs.push_back(Sub{id.value(), q, true});
+    }
+
+    // Epoch 2: only survivors + latecomers see this document.
+    std::string doc2 = make_doc(1);
+    ASSERT_TRUE(service.Publish(doc2).ok());
+    ASSERT_TRUE(service.Flush().ok());
+
+    // Reference: a fresh single-threaded engine with exactly the live set.
+    twigm::MultiQueryEngine reference;
+    std::vector<twigm::VectorResultCollector> expected(subs.size());
+    for (size_t i = 0; i < subs.size(); ++i) {
+      if (!subs[i].live) continue;
+      ASSERT_TRUE(reference.AddQuery(subs[i].query, &expected[i]).ok());
+    }
+    ASSERT_TRUE(reference.RunString(doc2).ok());
+
+    for (size_t i = 0; i < subs.size(); ++i) {
+      if (!subs[i].live) {
+        EXPECT_FALSE(service.Drain(subs[i].id).ok())
+            << "unsubscribed id still drains: " << subs[i].query;
+        continue;
+      }
+      auto drained = service.Drain(subs[i].id);
+      ASSERT_TRUE(drained.ok());
+      std::vector<std::string> want;
+      for (const auto& e : expected[i].results()) want.push_back(e.fragment);
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(SortedFragments(std::move(drained).value()), want)
+          << "query " << subs[i].query << " shards=" << shard_count;
+    }
+    EXPECT_TRUE(service.Stop().ok());
+  }
 }
 
 TEST(StreamServiceTest, StopIsIdempotentAndDrainSurvivesIt) {

@@ -134,6 +134,166 @@ TEST(MultiQueryRemoveTest, DifferentialAgainstFreshEngineWithSurvivors) {
   }
 }
 
+// Plan-cache refcounting: subscriptions sharing a skeleton share one
+// machine; RemoveQuery drops the machine only when its LAST subscriber
+// goes, and survivors keep delivering their own literals' results.
+TEST(MultiQueryRemoveTest, SharedPlanRefcountsAcrossRemovals) {
+  MultiQueryEngine engine;
+  VectorResultCollector r1, r2, r3;
+  auto a = engine.AddQuery("//a[b = '1']/c", &r1);
+  auto b = engine.AddQuery("//a[b = '2']/c", &r2);
+  auto c = engine.AddQuery("//a[b = '3']/c", &r3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(engine.machine_count(), 1u);  // one skeleton, three groups
+
+  const std::string doc =
+      "<r><a><b>1</b><c>one</c></a><a><b>2</b><c>two</c></a>"
+      "<a><b>3</b><c>three</c></a></r>";
+  ASSERT_TRUE(engine.RunString(doc).ok());
+  EXPECT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r2.size(), 1u);
+  EXPECT_EQ(r3.size(), 1u);
+
+  // Remove the middle subscriber: the plan machine survives (refcount 2),
+  // its group masks compact, and the other groups still deliver exactly
+  // their own results.
+  engine.ResetStream();
+  ASSERT_TRUE(engine.RemoveQuery(b.value()).ok());
+  EXPECT_EQ(engine.query_count(), 2u);
+  EXPECT_EQ(engine.machine_count(), 1u);
+  r1.Clear();
+  r3.Clear();
+  ASSERT_TRUE(engine.RunString(doc).ok());
+  EXPECT_EQ(r1.SortedFragments(), (std::vector<std::string>{"<c>one</c>"}));
+  EXPECT_EQ(r3.SortedFragments(),
+            (std::vector<std::string>{"<c>three</c>"}));
+
+  // Last two subscribers go: the machine goes with the last one.
+  engine.ResetStream();
+  ASSERT_TRUE(engine.RemoveQuery(a.value()).ok());
+  EXPECT_EQ(engine.machine_count(), 1u);
+  ASSERT_TRUE(engine.RemoveQuery(c.value()).ok());
+  EXPECT_EQ(engine.machine_count(), 0u);
+  EXPECT_EQ(engine.query_count(), 0u);
+
+  // A fresh subscription to the same skeleton recreates the plan from
+  // scratch (the cache holds no dead machines).
+  VectorResultCollector r4;
+  ASSERT_TRUE(engine.AddQuery("//a[b = '2']/c", &r4).ok());
+  EXPECT_EQ(engine.machine_count(), 1u);
+  ASSERT_TRUE(engine.RunString(doc).ok());
+  EXPECT_EQ(r4.SortedFragments(), (std::vector<std::string>{"<c>two</c>"}));
+}
+
+// Removing one member of a group that has several (identical queries) must
+// not disturb the co-members.
+TEST(MultiQueryRemoveTest, SharedGroupMemberRemoval) {
+  MultiQueryEngine engine;
+  VectorResultCollector r1, r2;
+  auto a = engine.AddQuery("//a[b = '1']", &r1);
+  auto b = engine.AddQuery("//a[b = '1']", &r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(engine.machine_count(), 1u);
+  ASSERT_TRUE(engine.RemoveQuery(a.value()).ok());
+  EXPECT_EQ(engine.machine_count(), 1u);
+  ASSERT_TRUE(engine.RunString("<r><a><b>1</b></a></r>").ok());
+  EXPECT_EQ(r1.size(), 0u);
+  EXPECT_EQ(r2.size(), 1u);
+}
+
+// The churn differential, shared-skeleton edition: K subscriptions drawn
+// from a handful of skeletons (so the plan cache is consing hard), a random
+// subset removed at an epoch boundary; survivors must match a fresh engine
+// registered with only the survivors.
+TEST(MultiQueryRemoveTest, SharedSkeletonChurnDifferential) {
+  constexpr int kRounds = 6;
+  Random rng(42005);
+  for (int round = 0; round < kRounds; ++round) {
+    // 4 skeletons x 6 literals = 24 subscriptions, heavy sharing.
+    std::vector<std::string> queries;
+    for (int k = 0; k < 4; ++k) {
+      for (int j = 0; j < 6; ++j) {
+        std::string sk = std::to_string(k);
+        std::string lit = "'v" + std::to_string(j) + "'";
+        switch (k) {
+          case 0:
+            queries.push_back("//a[b = " + lit + "]/c");
+            break;
+          case 1:
+            queries.push_back("//a[@id = " + lit + "]");
+            break;
+          case 2:
+            queries.push_back("//d[not(b = " + lit + ")]//c");
+            break;
+          default:
+            queries.push_back("//a[b = " + lit + " or @id = " + lit +
+                              "]/c/text()");
+        }
+      }
+    }
+    auto make_doc = [&](int salt) {
+      std::string doc = "<r>";
+      for (int i = 0; i < 20; ++i) {
+        std::string v = "v" + std::to_string(rng.Uniform(8));
+        std::string id = "v" + std::to_string(rng.Uniform(8));
+        doc += "<a id=\"" + id + "\"><b>" + v + "</b><c>x" +
+               std::to_string(salt * 100 + i) + "</c></a>";
+        if (i % 3 == 0) {
+          doc += "<d><b>" + v + "</b><c>y" + std::to_string(i) + "</c></d>";
+        }
+      }
+      return doc + "</r>";
+    };
+    std::string doc1 = make_doc(round * 2);
+    std::string doc2 = make_doc(round * 2 + 1);
+
+    MultiQueryEngine full;
+    std::vector<std::unique_ptr<VectorResultCollector>> full_results;
+    std::vector<QueryId> ids;
+    for (const std::string& q : queries) {
+      full_results.push_back(std::make_unique<VectorResultCollector>());
+      auto id = full.AddQuery(q, full_results.back().get());
+      ASSERT_TRUE(id.ok()) << q;
+      ids.push_back(id.value());
+    }
+    EXPECT_EQ(full.machine_count(), 4u);
+    ASSERT_TRUE(full.RunString(doc1).ok());
+    full.ResetStream();
+
+    std::set<int> removed;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (rng.OneIn(0.5)) removed.insert(static_cast<int>(q));
+    }
+    for (int q : removed) ASSERT_TRUE(full.RemoveQuery(ids[q]).ok());
+    for (auto& r : full_results) r->Clear();
+    ASSERT_TRUE(full.RunString(doc2).ok());
+
+    MultiQueryEngine survivors;
+    std::vector<std::unique_ptr<VectorResultCollector>> survivor_results(
+        queries.size());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (removed.count(static_cast<int>(q)) != 0) continue;
+      survivor_results[q] = std::make_unique<VectorResultCollector>();
+      ASSERT_TRUE(
+          survivors.AddQuery(queries[q], survivor_results[q].get()).ok());
+    }
+    ASSERT_TRUE(survivors.RunString(doc2).ok());
+
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (removed.count(static_cast<int>(q)) != 0) {
+        EXPECT_EQ(full_results[q]->size(), 0u)
+            << "removed query still delivered: " << queries[q];
+        continue;
+      }
+      EXPECT_EQ(Fragments(*full_results[q]), Fragments(*survivor_results[q]))
+          << "round " << round << " query " << queries[q];
+    }
+  }
+}
+
 TEST(MultiQueryRemoveTest, RunEventsMidStreamRejected) {
   auto log = xml::RecordEvents("<x/>");
   ASSERT_TRUE(log.ok());

@@ -300,6 +300,53 @@ TEST(FeedSplitEverywhereTest, TrailingWhitespaceAfterCommentStaysInNode) {
   EXPECT_EQ(r.events[4], "E:a:1");
 }
 
+// Attribute-value chunk seams. Shared-plan subscriptions compare bound
+// literals against attribute values (`//quote[@symbol = 'X']` for every
+// X), so the parser must deliver each attribute value whole and already
+// entity-decoded no matter where a feed boundary lands — inside the value,
+// inside an entity or character reference, between the quotes, or between
+// name, '=' and the opening quote. FeedSplitEverywhere tries EVERY
+// two-chunk split plus byte-at-a-time, with stamps compared.
+TEST(FeedSplitEverywhereTest, AttributeValueEntitySeams) {
+  const char* docs[] = {
+      // Entity references inside values, including back to back.
+      R"(<r a="1&amp;2"/>)",
+      R"(<r a="&amp;&lt;&gt;&quot;&apos;"/>)",
+      // Character references (decimal and hex) mid-value.
+      R"(<r sym="&#65;CME&#x21;"/>)",
+      // The other quote kind as content, plus '=' and '>' lookalikes.
+      R"(<r a='say "hi" = ok>' b="it's fine"/>)",
+      // Whitespace and angle-lookalikes around the '=' sign.
+      R"(<r  a  =  "v1"  b = 'v2' />)",
+      // Several attributes so seams land between value end and next name.
+      R"(<q symbol="ACME" price="12.50" note="a&amp;b"><p t="x"/></q>)",
+      // Value that is nothing but references.
+      R"(<r v="&amp;&amp;&amp;"/>)",
+      // Empty values around populated ones.
+      R"(<r a="" b="&#32;" c=""/>)",
+  };
+  for (const char* doc : docs) {
+    FeedSplitEverywhere(doc, {}, std::string("attribute seams: ") + doc);
+  }
+}
+
+TEST(FeedSplitEverywhereTest, AttributeValuesArriveDecodedWhole) {
+  // The canonical event stream records attribute values as delivered;
+  // entity decoding must have happened before delivery (a machine's value
+  // comparison sees "1&2", never "1&amp;2"), and a split inside "&amp;"
+  // must not produce a partial value.
+  CanonicalParse whole = ParseWithBoundaries(R"(<r a="1&amp;2&#33;"/>)", {});
+  ASSERT_TRUE(whole.status.ok());
+  bool saw = false;
+  for (const std::string& e : whole.events) {
+    if (e.rfind("A:", 0) == 0) {
+      EXPECT_EQ(e, "A:a=1&2!");
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
 TEST(ChunkingTest, ParserMemoryStaysBoundedOnLongText) {
   // A single long text run must not accumulate in the parser's buffer.
   CollectingHandler handler;

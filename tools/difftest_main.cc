@@ -1,6 +1,10 @@
-// difftest_main: long-running differential fuzzer over the four evaluation
-// routes (DomEvaluator ground truth, TwigMachine, MultiQueryEngine with
-// decoys, StreamService replay across shards). Designed for overnight runs:
+// difftest_main: long-running differential fuzzer over the five evaluation
+// routes (DomEvaluator ground truth, TwigMachine, per-query
+// MultiQueryEngine with decoys, StreamService replay across shards, and the
+// shared-plan MultiQueryEngine). Odd iterations draw SharedSkeletonBatch
+// query families — literal/tag variants of one template — so the plan cache
+// is hammered with the subscriber-population shape it hash-conses. Designed
+// for overnight runs:
 //
 //   ./difftest_main --iterations 100000 --seed 1 --workload all \
 //       --repro-dir difftest_repros
@@ -132,7 +136,14 @@ int main(int argc, char** argv) {
         vitex::difftest::GenerateWorkloadDocument(kind, args.seed + iter, &rng);
 
     std::vector<std::string> queries;
-    for (size_t q = 0; q < args.batch; ++q) queries.push_back(fuzzer.Next(&rng));
+    if (iter % 2 == 1) {
+      // Shared-skeleton family: the whole batch instantiates one template.
+      queries = fuzzer.NextSharedBatch(static_cast<int>(args.batch), &rng);
+    } else {
+      for (size_t q = 0; q < args.batch; ++q) {
+        queries.push_back(fuzzer.Next(&rng));
+      }
+    }
     std::vector<std::string> decoys;
     for (size_t q = 0; q < args.decoys; ++q) decoys.push_back(fuzzer.Next(&rng));
     if (args.decoys > 0) decoys.push_back("//*");  // recording broadcast decoy

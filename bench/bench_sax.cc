@@ -1,19 +1,51 @@
 // Experiment E8 (paper §3, SAX module): throughput of the SAX substrate in
 // isolation — the paper's 4.43 s component. Measured across the workload
-// generators (different markup densities) and chunk sizes.
+// generators (different markup densities) and chunk sizes, and across the
+// scan-kernel tiers (xml/simd_scan.h): every throughput benchmark runs
+// once per available scan mode, labelled "<doc>/<mode>", so the
+// scalar-vs-SIMD ratio is pinned in the JSON trajectory that
+// tools/bench_compare.py gates in CI.
 
 #include <benchmark/benchmark.h>
 
 #include <string>
 
+#include "bench/bench_json.h"
 #include "workload/book_generator.h"
 #include "workload/protein_generator.h"
 #include "workload/recursive_generator.h"
 #include "workload/xmark_generator.h"
 #include "xml/dom.h"
 #include "xml/sax_parser.h"
+#include "xml/simd_scan.h"
 
 namespace {
+
+using vitex::xml::scan::ActiveScanMode;
+using vitex::xml::scan::ForceScanMode;
+using vitex::xml::scan::ResetScanModeFromEnvironment;
+using vitex::xml::scan::ScanMode;
+using vitex::xml::scan::ScanModeName;
+
+// Markup-sparse, text-heavy document: long character-data runs between
+// sparse tags, the shape where byte scanning (not per-event dispatch)
+// dominates the parse. No entities, so the run is one FindMarkup sweep.
+std::string MakeTextHeavyDoc(int sections, int run_bytes) {
+  static const char kFiller[] =
+      "the quick brown fox jumps over the lazy dog while streaming xpath "
+      "matches twigs against an unbounded document feed ";
+  std::string run;
+  while (static_cast<int>(run.size()) < run_bytes) run += kFiller;
+  run.resize(run_bytes);
+  std::string doc = "<doc>";
+  for (int i = 0; i < sections; ++i) {
+    doc += "<section><p>";
+    doc += run;
+    doc += "</p></section>";
+  }
+  doc += "</doc>";
+  return doc;
+}
 
 std::string MakeDoc(int which) {
   switch (which) {
@@ -34,31 +66,49 @@ std::string MakeDoc(int which) {
       options.table_depth = 3;
       return vitex::workload::GenerateBookString(options).value();
     }
-    default: {  // deep recursion
+    case 3: {  // deep recursion
       vitex::workload::RecursiveOptions options;
       options.depth = 1000;
       options.width = 40;
       return vitex::workload::GenerateRecursiveString(options).value();
     }
+    default:  // markup-sparse long text runs
+      return MakeTextHeavyDoc(/*sections=*/512, /*run_bytes=*/4096);
   }
 }
 
 const char* DocName(int which) {
-  static const char* kNames[] = {"protein", "xmark", "book", "recursive"};
+  static const char* kNames[] = {"protein", "xmark", "book", "recursive",
+                                 "textheavy"};
   return kNames[which];
 }
 
+// Pins the requested scan mode for the duration of one benchmark run and
+// restores the environment-resolved mode afterwards. mode_arg 0 keeps the
+// auto-resolved tier (AVX2 on the CI runners), 1 forces scalar.
+class ScopedScanMode {
+ public:
+  explicit ScopedScanMode(int64_t mode_arg) {
+    if (mode_arg == 1) ForceScanMode(ScanMode::kScalar);
+  }
+  ~ScopedScanMode() { ResetScanModeFromEnvironment(); }
+};
+
 void BM_SaxThroughput(benchmark::State& state) {
   std::string doc = MakeDoc(static_cast<int>(state.range(0)));
+  ScopedScanMode scoped(state.range(1));
   for (auto _ : state) {
     vitex::xml::ContentHandler discard;
     vitex::Status s = vitex::xml::ParseString(doc, &discard);
     if (!s.ok()) state.SkipWithError(s.ToString().c_str());
   }
   state.SetBytesProcessed(state.iterations() * doc.size());
-  state.SetLabel(DocName(static_cast<int>(state.range(0))));
+  state.SetLabel(std::string(DocName(static_cast<int>(state.range(0)))) +
+                 "/" + std::string(ScanModeName(ActiveScanMode())));
 }
-BENCHMARK(BM_SaxThroughput)->DenseRange(0, 3);
+BENCHMARK(BM_SaxThroughput)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1}})
+    ->ArgNames({"doc", "forced_scalar"});
 
 void BM_SaxChunked(benchmark::State& state) {
   static std::string doc = MakeDoc(0);
@@ -76,6 +126,7 @@ void BM_SaxChunked(benchmark::State& state) {
   }
   state.SetBytesProcessed(state.iterations() * doc.size());
   state.counters["chunk"] = static_cast<double>(chunk);
+  state.SetLabel(std::string(ScanModeName(ActiveScanMode())));
 }
 BENCHMARK(BM_SaxChunked)->Arg(256)->Arg(4096)->Arg(65536)->Arg(1 << 20);
 
@@ -87,9 +138,10 @@ void BM_DomBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(dom);
   }
   state.SetBytesProcessed(state.iterations() * doc.size());
+  state.SetLabel(std::string(ScanModeName(ActiveScanMode())));
 }
 BENCHMARK(BM_DomBuild);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+VITEX_BENCH_MAIN("sax")

@@ -25,6 +25,7 @@
 
 #include "bench/bench_json.h"
 #include "service/stream_service.h"
+#include "xml/simd_scan.h"
 
 namespace {
 
@@ -102,6 +103,10 @@ void BM_ServiceThroughput(benchmark::State& state) {
   state.counters["results"] =
       static_cast<double>(stats.results_delivered) /
       static_cast<double>(state.iterations());
+  // The ingest parse rides the scan kernels; label which tier ran so
+  // end-to-end numbers are comparable across the CI scan matrix.
+  state.SetLabel("scan:" + std::string(vitex::xml::scan::ScanModeName(
+                               vitex::xml::scan::ActiveScanMode())));
 }
 BENCHMARK(BM_ServiceThroughput)
     ->ArgNames({"shards", "subs"})

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "xml/escape.h"
+#include "xml/simd_scan.h"
 
 namespace vitex::xml {
 
@@ -14,21 +15,40 @@ bool IsXmlSpace(char c) {
   return c == ' ' || c == '\t' || c == '\n' || c == '\r';
 }
 
+// IsAllWhitespace over the scan kernels (same 6-byte ASCII set).
+bool AllWhitespace(std::string_view s) {
+  return scan::ScanAsciiSpaceRun(s, 0) == s.size();
+}
+
+// std::string_view::find(needle, from) built on the FindByte kernel: probe
+// for the first byte, verify the rest. Chunk-seam behaviour matches find()
+// exactly — a partial match at the end of the buffer reports npos, and
+// Pump waits for more bytes.
+size_t FindSeq(std::string_view s, size_t from, std::string_view needle) {
+  size_t i = from;
+  while (true) {
+    i = scan::FindByte(s, i, needle[0]);
+    if (i == scan::kNotFound || i + needle.size() > s.size()) {
+      return std::string_view::npos;
+    }
+    if (std::string_view(s.data() + i, needle.size()) == needle) return i;
+    ++i;
+  }
+}
+
 // Finds the '>' closing a start tag, skipping over quoted attribute values.
 // Returns npos if the tag is not complete in `s`.
 size_t FindTagEnd(std::string_view s, size_t from) {
-  char quote = 0;
-  for (size_t i = from; i < s.size(); ++i) {
-    char c = s[i];
-    if (quote != 0) {
-      if (c == quote) quote = 0;
-    } else if (c == '"' || c == '\'') {
-      quote = c;
-    } else if (c == '>') {
-      return i;
-    }
+  size_t i = from;
+  while (true) {
+    size_t p = scan::FindGtOrQuote(s, i);
+    if (p == scan::kNotFound) return std::string_view::npos;
+    if (s[p] == '>') return p;
+    // Quote: skip to its closing mate, then resume the tag scan.
+    size_t close = scan::FindByte(s, p + 1, s[p]);
+    if (close == scan::kNotFound) return std::string_view::npos;
+    i = close + 1;
   }
-  return std::string_view::npos;
 }
 
 // Finds the '>' closing a DOCTYPE, which may contain an internal subset in
@@ -157,11 +177,19 @@ Status SaxParser::Pump(bool at_eof) {
   while (pos_ < buf_.size()) {
     std::string_view rest(buf_.data() + pos_, buf_.size() - pos_);
     if (rest[0] != '<') {
-      // Character data up to the next '<' (or end of buffer).
-      size_t lt = rest.find('<');
+      // Character data up to the next '<' (or end of buffer). One
+      // FindMarkup pass locates the terminator AND detects entities: the
+      // kernel stops at the first '<' or '&', so a '&' hit means the run
+      // needs decoding and the '<' (if any) lies further on.
+      bool has_amp = false;
+      size_t lt = scan::FindMarkup(rest, 0);
+      if (lt != scan::kNotFound && rest[lt] == '&') {
+        has_amp = true;
+        lt = scan::FindByte(rest, lt + 1, '<');
+      }
       std::string_view text =
-          lt == std::string_view::npos ? rest : rest.substr(0, lt);
-      if (lt == std::string_view::npos && !at_eof) {
+          lt == scan::kNotFound ? rest : rest.substr(0, lt);
+      if (lt == scan::kNotFound && !at_eof) {
         // The text node is not complete yet. Hold it so that entity
         // decoding sees whole runs regardless of chunk boundaries — unless
         // the run is pathologically long, in which case emit a prefix to
@@ -171,17 +199,19 @@ Status SaxParser::Pump(bool at_eof) {
         // however the stream is chunked.)
         if (text.size() < kTextHoldBytes) return Status::OK();
         // Hold back a possible incomplete trailing entity.
-        size_t amp = text.rfind('&');
+        size_t amp = has_amp ? text.rfind('&') : std::string_view::npos;
         if (amp != std::string_view::npos &&
-            text.find(';', amp) == std::string_view::npos) {
+            scan::FindByte(text, amp, ';') == scan::kNotFound) {
           text = text.substr(0, amp);
         }
         if (text.empty()) return Status::OK();
-        VITEX_RETURN_IF_ERROR(HandleText(text));
+        bool piece_amp =
+            has_amp && scan::FindByte(text, 0, '&') != scan::kNotFound;
+        VITEX_RETURN_IF_ERROR(HandleText(text, piece_amp));
         pos_ += text.size();
         continue;
       }
-      VITEX_RETURN_IF_ERROR(HandleText(text));
+      VITEX_RETURN_IF_ERROR(HandleText(text, has_amp));
       pos_ += text.size();
       continue;
     }
@@ -191,8 +221,8 @@ Status SaxParser::Pump(bool at_eof) {
       return Status::OK();
     }
     if (rest[1] == '/') {
-      size_t gt = rest.find('>');
-      if (gt == std::string_view::npos) {
+      size_t gt = scan::FindByte(rest, 0, '>');
+      if (gt == scan::kNotFound) {
         if (at_eof) return ErrorAt(consumed_total_ + pos_, "truncated end tag");
         return Status::OK();
       }
@@ -201,7 +231,7 @@ Status SaxParser::Pump(bool at_eof) {
       continue;
     }
     if (rest[1] == '?') {
-      size_t end = rest.find("?>");
+      size_t end = FindSeq(rest, 0, "?>");
       if (end == std::string_view::npos) {
         if (at_eof) {
           return ErrorAt(consumed_total_ + pos_,
@@ -215,7 +245,7 @@ Status SaxParser::Pump(bool at_eof) {
     }
     if (rest[1] == '!') {
       if (StartsWith(rest, "<!--")) {
-        size_t end = rest.find("-->", 4);
+        size_t end = FindSeq(rest, 4, "-->");
         if (end == std::string_view::npos) {
           if (at_eof) {
             return ErrorAt(consumed_total_ + pos_, "truncated comment");
@@ -227,7 +257,7 @@ Status SaxParser::Pump(bool at_eof) {
         continue;
       }
       if (StartsWith(rest, "<![CDATA[")) {
-        size_t end = rest.find("]]>");
+        size_t end = FindSeq(rest, 0, "]]>");
         if (end == std::string_view::npos) {
           if (at_eof) {
             return ErrorAt(consumed_total_ + pos_, "truncated CDATA section");
@@ -282,10 +312,10 @@ Symbol SaxParser::ResolveSymbol(std::string_view name) const {
   return sym == kNoSymbol ? kAbsentSymbol : sym;
 }
 
-Status SaxParser::HandleText(std::string_view raw) {
+Status SaxParser::HandleText(std::string_view raw, bool has_amp) {
   if (raw.empty()) return Status::OK();
   if (open_elements_.empty()) {
-    if (!IsAllWhitespace(raw)) {
+    if (!AllWhitespace(raw)) {
       return ErrorAt(consumed_total_ + pos_,
                      "character data outside the root element");
     }
@@ -300,7 +330,7 @@ Status SaxParser::HandleText(std::string_view raw) {
   // RAW bytes: a character reference like &#32; is explicit content, not
   // formatting whitespace, even when it decodes to a space.
   if (options_.skip_whitespace_text && !text_node_open_ &&
-      IsAllWhitespace(raw)) {
+      AllWhitespace(raw)) {
     if (pending_leading_ws_.size() + raw.size() <= kTextHoldBytes) {
       pending_leading_ws_.append(raw);
       return Status::OK();
@@ -312,7 +342,7 @@ Status SaxParser::HandleText(std::string_view raw) {
     // first, so nothing is reordered or lost.)
   }
   std::string_view text = raw;
-  if (raw.find('&') != std::string_view::npos) {
+  if (has_amp) {
     Result<std::string> decoded = DecodeEntities(raw);
     if (!decoded.ok()) {
       return decoded.status().WithContext("in character data");
@@ -362,9 +392,19 @@ Status SaxParser::HandleStartTag(std::string_view body, uint64_t offset) {
     self_closing = true;
     body.remove_suffix(1);
   }
-  // Element name.
+  // Element name. ScanNameEnd stops at {ws, '=', '/', '>'}; the element
+  // name historically ends only at whitespace or '/' ('>' cannot occur
+  // unquoted inside `body`), so resume past the extra terminators to keep
+  // scalar semantics exact even for malformed names.
   size_t i = 0;
-  while (i < body.size() && !IsXmlSpace(body[i]) && body[i] != '/') ++i;
+  while (true) {
+    i = scan::ScanNameEnd(body, i);
+    if (i < body.size() && (body[i] == '=' || body[i] == '>')) {
+      ++i;
+      continue;
+    }
+    break;
+  }
   std::string_view name = body.substr(0, i);
   VITEX_RETURN_IF_ERROR(CheckName(name, "element"));
 
@@ -377,32 +417,39 @@ Status SaxParser::HandleStartTag(std::string_view body, uint64_t offset) {
   }
 
   // Attributes.
-  StartElementEvent event;
+  StartElementEvent& event = event_scratch_;
   event.name = name;
   event.byte_offset = offset;
+  event.symbol = kNoSymbol;
+  event.attributes.clear();
   attr_scratch_.clear();
   // First pass: parse raw name/value pairs, decoding values into
   // attr_scratch_ when they contain entities.
-  struct RawAttr {
-    std::string_view name;
-    std::string_view value;
-    int decoded_index;  // index into attr_scratch_, or -1
-  };
-  std::vector<RawAttr> raw_attrs;
+  std::vector<RawAttr>& raw_attrs = raw_attr_scratch_;
+  raw_attrs.clear();
   while (i < body.size()) {
-    while (i < body.size() && IsXmlSpace(body[i])) ++i;
+    i = scan::ScanWhitespaceRun(body, i);
     if (i >= body.size()) break;
     size_t name_begin = i;
-    while (i < body.size() && body[i] != '=' && !IsXmlSpace(body[i])) ++i;
+    // Attribute names end at '=' or whitespace; resume past ScanNameEnd's
+    // extra '/' and '>' terminators (see the element-name scan above).
+    while (true) {
+      i = scan::ScanNameEnd(body, i);
+      if (i < body.size() && (body[i] == '/' || body[i] == '>')) {
+        ++i;
+        continue;
+      }
+      break;
+    }
     std::string_view attr_name = body.substr(name_begin, i - name_begin);
     VITEX_RETURN_IF_ERROR(CheckName(attr_name, "attribute"));
-    while (i < body.size() && IsXmlSpace(body[i])) ++i;
+    i = scan::ScanWhitespaceRun(body, i);
     if (i >= body.size() || body[i] != '=') {
       return ErrorAt(offset, "attribute '" + std::string(attr_name) +
                                  "' has no value");
     }
     ++i;  // '='
-    while (i < body.size() && IsXmlSpace(body[i])) ++i;
+    i = scan::ScanWhitespaceRun(body, i);
     if (i >= body.size() || (body[i] != '"' && body[i] != '\'')) {
       return ErrorAt(offset, "attribute value for '" + std::string(attr_name) +
                                  "' is not quoted");
@@ -410,18 +457,25 @@ Status SaxParser::HandleStartTag(std::string_view body, uint64_t offset) {
     char quote = body[i];
     ++i;
     size_t value_begin = i;
-    while (i < body.size() && body[i] != quote) ++i;
-    if (i >= body.size()) {
+    // One pass finds the closing quote and detects entities: a '&' hit
+    // means the value needs decoding and the quote lies further on.
+    bool value_has_amp = false;
+    size_t close = scan::FindQuoteOrAmp(body, i, quote);
+    if (close != scan::kNotFound && body[close] == '&') {
+      value_has_amp = true;
+      close = scan::FindByte(body, close + 1, quote);
+    }
+    if (close == scan::kNotFound) {
       return ErrorAt(offset, "unterminated attribute value for '" +
                                  std::string(attr_name) + "'");
     }
-    std::string_view value = body.substr(value_begin, i - value_begin);
-    ++i;  // closing quote
-    if (value.find('<') != std::string_view::npos) {
+    std::string_view value = body.substr(value_begin, close - value_begin);
+    i = close + 1;  // past the closing quote
+    if (scan::FindByte(value, 0, '<') != scan::kNotFound) {
       return ErrorAt(offset, "'<' in attribute value");
     }
     int decoded_index = -1;
-    if (value.find('&') != std::string_view::npos) {
+    if (value_has_amp) {
       Result<std::string> decoded = DecodeEntities(value);
       if (!decoded.ok()) {
         return decoded.status().WithContext("in attribute '" +

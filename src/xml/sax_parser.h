@@ -13,7 +13,12 @@
 //   * handles comments, processing instructions, CDATA, DOCTYPE skipping,
 //     XML declarations, numeric and predefined entity references;
 //   * never buffers more than one unfinished token, so memory is O(largest
-//     single token), independent of document size.
+//     single token), independent of document size;
+//   * drives its inner byte scans (text runs, tag extents, attribute
+//     values, whitespace) off the runtime-dispatched SIMD kernels in
+//     xml/simd_scan.h — AVX2/SSE2/scalar tiers that are byte-identical by
+//     contract (DESIGN.md §8), so throughput changes with the CPU but the
+//     event stream never does.
 
 #ifndef VITEX_XML_SAX_PARSER_H_
 #define VITEX_XML_SAX_PARSER_H_
@@ -107,7 +112,9 @@ class SaxParser {
 
   // Handles one piece of character data (a full run, or a prefix of a run
   // longer than kTextHoldBytes whose terminator has not been seen yet).
-  Status HandleText(std::string_view raw);
+  // `has_amp` is exact for `raw` — Pump already scanned the run for '&'
+  // while locating its end, so entity decoding never rescans.
+  Status HandleText(std::string_view raw, bool has_amp);
   // Stamps the text-node sequence number and delivers one piece, releasing
   // any staged leading whitespace of the node first.
   Status DeliverText(std::string_view text);
@@ -165,6 +172,16 @@ class SaxParser {
   // Scratch for entity decoding and attribute storage, reused per event.
   std::string text_scratch_;
   std::vector<std::string> attr_scratch_;
+  // Reused per start tag so the tag hot path performs no allocations once
+  // capacities have warmed up (events are only valid during the handler
+  // callback, so recycling the attribute vector is within contract).
+  struct RawAttr {
+    std::string_view name;
+    std::string_view value;
+    int decoded_index;  // index into attr_scratch_, or -1
+  };
+  std::vector<RawAttr> raw_attr_scratch_;
+  StartElementEvent event_scratch_;
 };
 
 /// Parses a complete in-memory document in one call.

@@ -1,0 +1,348 @@
+#include "xml/simd_scan.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/cpu_features.h"
+#include "xml/simd_scan_kernels.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define VITEX_SCAN_HAVE_SSE2 1
+#include <emmintrin.h>
+#else
+#define VITEX_SCAN_HAVE_SSE2 0
+#endif
+
+namespace vitex::xml::scan {
+
+// ---------------------------------------------------------------------------
+// Scalar tier: the reference semantics. Every other tier must return
+// bit-identical results — the vector tiers call these for their sub-window
+// tails (so the byte sets are defined exactly once), and the parity sweeps
+// in tests/xml/simd_scan_test.cc compare against independent re-statements
+// of the same loops.
+// ---------------------------------------------------------------------------
+
+namespace scalar_ref {
+
+namespace {
+
+inline bool IsXmlWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+inline bool IsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+inline bool IsNameEnd(char c) {
+  return IsXmlWs(c) || c == '=' || c == '/' || c == '>';
+}
+
+}  // namespace
+
+size_t FindMarkup(const char* d, size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    if (d[i] == '<' || d[i] == '&') return i;
+  }
+  return kNotFound;
+}
+
+size_t FindQuoteOrAmp(const char* d, size_t n, size_t from, char quote) {
+  for (size_t i = from; i < n; ++i) {
+    if (d[i] == quote || d[i] == '&') return i;
+  }
+  return kNotFound;
+}
+
+size_t ScanNameEnd(const char* d, size_t n, size_t from) {
+  size_t i = from;
+  while (i < n && !IsNameEnd(d[i])) ++i;
+  return i;
+}
+
+size_t ScanWhitespaceRun(const char* d, size_t n, size_t from) {
+  size_t i = from;
+  while (i < n && IsXmlWs(d[i])) ++i;
+  return i;
+}
+
+size_t ScanAsciiSpaceRun(const char* d, size_t n, size_t from) {
+  size_t i = from;
+  while (i < n && IsAsciiSpace(d[i])) ++i;
+  return i;
+}
+
+size_t FindByte(const char* d, size_t n, size_t from, char c) {
+  for (size_t i = from; i < n; ++i) {
+    if (d[i] == c) return i;
+  }
+  return kNotFound;
+}
+
+size_t FindGtOrQuote(const char* d, size_t n, size_t from) {
+  for (size_t i = from; i < n; ++i) {
+    if (d[i] == '>' || d[i] == '"' || d[i] == '\'') return i;
+  }
+  return kNotFound;
+}
+
+}  // namespace scalar_ref
+
+namespace {
+
+constexpr ScanKernels kScalarKernels = {
+    ScanMode::kScalar,
+    scalar_ref::FindMarkup,
+    scalar_ref::FindQuoteOrAmp,
+    scalar_ref::ScanNameEnd,
+    scalar_ref::ScanWhitespaceRun,
+    scalar_ref::ScanAsciiSpaceRun,
+    scalar_ref::FindByte,
+    scalar_ref::FindGtOrQuote,
+};
+
+// ---------------------------------------------------------------------------
+// SSE2 tier. 16-byte unaligned loads over full windows inside [from, n);
+// the remainder (and any buffer shorter than one window — e.g. the seam
+// fragments a byte-at-a-time Feed() produces) drops to the scalar loop, so
+// no kernel ever reads outside [data, data+size).
+// ---------------------------------------------------------------------------
+#if VITEX_SCAN_HAVE_SSE2
+
+inline size_t Ctz32(uint32_t x) {
+  return static_cast<size_t>(__builtin_ctz(x));
+}
+
+inline __m128i Load16(const char* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+size_t FindMarkupSse2(const char* d, size_t n, size_t from) {
+  const __m128i lt = _mm_set1_epi8('<');
+  const __m128i amp = _mm_set1_epi8('&');
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = Load16(d + i);
+    __m128i hit =
+        _mm_or_si128(_mm_cmpeq_epi8(v, lt), _mm_cmpeq_epi8(v, amp));
+    uint32_t m = static_cast<uint32_t>(_mm_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindMarkup(d, n, i);
+}
+
+size_t FindQuoteOrAmpSse2(const char* d, size_t n, size_t from, char quote) {
+  const __m128i q = _mm_set1_epi8(quote);
+  const __m128i amp = _mm_set1_epi8('&');
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = Load16(d + i);
+    __m128i hit = _mm_or_si128(_mm_cmpeq_epi8(v, q), _mm_cmpeq_epi8(v, amp));
+    uint32_t m = static_cast<uint32_t>(_mm_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindQuoteOrAmp(d, n, i, quote);
+}
+
+size_t ScanNameEndSse2(const char* d, size_t n, size_t from) {
+  const __m128i sp = _mm_set1_epi8(' ');
+  const __m128i tab = _mm_set1_epi8('\t');
+  const __m128i lf = _mm_set1_epi8('\n');
+  const __m128i cr = _mm_set1_epi8('\r');
+  const __m128i eq = _mm_set1_epi8('=');
+  const __m128i slash = _mm_set1_epi8('/');
+  const __m128i gt = _mm_set1_epi8('>');
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = Load16(d + i);
+    __m128i hit = _mm_or_si128(
+        _mm_or_si128(
+            _mm_or_si128(_mm_cmpeq_epi8(v, sp), _mm_cmpeq_epi8(v, tab)),
+            _mm_or_si128(_mm_cmpeq_epi8(v, lf), _mm_cmpeq_epi8(v, cr))),
+        _mm_or_si128(
+            _mm_or_si128(_mm_cmpeq_epi8(v, eq), _mm_cmpeq_epi8(v, slash)),
+            _mm_cmpeq_epi8(v, gt)));
+    uint32_t m = static_cast<uint32_t>(_mm_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::ScanNameEnd(d, n, i);
+}
+
+size_t ScanWhitespaceRunSse2(const char* d, size_t n, size_t from) {
+  const __m128i sp = _mm_set1_epi8(' ');
+  const __m128i tab = _mm_set1_epi8('\t');
+  const __m128i lf = _mm_set1_epi8('\n');
+  const __m128i cr = _mm_set1_epi8('\r');
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = Load16(d + i);
+    __m128i ws = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, sp), _mm_cmpeq_epi8(v, tab)),
+        _mm_or_si128(_mm_cmpeq_epi8(v, lf), _mm_cmpeq_epi8(v, cr)));
+    uint32_t m = static_cast<uint32_t>(_mm_movemask_epi8(ws));
+    if (m != 0xFFFFu) return i + Ctz32(~m & 0xFFFFu);
+  }
+  return scalar_ref::ScanWhitespaceRun(d, n, i);
+}
+
+size_t ScanAsciiSpaceRunSse2(const char* d, size_t n, size_t from) {
+  // The 6-byte set is ' ' plus the contiguous range 0x09..0x0D; the range
+  // test is (c - 0x09) <= 4 unsigned, expressed as min(x, 4) == x.
+  const __m128i sp = _mm_set1_epi8(' ');
+  const __m128i nine = _mm_set1_epi8(0x09);
+  const __m128i four = _mm_set1_epi8(4);
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = Load16(d + i);
+    __m128i x = _mm_sub_epi8(v, nine);
+    __m128i in_range = _mm_cmpeq_epi8(_mm_min_epu8(x, four), x);
+    __m128i ws = _mm_or_si128(_mm_cmpeq_epi8(v, sp), in_range);
+    uint32_t m = static_cast<uint32_t>(_mm_movemask_epi8(ws));
+    if (m != 0xFFFFu) return i + Ctz32(~m & 0xFFFFu);
+  }
+  return scalar_ref::ScanAsciiSpaceRun(d, n, i);
+}
+
+size_t FindByteSse2(const char* d, size_t n, size_t from, char c) {
+  const __m128i target = _mm_set1_epi8(c);
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = Load16(d + i);
+    uint32_t m =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, target)));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindByte(d, n, i, c);
+}
+
+size_t FindGtOrQuoteSse2(const char* d, size_t n, size_t from) {
+  const __m128i gt = _mm_set1_epi8('>');
+  const __m128i dq = _mm_set1_epi8('"');
+  const __m128i sq = _mm_set1_epi8('\'');
+  size_t i = from;
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = Load16(d + i);
+    __m128i hit = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, gt), _mm_cmpeq_epi8(v, dq)),
+        _mm_cmpeq_epi8(v, sq));
+    uint32_t m = static_cast<uint32_t>(_mm_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindGtOrQuote(d, n, i);
+}
+
+constexpr ScanKernels kSse2Kernels = {
+    ScanMode::kSse2,       FindMarkupSse2,
+    FindQuoteOrAmpSse2,    ScanNameEndSse2,
+    ScanWhitespaceRunSse2, ScanAsciiSpaceRunSse2,
+    FindByteSse2,          FindGtOrQuoteSse2,
+};
+
+#endif  // VITEX_SCAN_HAVE_SSE2
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once, overridable for tests.
+// ---------------------------------------------------------------------------
+
+std::atomic<const ScanKernels*> g_kernels{nullptr};
+
+bool ScalarForcedByEnv() {
+  const char* env = std::getenv("VITEX_FORCE_SCALAR_SCAN");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+const ScanKernels* TierFor(ScanMode mode) {
+  switch (mode) {
+    case ScanMode::kScalar:
+      return &kScalarKernels;
+    case ScanMode::kSse2:
+#if VITEX_SCAN_HAVE_SSE2
+      if (common::GetCpuFeatures().sse2) return &kSse2Kernels;
+#endif
+      return nullptr;
+    case ScanMode::kAvx2: {
+      const ScanKernels* avx2 = Avx2Kernels();
+      return (avx2 != nullptr && common::GetCpuFeatures().avx2) ? avx2
+                                                                : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+const ScanKernels* Resolve() {
+  if (ScalarForcedByEnv()) return &kScalarKernels;
+  if (const ScanKernels* avx2 = TierFor(ScanMode::kAvx2)) return avx2;
+  if (const ScanKernels* sse2 = TierFor(ScanMode::kSse2)) return sse2;
+  return &kScalarKernels;
+}
+
+inline const ScanKernels& Active() {
+  const ScanKernels* k = g_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Benign race: Resolve() is deterministic within one process run.
+    k = Resolve();
+    g_kernels.store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+}  // namespace
+
+ScanMode ActiveScanMode() { return Active().mode; }
+
+std::string_view ScanModeName(ScanMode mode) {
+  switch (mode) {
+    case ScanMode::kScalar:
+      return "scalar";
+    case ScanMode::kSse2:
+      return "sse2";
+    case ScanMode::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ForceScanMode(ScanMode mode) {
+  const ScanKernels* k = TierFor(mode);
+  if (k == nullptr) return false;
+  g_kernels.store(k, std::memory_order_release);
+  return true;
+}
+
+void ResetScanModeFromEnvironment() {
+  g_kernels.store(Resolve(), std::memory_order_release);
+}
+
+size_t FindMarkup(std::string_view s, size_t from) {
+  return Active().find_markup(s.data(), s.size(), from);
+}
+
+size_t FindQuoteOrAmp(std::string_view s, size_t from, char quote) {
+  return Active().find_quote_or_amp(s.data(), s.size(), from, quote);
+}
+
+size_t ScanNameEnd(std::string_view s, size_t from) {
+  return Active().scan_name_end(s.data(), s.size(), from);
+}
+
+size_t ScanWhitespaceRun(std::string_view s, size_t from) {
+  return Active().scan_whitespace_run(s.data(), s.size(), from);
+}
+
+size_t ScanAsciiSpaceRun(std::string_view s, size_t from) {
+  return Active().scan_ascii_space_run(s.data(), s.size(), from);
+}
+
+size_t FindByte(std::string_view s, size_t from, char c) {
+  return Active().find_byte(s.data(), s.size(), from, c);
+}
+
+size_t FindGtOrQuote(std::string_view s, size_t from) {
+  return Active().find_gt_or_quote(s.data(), s.size(), from);
+}
+
+}  // namespace vitex::xml::scan

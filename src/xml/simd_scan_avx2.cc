@@ -1,0 +1,170 @@
+// The AVX2 scan tier. This is the ONLY translation unit compiled with
+// -mavx2 (see CMakeLists.txt: the flag is per-file, so the rest of the
+// binary stays runnable on baseline x86-64). Nothing here executes unless
+// the dispatcher checked cpuid first — Avx2Kernels() only hands out
+// pointers. Semantics are defined by the scalar tier in simd_scan.cc;
+// tests/xml/simd_scan_test.cc pins bit-for-bit parity at every alignment
+// and length.
+
+#include "xml/simd_scan_kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace vitex::xml::scan {
+
+namespace {
+
+inline size_t Ctz32(uint32_t x) {
+  return static_cast<size_t>(__builtin_ctz(x));
+}
+
+inline __m256i Load32(const char* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+size_t FindMarkupAvx2(const char* d, size_t n, size_t from) {
+  const __m256i lt = _mm256_set1_epi8('<');
+  const __m256i amp = _mm256_set1_epi8('&');
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = Load32(d + i);
+    __m256i hit =
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, lt), _mm256_cmpeq_epi8(v, amp));
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindMarkup(d, n, i);
+}
+
+size_t FindQuoteOrAmpAvx2(const char* d, size_t n, size_t from, char quote) {
+  const __m256i q = _mm256_set1_epi8(quote);
+  const __m256i amp = _mm256_set1_epi8('&');
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = Load32(d + i);
+    __m256i hit =
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, q), _mm256_cmpeq_epi8(v, amp));
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindQuoteOrAmp(d, n, i, quote);
+}
+
+size_t ScanNameEndAvx2(const char* d, size_t n, size_t from) {
+  const __m256i sp = _mm256_set1_epi8(' ');
+  const __m256i tab = _mm256_set1_epi8('\t');
+  const __m256i lf = _mm256_set1_epi8('\n');
+  const __m256i cr = _mm256_set1_epi8('\r');
+  const __m256i eq = _mm256_set1_epi8('=');
+  const __m256i slash = _mm256_set1_epi8('/');
+  const __m256i gt = _mm256_set1_epi8('>');
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = Load32(d + i);
+    __m256i hit = _mm256_or_si256(
+        _mm256_or_si256(
+            _mm256_or_si256(_mm256_cmpeq_epi8(v, sp),
+                            _mm256_cmpeq_epi8(v, tab)),
+            _mm256_or_si256(_mm256_cmpeq_epi8(v, lf),
+                            _mm256_cmpeq_epi8(v, cr))),
+        _mm256_or_si256(
+            _mm256_or_si256(_mm256_cmpeq_epi8(v, eq),
+                            _mm256_cmpeq_epi8(v, slash)),
+            _mm256_cmpeq_epi8(v, gt)));
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::ScanNameEnd(d, n, i);
+}
+
+size_t ScanWhitespaceRunAvx2(const char* d, size_t n, size_t from) {
+  const __m256i sp = _mm256_set1_epi8(' ');
+  const __m256i tab = _mm256_set1_epi8('\t');
+  const __m256i lf = _mm256_set1_epi8('\n');
+  const __m256i cr = _mm256_set1_epi8('\r');
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = Load32(d + i);
+    __m256i ws = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, sp), _mm256_cmpeq_epi8(v, tab)),
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, lf), _mm256_cmpeq_epi8(v, cr)));
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(ws));
+    if (m != 0xFFFFFFFFu) return i + Ctz32(~m);
+  }
+  return scalar_ref::ScanWhitespaceRun(d, n, i);
+}
+
+size_t ScanAsciiSpaceRunAvx2(const char* d, size_t n, size_t from) {
+  // ' ' plus the contiguous range 0x09..0x0D: (c - 0x09) <= 4 unsigned,
+  // expressed as min(x, 4) == x.
+  const __m256i sp = _mm256_set1_epi8(' ');
+  const __m256i nine = _mm256_set1_epi8(0x09);
+  const __m256i four = _mm256_set1_epi8(4);
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = Load32(d + i);
+    __m256i x = _mm256_sub_epi8(v, nine);
+    __m256i in_range = _mm256_cmpeq_epi8(_mm256_min_epu8(x, four), x);
+    __m256i ws = _mm256_or_si256(_mm256_cmpeq_epi8(v, sp), in_range);
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(ws));
+    if (m != 0xFFFFFFFFu) return i + Ctz32(~m);
+  }
+  return scalar_ref::ScanAsciiSpaceRun(d, n, i);
+}
+
+size_t FindByteAvx2(const char* d, size_t n, size_t from, char c) {
+  const __m256i target = _mm256_set1_epi8(c);
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = Load32(d + i);
+    uint32_t m = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, target)));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindByte(d, n, i, c);
+}
+
+size_t FindGtOrQuoteAvx2(const char* d, size_t n, size_t from) {
+  const __m256i gt = _mm256_set1_epi8('>');
+  const __m256i dq = _mm256_set1_epi8('"');
+  const __m256i sq = _mm256_set1_epi8('\'');
+  size_t i = from;
+  for (; i + 32 <= n; i += 32) {
+    __m256i v = Load32(d + i);
+    __m256i hit = _mm256_or_si256(
+        _mm256_or_si256(_mm256_cmpeq_epi8(v, gt), _mm256_cmpeq_epi8(v, dq)),
+        _mm256_cmpeq_epi8(v, sq));
+    uint32_t m = static_cast<uint32_t>(_mm256_movemask_epi8(hit));
+    if (m != 0) return i + Ctz32(m);
+  }
+  return scalar_ref::FindGtOrQuote(d, n, i);
+}
+
+constexpr ScanKernels kAvx2Kernels = {
+    ScanMode::kAvx2,       FindMarkupAvx2,
+    FindQuoteOrAmpAvx2,    ScanNameEndAvx2,
+    ScanWhitespaceRunAvx2, ScanAsciiSpaceRunAvx2,
+    FindByteAvx2,          FindGtOrQuoteAvx2,
+};
+
+}  // namespace
+
+const ScanKernels* Avx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace vitex::xml::scan
+
+#else  // !defined(__AVX2__)
+
+namespace vitex::xml::scan {
+
+// This build carries no AVX2 code path (non-x86 target or the compiler
+// rejected -mavx2); the dispatcher falls through to SSE2/scalar.
+const ScanKernels* Avx2Kernels() { return nullptr; }
+
+}  // namespace vitex::xml::scan
+
+#endif  // defined(__AVX2__)

@@ -1,0 +1,48 @@
+// Internal: the kernel vtable shared between simd_scan.cc (scalar + SSE2
+// tiers, dispatch) and simd_scan_avx2.cc (the one TU compiled with
+// -mavx2). Not part of the public API — include xml/simd_scan.h instead.
+
+#ifndef VITEX_XML_SIMD_SCAN_KERNELS_H_
+#define VITEX_XML_SIMD_SCAN_KERNELS_H_
+
+#include <cstddef>
+
+#include "xml/simd_scan.h"
+
+namespace vitex::xml::scan {
+
+/// One implementation tier. All function pointers obey the contracts in
+/// simd_scan.h and are never null in a registered table.
+struct ScanKernels {
+  ScanMode mode;
+  size_t (*find_markup)(const char* data, size_t size, size_t from);
+  size_t (*find_quote_or_amp)(const char* data, size_t size, size_t from,
+                              char quote);
+  size_t (*scan_name_end)(const char* data, size_t size, size_t from);
+  size_t (*scan_whitespace_run)(const char* data, size_t size, size_t from);
+  size_t (*scan_ascii_space_run)(const char* data, size_t size, size_t from);
+  size_t (*find_byte)(const char* data, size_t size, size_t from, char c);
+  size_t (*find_gt_or_quote)(const char* data, size_t size, size_t from);
+};
+
+/// The AVX2 tier, or nullptr when this build carries no AVX2 code (non-x86
+/// target, or a compiler without -mavx2). Defined in simd_scan_avx2.cc;
+/// callers must still check cpuid before dispatching to it.
+const ScanKernels* Avx2Kernels();
+
+/// The scalar reference kernels (defined in simd_scan.cc). These are THE
+/// semantics: every vector tier finishes its sub-window tail by calling
+/// into them, so the byte-set definitions live in exactly one place.
+namespace scalar_ref {
+size_t FindMarkup(const char* data, size_t size, size_t from);
+size_t FindQuoteOrAmp(const char* data, size_t size, size_t from, char quote);
+size_t ScanNameEnd(const char* data, size_t size, size_t from);
+size_t ScanWhitespaceRun(const char* data, size_t size, size_t from);
+size_t ScanAsciiSpaceRun(const char* data, size_t size, size_t from);
+size_t FindByte(const char* data, size_t size, size_t from, char c);
+size_t FindGtOrQuote(const char* data, size_t size, size_t from);
+}  // namespace scalar_ref
+
+}  // namespace vitex::xml::scan
+
+#endif  // VITEX_XML_SIMD_SCAN_KERNELS_H_

@@ -1,0 +1,397 @@
+// Tests for the SIMD scan kernels (xml/simd_scan.h).
+//
+// The contract under test: every implementation tier returns bit-identical
+// results for every (buffer, from) input, and no kernel ever reads outside
+// [data, data+size). Parity is checked against independent reference loops
+// (re-implemented here, not shared with the library) at every alignment
+// and length 0..130; overreads are caught two ways — heap buffers sized
+// exactly (ASan redzones) and an mmap'd page whose successor is PROT_NONE
+// (hard SIGSEGV even without ASan). A final sweep pins parser-level
+// equivalence: the difftest workload corpus parses to identical canonical
+// event streams under every available scan mode.
+
+#include "xml/simd_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "difftest/workload_corpus.h"
+#include "feed_split_helpers.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define VITEX_TEST_HAVE_MMAN 1
+#else
+#define VITEX_TEST_HAVE_MMAN 0
+#endif
+
+namespace vitex::xml::scan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Independent reference semantics (deliberately NOT the library's scalar
+// tier: these loops pin the contract even if the library's reference
+// drifts).
+// ---------------------------------------------------------------------------
+
+bool RefIsXmlWs(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool RefIsAsciiSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+bool RefIsNameEnd(char c) {
+  return RefIsXmlWs(c) || c == '=' || c == '/' || c == '>';
+}
+
+size_t RefFindMarkup(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (s[i] == '<' || s[i] == '&') return i;
+  }
+  return kNotFound;
+}
+
+size_t RefFindQuoteOrAmp(std::string_view s, size_t from, char quote) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (s[i] == quote || s[i] == '&') return i;
+  }
+  return kNotFound;
+}
+
+size_t RefScanNameEnd(std::string_view s, size_t from) {
+  size_t i = from;
+  while (i < s.size() && !RefIsNameEnd(s[i])) ++i;
+  return i;
+}
+
+size_t RefScanWhitespaceRun(std::string_view s, size_t from) {
+  size_t i = from;
+  while (i < s.size() && RefIsXmlWs(s[i])) ++i;
+  return i;
+}
+
+size_t RefScanAsciiSpaceRun(std::string_view s, size_t from) {
+  size_t i = from;
+  while (i < s.size() && RefIsAsciiSpace(s[i])) ++i;
+  return i;
+}
+
+size_t RefFindByte(std::string_view s, size_t from, char c) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (s[i] == c) return i;
+  }
+  return kNotFound;
+}
+
+size_t RefFindGtOrQuote(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    if (s[i] == '>' || s[i] == '"' || s[i] == '\'') return i;
+  }
+  return kNotFound;
+}
+
+// ---------------------------------------------------------------------------
+// Mode plumbing
+// ---------------------------------------------------------------------------
+
+std::vector<ScanMode> AvailableModes() {
+  std::vector<ScanMode> modes;
+  for (ScanMode m : {ScanMode::kScalar, ScanMode::kSse2, ScanMode::kAvx2}) {
+    if (ForceScanMode(m)) modes.push_back(m);
+  }
+  ResetScanModeFromEnvironment();
+  return modes;
+}
+
+class SimdScanTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+#if VITEX_TEST_HAVE_MMAN
+    unsetenv("VITEX_FORCE_SCALAR_SCAN");
+#endif
+    ResetScanModeFromEnvironment();
+  }
+};
+
+// Asserts every available tier agrees with the reference loops on `s` for
+// every `from` in [0, s.size()] and both quote characters.
+void CheckAllKernelsAllModes(std::string_view s) {
+  for (ScanMode mode : AvailableModes()) {
+    ASSERT_TRUE(ForceScanMode(mode));
+    for (size_t from = 0; from <= s.size(); ++from) {
+      ASSERT_EQ(FindMarkup(s, from), RefFindMarkup(s, from))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+      ASSERT_EQ(FindQuoteOrAmp(s, from, '"'), RefFindQuoteOrAmp(s, from, '"'))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+      ASSERT_EQ(FindQuoteOrAmp(s, from, '\''),
+                RefFindQuoteOrAmp(s, from, '\''))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+      ASSERT_EQ(ScanNameEnd(s, from), RefScanNameEnd(s, from))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+      ASSERT_EQ(ScanWhitespaceRun(s, from), RefScanWhitespaceRun(s, from))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+      ASSERT_EQ(ScanAsciiSpaceRun(s, from), RefScanAsciiSpaceRun(s, from))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+      ASSERT_EQ(FindByte(s, from, '<'), RefFindByte(s, from, '<'))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+      ASSERT_EQ(FindGtOrQuote(s, from), RefFindGtOrQuote(s, from))
+          << ScanModeName(mode) << " len=" << s.size() << " from=" << from;
+    }
+  }
+  ResetScanModeFromEnvironment();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch / mode selection
+// ---------------------------------------------------------------------------
+
+TEST_F(SimdScanTest, ScalarTierAlwaysAvailable) {
+  EXPECT_TRUE(ForceScanMode(ScanMode::kScalar));
+  EXPECT_EQ(ActiveScanMode(), ScanMode::kScalar);
+}
+
+TEST_F(SimdScanTest, ModeNamesAreStable) {
+  EXPECT_EQ(ScanModeName(ScanMode::kScalar), "scalar");
+  EXPECT_EQ(ScanModeName(ScanMode::kSse2), "sse2");
+  EXPECT_EQ(ScanModeName(ScanMode::kAvx2), "avx2");
+}
+
+TEST_F(SimdScanTest, ActiveModeIsAnAvailableTier) {
+  ScanMode active = ActiveScanMode();
+  bool found = false;
+  for (ScanMode m : AvailableModes()) found = found || m == active;
+  EXPECT_TRUE(found) << "active mode " << ScanModeName(active)
+                     << " not force-able";
+}
+
+#if VITEX_TEST_HAVE_MMAN
+TEST_F(SimdScanTest, EnvVarForcesScalar) {
+  setenv("VITEX_FORCE_SCALAR_SCAN", "1", /*overwrite=*/1);
+  ResetScanModeFromEnvironment();
+  EXPECT_EQ(ActiveScanMode(), ScanMode::kScalar);
+  // "0" and "" mean "not forced".
+  setenv("VITEX_FORCE_SCALAR_SCAN", "0", /*overwrite=*/1);
+  ResetScanModeFromEnvironment();
+  ScanMode resolved = ActiveScanMode();
+  unsetenv("VITEX_FORCE_SCALAR_SCAN");
+  ResetScanModeFromEnvironment();
+  EXPECT_EQ(resolved, ActiveScanMode());
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Parity at every alignment and length
+// ---------------------------------------------------------------------------
+
+// Buffers densely seeded with kernel target bytes, swept over lengths
+// 0..130 (covers empty, sub-window, one-window, and straddle cases for
+// both 16- and 32-byte windows) at every 0..63 base alignment.
+TEST_F(SimdScanTest, ParityAllAlignmentsAndLengths) {
+  const std::string targets = "<&>\"'=/ \t\n\r\f\vabc";
+  Random rng(0xC0FFEE);
+  // One big backing buffer; views taken at varying offsets change the
+  // pointer alignment seen by the vector loads.
+  std::string backing(64 + 130 + 64, 'x');
+  for (size_t align = 0; align < 64; align += 7) {
+    for (size_t len = 0; len <= 130; ++len) {
+      char* base = backing.data() + align;
+      for (size_t i = 0; i < len; ++i) {
+        base[i] = targets[rng.Next() % targets.size()];
+      }
+      CheckAllKernelsAllModes(std::string_view(base, len));
+    }
+  }
+}
+
+// Every target byte at every single position of an otherwise-neutral
+// buffer: catches lane mix-ups and off-by-one window math.
+TEST_F(SimdScanTest, ParitySingleTargetAtEveryPosition) {
+  const std::string targets = "<&>\"'=/ \t\n\r\f\v";
+  for (size_t len : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 64u, 65u, 100u}) {
+    std::string buf(len, 'a');
+    for (char target : targets) {
+      for (size_t pos = 0; pos < len; ++pos) {
+        buf.assign(len, 'a');
+        buf[pos] = target;
+        CheckAllKernelsAllModes(buf);
+      }
+    }
+  }
+}
+
+// All-whitespace and no-target buffers: the "no hit anywhere" paths.
+TEST_F(SimdScanTest, ParityUniformBuffers) {
+  for (char fill : {' ', '\t', '\r', '\f', 'a', '\0', '\x80', '\xff'}) {
+    for (size_t len : {0u, 1u, 16u, 32u, 33u, 127u}) {
+      CheckAllKernelsAllModes(std::string(len, fill));
+    }
+  }
+}
+
+// High-bit bytes must never be misclassified: the ASCII-space range trick
+// subtracts 9, which wraps for bytes >= 0x89 — parity pins that the
+// unsigned comparison handles the wrap.
+TEST_F(SimdScanTest, ParityHighBitBytes) {
+  std::string buf;
+  for (int b = 0; b < 256; ++b) buf.push_back(static_cast<char>(b));
+  buf += buf;  // 512 bytes, every value twice, crossing window boundaries
+  CheckAllKernelsAllModes(buf);
+}
+
+// ---------------------------------------------------------------------------
+// Overread guards
+// ---------------------------------------------------------------------------
+
+// Heap buffers sized exactly to the view: under ASan any vector load that
+// touches bytes past size() trips the redzone. (Without ASan this still
+// exercises the exact-tail paths.)
+TEST_F(SimdScanTest, GuardedHeapBuffersExactSize) {
+  Random rng(0xBEEF);
+  const std::string targets = "<&>\"' \t\nabz";
+  for (size_t len = 0; len <= 67; ++len) {
+    // A fresh allocation per length so the redzone sits right after the
+    // last byte.
+    std::vector<char> exact(len);
+    for (size_t i = 0; i < len; ++i) {
+      exact[i] = targets[rng.Next() % targets.size()];
+    }
+    CheckAllKernelsAllModes(
+        std::string_view(exact.data(), exact.size()));
+  }
+}
+
+#if VITEX_TEST_HAVE_MMAN
+// Buffer ending flush against a PROT_NONE page: an overread of even one
+// byte is a hard SIGSEGV on every build, sanitized or not.
+TEST_F(SimdScanTest, PageBoundaryStraddle) {
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  void* mem = mmap(nullptr, 2 * page, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  ASSERT_NE(mem, MAP_FAILED);
+  ASSERT_EQ(mprotect(static_cast<char*>(mem) + page, page, PROT_NONE), 0);
+  char* page_end = static_cast<char*>(mem) + page;
+  const std::string targets = "<&>\"'=/ \t\n\r\f\vab";
+  Random rng(0xFACADE);
+  for (size_t len = 0; len <= 130; ++len) {
+    char* base = page_end - len;  // view ends exactly at the guard page
+    for (size_t i = 0; i < len; ++i) {
+      base[i] = targets[rng.Next() % targets.size()];
+    }
+    CheckAllKernelsAllModes(std::string_view(base, len));
+  }
+  ASSERT_EQ(munmap(mem, 2 * page), 0);
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Workload-corpus parity: kernel level and parser level
+// ---------------------------------------------------------------------------
+
+// Kernel-level: real workload documents as byte corpora, sampled at many
+// scan starting points.
+TEST_F(SimdScanTest, KernelParityOverWorkloadCorpus) {
+  for (difftest::WorkloadKind kind : difftest::AllWorkloads()) {
+    Random rng(42);
+    std::string doc = difftest::GenerateWorkloadDocument(kind, 7, &rng);
+    std::string_view s = doc;
+    for (ScanMode mode : AvailableModes()) {
+      ASSERT_TRUE(ForceScanMode(mode));
+      for (size_t from = 0; from < s.size();
+           from += 1 + (from % 13)) {  // irregular stride hits all phases
+        ASSERT_EQ(FindMarkup(s, from), RefFindMarkup(s, from))
+            << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+        ASSERT_EQ(ScanNameEnd(s, from), RefScanNameEnd(s, from))
+            << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+        ASSERT_EQ(ScanWhitespaceRun(s, from), RefScanWhitespaceRun(s, from))
+            << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+        ASSERT_EQ(ScanAsciiSpaceRun(s, from), RefScanAsciiSpaceRun(s, from))
+            << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+        ASSERT_EQ(FindQuoteOrAmp(s, from, '"'),
+                  RefFindQuoteOrAmp(s, from, '"'))
+            << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+        ASSERT_EQ(FindGtOrQuote(s, from), RefFindGtOrQuote(s, from))
+            << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+      }
+    }
+    ResetScanModeFromEnvironment();
+  }
+}
+
+// Parser-level: the canonical event stream (stamps included) must be
+// identical under every scan mode, for whole-document, mid-split and
+// byte-at-a-time feeds. This is the FeedSplitEverywhere invariant crossed
+// with the scan-mode axis — the acceptance gate for the kernel swap.
+TEST_F(SimdScanTest, ParserParityOverWorkloadCorpus) {
+  for (difftest::WorkloadKind kind : difftest::AllWorkloads()) {
+    Random rng(11);
+    std::string doc = difftest::GenerateWorkloadDocument(kind, 3, &rng);
+    CanonicalParse reference;
+    bool have_reference = false;
+    for (ScanMode mode : AvailableModes()) {
+      ASSERT_TRUE(ForceScanMode(mode));
+      CanonicalParse whole = ParseWithBoundaries(doc, {});
+      CanonicalParse split = ParseWithBoundaries(doc, {doc.size() / 3});
+      CanonicalParse bytewise = ParseWithChunkSize(doc, 1);
+      ASSERT_EQ(whole, split)
+          << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+      ASSERT_EQ(whole, bytewise)
+          << difftest::WorkloadName(kind) << " " << ScanModeName(mode);
+      if (!have_reference) {
+        reference = whole;
+        have_reference = true;
+      } else {
+        ASSERT_EQ(whole, reference)
+            << difftest::WorkloadName(kind) << " mode "
+            << ScanModeName(mode) << " diverged from first mode";
+      }
+    }
+    ResetScanModeFromEnvironment();
+  }
+}
+
+// Documents engineered at the seams the kernels care about: targets
+// around the 16/32-byte marks inside attribute values, names, comments,
+// CDATA and entity-bearing text.
+TEST_F(SimdScanTest, ParserParityOnSeamCrafters) {
+  const std::string pad15(15, 'p');
+  const std::string pad31(31, 'q');
+  const std::string ws33(33, ' ');
+  const std::vector<std::string> docs = {
+      "<a x=\"" + pad31 + "&amp;" + pad15 + "\">t</a>",
+      "<a>" + pad31 + "&lt;" + pad31 + "</a>",
+      "<" + std::string(31, 'n') + "/>",
+      "<a>" + ws33 + "<b/>" + ws33 + "</a>",
+      "<a><!--" + pad31 + "-->" + pad15 + "</a>",
+      "<a><![CDATA[" + ws33 + "]]></a>",
+      "<a " + std::string(17, ' ') + "k='" + pad31 + "'/>",
+      "<a>&#60;" + pad31 + "&#38;</a>",
+  };
+  for (const std::string& doc : docs) {
+    CanonicalParse reference;
+    bool have_reference = false;
+    for (ScanMode mode : AvailableModes()) {
+      ASSERT_TRUE(ForceScanMode(mode));
+      FeedSplitEverywhere(doc, {}, std::string(ScanModeName(mode)));
+      CanonicalParse whole = ParseWithBoundaries(doc, {});
+      if (!have_reference) {
+        reference = whole;
+        have_reference = true;
+      } else {
+        ASSERT_EQ(whole, reference) << doc << " under " << ScanModeName(mode);
+      }
+    }
+    ResetScanModeFromEnvironment();
+  }
+}
+
+}  // namespace
+}  // namespace vitex::xml::scan

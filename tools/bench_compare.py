@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff BENCH_*.json runs against a baseline.
+
+Compares the Google-Benchmark JSON files produced by the CI smoke run
+(VITEX_BENCH_JSON=dir ./bench_*) against the checked-in snapshot under
+bench/baseline/ and fails when any benchmark's throughput regressed by
+more than --threshold (default 25%).
+
+Metric selection per benchmark, in order of preference:
+  bytes_per_second > items_per_second > a *_per_sec counter > 1/real_time.
+All are "higher is better". The SAME metric key must resolve on both
+sides; a mismatch (e.g. a benchmark gained SetBytesProcessed after the
+snapshot) fails the gate with a prompt to refresh — silently comparing
+two different metrics would un-gate the benchmark forever.
+
+Machine drift: the baseline is a snapshot from one machine class, while
+CI runners vary in CPU model and noisy neighbors. By default the gate
+therefore normalizes by the MEDIAN current/baseline ratio across all
+compared benchmarks — a uniform slowdown (slower runner) shifts the
+median and cancels out; a real regression moves one benchmark against
+the fleet and still fires. The raw global factor is printed so a
+genuine across-the-board regression is visible in the log; pass
+--no-normalize for raw absolute comparison (sensible when baseline and
+current come from the same machine).
+
+Usage:
+  python3 tools/bench_compare.py --baseline bench/baseline --current bench_out
+  python3 tools/bench_compare.py ... --threshold 0.4   # looser gate
+  python3 tools/bench_compare.py ... --update          # refresh baseline
+
+Only benchmarks present in BOTH trees are compared; new benchmarks are
+listed as "new" and ignored, removed ones as "gone" (also ignored, so
+renames need a baseline refresh to stay gated). After intentional perf
+changes — or when CI runner hardware shifts — refresh the snapshot with
+--update and commit the result.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+PREFERRED_RATE_KEYS = ("bytes_per_second", "items_per_second")
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: metrics dict} for one BENCH_*.json file."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev) would double-count; smoke
+        # runs emit plain iterations only, but be safe.
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def metric_key_of(bench):
+    """Picks the preferred throughput metric key for one benchmark row."""
+    for key in PREFERRED_RATE_KEYS:
+        if key in bench and bench[key]:
+            return key
+    for key, value in sorted(bench.items()):
+        if key.endswith("_per_sec") and isinstance(value, (int, float)) and value:
+            return key
+    if bench.get("real_time"):
+        return "1/real_time"
+    return None
+
+
+def metric_value(bench, key):
+    """Higher-is-better value of `key` on `bench`, or None if absent."""
+    if key == "1/real_time":
+        real = bench.get("real_time")
+        # Same key implies same time_unit only if the benchmark didn't
+        # change units; treat a unit mismatch like a metric mismatch.
+        return 1.0 / float(real) if real else None
+    value = bench.get(key)
+    return float(value) if value else None
+
+
+def collect_pairs(baseline, current, fname):
+    """Returns (rows, pairs, drifts): display rows, comparable
+    (row_index, ratio) pairs, and metric-drift messages."""
+    rows, pairs, drifts = [], [], []
+    for bench_name in sorted(set(baseline) | set(current)):
+        if bench_name not in current:
+            rows.append([bench_name, "gone", "", ""])
+            continue
+        if bench_name not in baseline:
+            rows.append([bench_name, "new", "", ""])
+            continue
+        base_row, cur_row = baseline[bench_name], current[bench_name]
+        key = metric_key_of(base_row)
+        if key is None:
+            rows.append([bench_name, "no-metric", "", ""])
+            continue
+        cur_key = metric_key_of(cur_row)
+        if cur_key != key or (
+            key == "1/real_time"
+            and base_row.get("time_unit") != cur_row.get("time_unit")
+        ):
+            rows.append([bench_name, "METRIC-DRIFT", key, ""])
+            drifts.append(
+                f"{fname}: {bench_name} baseline metric '{key}"
+                f"/{base_row.get('time_unit')}' vs current "
+                f"'{cur_key}/{cur_row.get('time_unit')}' — refresh the "
+                f"baseline with --update"
+            )
+            continue
+        base_value = metric_value(base_row, key)
+        cur_value = metric_value(cur_row, key)
+        if not base_value or not cur_value:
+            rows.append([bench_name, "no-metric", key, ""])
+            continue
+        pairs.append((len(rows), cur_value / base_value, key,
+                      base_value, cur_value))
+        rows.append([bench_name, "?", key, ""])
+    return rows, pairs, drifts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="bench/baseline",
+                        help="directory of checked-in BENCH_*.json files")
+    parser.add_argument("--current", default="bench_out",
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional throughput drop that fails the "
+                             "gate (default 0.25 = 25%%)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="compare raw values instead of dividing out "
+                             "the median machine-drift factor")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current JSONs over the baseline instead "
+                             "of comparing")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.current):
+        print(f"bench_compare: current dir '{args.current}' missing",
+              file=sys.stderr)
+        return 2
+
+    current_files = sorted(
+        f for f in os.listdir(args.current)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not current_files:
+        print(f"bench_compare: no BENCH_*.json under '{args.current}'",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        os.makedirs(args.baseline, exist_ok=True)
+        for fname in current_files:
+            with open(os.path.join(args.current, fname), "rb") as src:
+                payload = src.read()
+            with open(os.path.join(args.baseline, fname), "wb") as dst:
+                dst.write(payload)
+            print(f"baseline updated: {os.path.join(args.baseline, fname)}")
+        return 0
+
+    if not os.path.isdir(args.baseline):
+        print(f"bench_compare: baseline dir '{args.baseline}' missing "
+              f"(run with --update to create it)", file=sys.stderr)
+        return 2
+
+    # Pass 1: collect every comparable (benchmark, ratio) across all files
+    # so the machine-drift factor is estimated over the whole fleet.
+    per_file = []
+    all_ratios = []
+    all_drifts = []
+    for fname in current_files:
+        base_path = os.path.join(args.baseline, fname)
+        if not os.path.exists(base_path):
+            per_file.append((fname, None, None))
+            continue
+        baseline = load_benchmarks(base_path)
+        current = load_benchmarks(os.path.join(args.current, fname))
+        rows, pairs, drifts = collect_pairs(baseline, current, fname)
+        all_drifts.extend(drifts)
+        all_ratios.extend(ratio for _, ratio, _, _, _ in pairs)
+        per_file.append((fname, rows, pairs))
+
+    drift_factor = 1.0
+    if not args.no_normalize and all_ratios:
+        drift_factor = statistics.median(all_ratios)
+        print(f"machine-drift factor (median current/baseline ratio over "
+              f"{len(all_ratios)} benchmarks): {drift_factor:.2f}")
+        if not 0.3 <= drift_factor <= 3.0:
+            print("  note: factor far from 1.0 — the committed baseline "
+                  "was likely recorded on a very different machine class; "
+                  "consider refreshing with --update", file=sys.stderr)
+
+    # Pass 2: judge each benchmark against the drift-normalized baseline.
+    regressions = []
+    compared = 0
+    for fname, rows, pairs in per_file:
+        if rows is None:
+            print(f"[{fname}] no baseline — skipped (commit one with "
+                  f"--update to gate it)")
+            continue
+        compared += 1
+        for row_index, ratio, key, base_value, cur_value in pairs:
+            adjusted = ratio / drift_factor
+            rows[row_index][3] = f"{adjusted:.2%}"
+            if adjusted < 1.0 - args.threshold:
+                rows[row_index][1] = "REGRESSION"
+                regressions.append(
+                    f"{fname}: {rows[row_index][0]} {key} {base_value:.3g} "
+                    f"-> {cur_value:.3g} ({adjusted:.2%} of baseline after "
+                    f"drift normalization)"
+                )
+            else:
+                rows[row_index][1] = "ok"
+        print(f"[{fname}]")
+        for bench_name, status, metric, ratio_text in rows:
+            detail = f" {metric} {ratio_text}" if metric else ""
+            print(f"  {status:>12}  {bench_name}{detail}")
+
+    if compared == 0:
+        print("bench_compare: nothing compared (no overlapping files)",
+              file=sys.stderr)
+        return 2
+    failures = regressions + all_drifts
+    if failures:
+        print(f"\n{len(regressions)} throughput regression(s) beyond "
+              f"{args.threshold:.0%}, {len(all_drifts)} metric drift(s):",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"\nbench gate OK: {compared} file(s), no regression beyond "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@
 #include "difftest/oracle.h"
 #include "difftest/query_fuzzer.h"
 #include "difftest/workload_corpus.h"
+#include "xml/simd_scan.h"
 
 namespace {
 
@@ -104,6 +105,13 @@ Args ParseArgs(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
+  // The nightly CI sweep runs half its iterations under
+  // VITEX_FORCE_SCALAR_SCAN=1; log which scan tier this run exercises so
+  // divergence reports are attributable to a kernel path.
+  std::fprintf(stderr, "scan mode: %s\n",
+               std::string(vitex::xml::scan::ScanModeName(
+                               vitex::xml::scan::ActiveScanMode()))
+                   .c_str());
 
   std::vector<WorkloadKind> selected;
   if (args.workload == "all") {

@@ -21,6 +21,12 @@
 #include <string>
 #include <vector>
 
+// CMake injects -DVITEX_BENCH_BUILD_TYPE="<CMAKE_BUILD_TYPE>" per bench
+// target; a bare compile (no CMake) still builds.
+#ifndef VITEX_BENCH_BUILD_TYPE
+#define VITEX_BENCH_BUILD_TYPE "unknown"
+#endif
+
 namespace vitex::bench {
 
 /// Runs all registered benchmarks; mirrors results to BENCH_<name>.json
@@ -46,6 +52,11 @@ inline int RunWithJson(const char* bench_name, int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
     return 1;
   }
+  // Stamp OUR build type into the JSON context. The library's own
+  // `library_build_type` reflects how libbenchmark was compiled (debug for
+  // the distro package), not how this binary was; tools/bench_compare.py
+  // keys its cross-build-type warning on this field instead.
+  benchmark::AddCustomContext("vitex_build_type", VITEX_BENCH_BUILD_TYPE);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!out_flag.empty()) {

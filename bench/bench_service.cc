@@ -1,8 +1,9 @@
 // Experiment S1: pub/sub service throughput vs. shard count × subscription
-// count. The paper's motivating deployment — one stream, many standing
-// subscriptions — run through service::StreamService: documents parsed
-// once on the ingest thread, replayed into every shard, match work split
-// across shards by subscription hash-partitioning.
+// count × publisher stream count. The paper's motivating deployment — a
+// document feed fanned out to many standing subscriptions — run through
+// service::StreamService: documents parsed on per-stream ingest threads
+// (concurrent against the frozen symbol table), replayed into every shard,
+// match work split across shards by subscription hash-partitioning.
 //
 // The scaling claim (ISSUE 2 acceptance): with ≥256 disjoint-tag
 // subscriptions, total replayed events/sec grows with the shard count —
@@ -45,16 +46,22 @@ std::string MakeFeedDoc(int tags, int items, int salt) {
   return doc;
 }
 
-// Throughput of the full pipeline: Publish -> ingest parse -> fan-out ->
-// sharded match -> sink delivery. Args: {shard_count, subscriptions}.
+// Throughput of the full pipeline: Publish -> per-stream ingest parse ->
+// fan-out -> sharded match -> sink delivery. Args: {shard_count,
+// subscriptions, stream_count}. The streams axis is the ISSUE 6 headline:
+// with >1 publisher streams, documents parse concurrently on independent
+// parser threads against the frozen symbol table, so docs/sec scales past
+// the single-parser ceiling once real cores are available.
 void BM_ServiceThroughput(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(0));
   const int subs = static_cast<int>(state.range(1));
+  const int streams = static_cast<int>(state.range(2));
   constexpr int kDocsPerIteration = 8;
   constexpr int kItemsPerDoc = 256;
 
   vitex::service::StreamServiceOptions options;
   options.shard_count = static_cast<size_t>(shards);
+  options.stream_count = static_cast<size_t>(streams);
   options.queue_capacity = 32;
   vitex::service::StreamService service(options);
   // Disjoint-tag subscriptions: //item<i>/val/text(), one per tag.
@@ -94,6 +101,7 @@ void BM_ServiceThroughput(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * doc_bytes);
   state.counters["shards"] = shards;
   state.counters["subscriptions"] = subs;
+  state.counters["streams"] = streams;
   // Total replayed events/sec across all shards: the scaling headline.
   state.counters["events_per_sec"] = benchmark::Counter(
       static_cast<double>(stats.events_replayed), benchmark::Counter::kIsRate);
@@ -109,14 +117,21 @@ void BM_ServiceThroughput(benchmark::State& state) {
                                vitex::xml::scan::ActiveScanMode())));
 }
 BENCHMARK(BM_ServiceThroughput)
-    ->ArgNames({"shards", "subs"})
-    ->Args({1, 256})
-    ->Args({2, 256})
-    ->Args({4, 256})
-    ->Args({8, 256})
-    ->Args({1, 1024})
-    ->Args({4, 1024})
-    ->Args({8, 1024})
+    ->ArgNames({"shards", "subs", "streams"})
+    // Shard-scaling axis (ISSUE 2), single ingest stream.
+    ->Args({1, 256, 1})
+    ->Args({2, 256, 1})
+    ->Args({4, 256, 1})
+    ->Args({8, 256, 1})
+    ->Args({1, 1024, 1})
+    ->Args({4, 1024, 1})
+    ->Args({8, 1024, 1})
+    // Stream-scaling axis (ISSUE 6): fixed shard/sub shape, publisher
+    // streams 1 -> 8. streams:1 doubles as the no-regression pin against
+    // the pre-multi-stream single-parser service.
+    ->Args({4, 256, 2})
+    ->Args({4, 256, 4})
+    ->Args({4, 256, 8})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -4,10 +4,14 @@
 // backpressure), subscribers joining and leaving while the stream runs,
 // and a ServiceStats dashboard at the end.
 //
-//   ./news_server [shards] [subscribers] [documents]
+//   ./news_server [shards] [subscribers] [documents] [streams]
 //
 // Compare wall-clock across shard counts to see the sharded runtime use
-// the hardware: ./news_server 1 512 200  vs  ./news_server 8 512 200
+// the hardware: ./news_server 1 512 200  vs  ./news_server 8 512 200.
+// On a multi-core box, also raise the publisher stream count to lift the
+// ingest-parse ceiling: ./news_server 8 512 200 4 parses four documents
+// concurrently (DESIGN.md §9); the mid-stream churn below then exercises
+// the cross-stream epoch barrier, not just a single queue.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,15 +45,19 @@ int main(int argc, char** argv) {
   size_t shards = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
   int subscribers = argc > 2 ? std::atoi(argv[2]) : 512;
   int documents = argc > 3 ? std::atoi(argv[3]) : 100;
+  size_t streams = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1;
   int topics = subscribers;  // disjoint-tag subscriptions
 
   vitex::service::StreamServiceOptions options;
   options.shard_count = shards;
+  options.stream_count = streams;
   options.queue_capacity = 32;
   vitex::service::StreamService service(options);
 
-  std::printf("news_server: %zu shard(s), %d subscriber(s), %d document(s)\n",
-              service.shard_count(), subscribers, documents);
+  std::printf(
+      "news_server: %zu shard(s), %d subscriber(s), %d document(s), "
+      "%zu publisher stream(s)\n",
+      service.shard_count(), subscribers, documents, service.stream_count());
   std::vector<vitex::service::SubscriptionId> ids;
   for (int s = 0; s < subscribers; ++s) {
     auto id = service.Subscribe("//topic" + std::to_string(s % topics) +
@@ -106,6 +114,13 @@ int main(int argc, char** argv) {
               "events/s)\n",
               seconds, stats.documents_processed / seconds,
               stats.events_replayed / seconds / 1e6);
+  for (size_t i = 0; i < stats.streams.size(); ++i) {
+    const vitex::service::StreamStatsSnapshot& st = stats.streams[i];
+    std::printf("  stream %zu: %llu published, %llu parsed, %llu rejected\n",
+                i, static_cast<unsigned long long>(st.documents_published),
+                static_cast<unsigned long long>(st.documents_parsed),
+                static_cast<unsigned long long>(st.documents_rejected));
+  }
   for (size_t i = 0; i < stats.shards.size(); ++i) {
     const vitex::service::ShardStatsSnapshot& sh = stats.shards[i];
     std::printf(

@@ -1,5 +1,7 @@
 #include "common/interner.h"
 
+#include <cassert>
+
 namespace vitex {
 
 namespace {
@@ -48,6 +50,11 @@ Symbol SymbolTable::Intern(std::string_view name) {
   uint32_t hash = Hash(name);
   size_t i = FindSlot(name, hash);
   if (slots_[i].symbol != kNoSymbol) return slots_[i].symbol;
+  if (frozen_) {
+    // Read-only phase: minting would mutate under concurrent readers.
+    assert(!frozen_ && "SymbolTable::Intern of a new name on a frozen table");
+    return kNoSymbol;
+  }
   if ((names_.size() + 1) * kMaxLoadDen > slots_.size() * kMaxLoadNum) {
     Grow();
     i = FindSlot(name, hash);

@@ -43,7 +43,16 @@ inline constexpr Symbol kNoSymbol = static_cast<Symbol>(-1);
 inline constexpr Symbol kAbsentSymbol = static_cast<Symbol>(-2);
 
 /// An arena-backed string→Symbol map with dense, allocation-ordered ids.
-/// Not thread-safe; one table per pipeline.
+///
+/// Thread-safety is phase-based rather than lock-based (DESIGN.md §9): the
+/// table is *mutable* while being built (Intern; external exclusion
+/// required, as for any container) and can then be frozen into an
+/// explicitly *read-only* phase with Freeze(). While frozen, any number of
+/// threads may call Lookup()/name()/size() concurrently without locks —
+/// nothing mutates, so there is nothing to race. Unfreeze() reopens the
+/// table for interning; the Freeze/Unfreeze transitions themselves must be
+/// externally synchronized against concurrent readers (the service does
+/// this by quiescing its parser streams around subscription compiles).
 class SymbolTable {
  public:
   SymbolTable();
@@ -54,10 +63,25 @@ class SymbolTable {
   SymbolTable& operator=(SymbolTable&&) = default;
 
   /// Returns the symbol for `name`, minting a new one on first sight.
+  /// On a frozen table: returns the existing symbol if `name` was interned
+  /// before the freeze, and kNoSymbol (after asserting in debug builds) if
+  /// it would have to mint — a frozen table never mutates.
   Symbol Intern(std::string_view name);
 
   /// Returns the symbol for `name`, or kNoSymbol if it was never interned.
+  /// Safe to call concurrently from many threads while the table is frozen.
   Symbol Lookup(std::string_view name) const;
+
+  /// Enters the read-only phase: all mutation stops until Unfreeze(). The
+  /// caller must ensure no Intern is in flight; after Freeze() returns (and
+  /// is made visible to them), readers need no further synchronization.
+  void Freeze() { frozen_ = true; }
+
+  /// Leaves the read-only phase. The caller must ensure no concurrent
+  /// Lookup can observe the mutation that follows.
+  void Unfreeze() { frozen_ = false; }
+
+  bool frozen() const { return frozen_; }
 
   /// The interned spelling. `symbol` must be < size(). The view is stable
   /// for the table's lifetime.
@@ -84,6 +108,7 @@ class SymbolTable {
   std::vector<Slot> slots_;              // open addressing, pow2 capacity
   std::vector<std::string_view> names_;  // symbol -> arena-stable spelling
   Arena arena_;
+  bool frozen_ = false;  // read-only phase flag; see class comment
 };
 
 }  // namespace vitex

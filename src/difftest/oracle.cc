@@ -29,6 +29,19 @@ ResultSet Normalize(const std::vector<twigm::VectorResultCollector::Entry>&
   return out;
 }
 
+// Each entry repeated `copies` times (adjacent, so a sorted input stays
+// sorted): the expected answer when the service route publishes the same
+// document on `copies` streams.
+ResultSet Replicate(const ResultSet& set, size_t copies) {
+  if (copies <= 1) return set;
+  ResultSet out;
+  out.reserve(set.size() * copies);
+  for (const auto& e : set) {
+    for (size_t c = 0; c < copies; ++c) out.push_back(e);
+  }
+  return out;
+}
+
 std::string Truncate(const std::string& s, size_t limit = 160) {
   if (s.size() <= limit) return s;
   return s.substr(0, limit) + "... (" + std::to_string(s.size()) + " bytes)";
@@ -173,6 +186,7 @@ std::string Divergence::ToString() const {
   out += "query: " + query + "\n";
   for (const std::string& d : decoys) out += "decoy: " + d + "\n";
   out += "shards: " + std::to_string(shard_count) + "\n";
+  out += "streams: " + std::to_string(stream_count) + "\n";
   out += "detail: " + detail + "\n";
   out += "document (" + std::to_string(document.size()) + " bytes";
   if (original_document_bytes > document.size()) {
@@ -237,9 +251,11 @@ Result<std::vector<ResultSet>> Oracle::RunMultiQuery(
 Result<std::vector<ResultSet>> Oracle::RunService(
     const std::vector<std::string>& queries,
     const std::vector<std::string>& decoys, const std::string& document,
-    size_t shard_count) {
+    size_t shard_count, size_t stream_count) {
+  if (stream_count < 1) stream_count = 1;
   service::StreamServiceOptions options;
   options.shard_count = shard_count;
+  options.stream_count = stream_count;
   service::StreamService service(options);
   std::vector<service::SubscriptionId> ids;
   ids.reserve(queries.size());
@@ -250,7 +266,13 @@ Result<std::vector<ResultSet>> Oracle::RunService(
   for (const std::string& d : decoys) {
     VITEX_RETURN_IF_ERROR(service.Subscribe(d).status());
   }
-  VITEX_RETURN_IF_ERROR(service.Publish(document));
+  // One copy per stream: every parser thread parses the document
+  // concurrently and every shard merges stream_count lanes, so each query
+  // must deliver its result set exactly stream_count times — no copy lost
+  // to the merge, none duplicated.
+  for (size_t s = 0; s < stream_count; ++s) {
+    VITEX_RETURN_IF_ERROR(service.PublishToStream(s, document));
+  }
   VITEX_RETURN_IF_ERROR(service.Flush());
   std::vector<ResultSet> out;
   out.reserve(queries.size());
@@ -280,6 +302,13 @@ std::optional<Divergence> Oracle::CheckBatch(
   if (queries.empty()) return std::nullopt;
   size_t shard_count =
       options_.max_shards == 0 ? 0 : 1 + checks_ % options_.max_shards;
+  // Streams advance when the shard cycle wraps: consecutive checks sweep
+  // the whole (shard × stream) grid instead of a diagonal through it.
+  size_t stream_count =
+      options_.max_streams <= 1
+          ? 1
+          : 1 + (checks_ / std::max<size_t>(1, options_.max_shards)) %
+                    options_.max_streams;
   checks_ += queries.size();
 
   // Assembles the repro context for query i: the other checked queries act
@@ -295,6 +324,7 @@ std::optional<Divergence> Oracle::CheckBatch(
     }
     d.decoys.insert(d.decoys.end(), decoys.begin(), decoys.end());
     d.shard_count = shard_count == 0 ? 1 : shard_count;
+    d.stream_count = stream_count;
     d.document = document;
     d.original_document_bytes = document.size();
     d.detail = std::move(detail);
@@ -378,16 +408,19 @@ std::optional<Divergence> Oracle::CheckBatch(
 
   if (shard_count > 0) {
     Result<std::vector<ResultSet>> got =
-        RunService(queries, decoys, document, shard_count);
+        RunService(queries, decoys, document, shard_count, stream_count);
     if (!got.ok()) {
       return make_divergence(0, Route::kDom, Route::kService,
                              "service error: " + got.status().ToString());
     }
     for (size_t i = 0; i < queries.size(); ++i) {
-      if (got.value()[i] != expected[i]) {
+      // The service saw stream_count copies of the document, so its answer
+      // must be the DOM set replicated per stream — exactly.
+      ResultSet want = Replicate(expected[i], stream_count);
+      if (got.value()[i] != want) {
         return make_divergence(
             i, Route::kDom, Route::kService,
-            FirstDifference(RouteName(Route::kDom), expected[i],
+            FirstDifference(RouteName(Route::kDom), want,
                             RouteName(Route::kService), got.value()[i]));
       }
     }
@@ -413,9 +446,9 @@ Result<ResultSet> Oracle::RunRoute(Route route, const Divergence& d,
       return std::move(sets[0]);
     }
     case Route::kService: {
-      VITEX_ASSIGN_OR_RETURN(
-          std::vector<ResultSet> sets,
-          RunService({d.query}, d.decoys, document, d.shard_count));
+      VITEX_ASSIGN_OR_RETURN(std::vector<ResultSet> sets,
+                             RunService({d.query}, d.decoys, document,
+                                        d.shard_count, d.stream_count));
       return std::move(sets[0]);
     }
   }
@@ -428,7 +461,18 @@ bool Oracle::PairStillDiverges(const Divergence& d,
   Result<ResultSet> b = RunRoute(d.route_b, d, document);
   if (a.ok() != b.ok()) return true;  // status divergence
   if (!a.ok()) return false;          // both broken: not a usable repro
-  return a.value() != b.value();
+  // The service route answers once per stream; scale a single-shot peer's
+  // set up before comparing (both-service and neither-service need none).
+  ResultSet a_set = std::move(a).value();
+  ResultSet b_set = std::move(b).value();
+  bool a_is_service = d.route_a == Route::kService;
+  bool b_is_service = d.route_b == Route::kService;
+  if (a_is_service && !b_is_service) {
+    b_set = Replicate(b_set, d.stream_count);
+  } else if (b_is_service && !a_is_service) {
+    a_set = Replicate(a_set, d.stream_count);
+  }
+  return a_set != b_set;
 }
 
 std::string MinimizeDocument(

@@ -10,9 +10,13 @@
 //      fallbacks and central text coalescing are in play. Plan sharing is
 //      explicitly OFF: one private machine per query, pinning the
 //      pre-sharing execution path as a reference.
-//   4. service — service::StreamService end to end: ingest-thread parse
-//      into an EventLog, replay across 1..max_shards shard threads,
-//      delivery through per-subscriber sinks.
+//   4. service — service::StreamService end to end: per-stream parser
+//      threads (the document is published once on EACH of 1..max_streams
+//      streams, so concurrent parses and the epoch merge are in play) into
+//      an EventLog, replay across 1..max_shards shard threads, delivery
+//      through per-subscriber sinks. Expected results are the DOM set
+//      replicated once per stream: a lost or duplicated stream copy is a
+//      divergence.
 //   5. shared-plan — the same MultiQueryEngine registration with plan
 //      sharing ON (hash-consed skeletons, per-group parameter masks,
 //      subscriber fan-out; DESIGN.md §7). Routes 3 and 5 differ only in
@@ -27,7 +31,8 @@
 //
 // On divergence the oracle shrinks the document (greedy subtree/attribute/
 // text deletion while the same route pair still disagrees) and reports a
-// self-contained repro: query, decoys, shard count, minimized document.
+// self-contained repro: query, decoys, shard and stream counts, minimized
+// document.
 
 #ifndef VITEX_DIFFTEST_ORACLE_H_
 #define VITEX_DIFFTEST_ORACLE_H_
@@ -57,6 +62,10 @@ struct OracleOptions {
   /// The service route cycles shard_count over 1..max_shards (0 disables
   /// the service route, e.g. for sanitizer runs that forbid threads).
   size_t max_shards = 4;
+  /// The service route also cycles its publisher stream count over
+  /// 1..max_streams (advancing each time the shard cycle wraps, so sweeps
+  /// cover the full stream×shard grid). <= 1 pins a single stream.
+  size_t max_streams = 4;
   /// When > 0, the twigm route feeds the document in chunks of this many
   /// bytes instead of one RunString, stressing parser chunking too.
   size_t feed_chunk_bytes = 0;
@@ -75,6 +84,7 @@ struct Divergence {
   /// repro: dispatch-index divergences can depend on them).
   std::vector<std::string> decoys;
   size_t shard_count = 1;
+  size_t stream_count = 1;
   /// Minimized document (the original when minimization is off or failed).
   std::string document;
   size_t original_document_bytes = 0;
@@ -117,10 +127,12 @@ class Oracle {
       const std::vector<std::string>& decoys, const std::string& document) {
     return RunMultiQuery(queries, decoys, document, /*share_plans=*/true);
   }
+  /// Publishes the document once per stream; each query's ResultSet is
+  /// therefore the single-document set replicated `stream_count` times.
   static Result<std::vector<ResultSet>> RunService(
       const std::vector<std::string>& queries,
       const std::vector<std::string>& decoys, const std::string& document,
-      size_t shard_count);
+      size_t shard_count, size_t stream_count = 1);
 
   /// (query, document) pairs cross-checked so far.
   uint64_t checks_run() const { return checks_; }

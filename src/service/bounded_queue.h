@@ -1,30 +1,46 @@
-// A bounded multi-producer / multi-consumer blocking queue: the backpressure
-// primitive of the pub/sub runtime (DESIGN.md §5).
+// Bounded blocking queues: the backpressure primitives of the pub/sub
+// runtime (DESIGN.md §5, §9).
 //
-// Push blocks while the queue is full, so a fast publisher is throttled to
-// the speed of the slowest consumer instead of buffering unboundedly —
-// exactly the behaviour a streaming service needs when "heavy traffic"
-// outruns a shard. Close() releases everyone: pending items still drain
-// (Pop keeps returning them), further Push calls fail, and Pop returns
-// nullopt once the queue is empty.
+// BoundedQueue is a multi-producer / multi-consumer FIFO. Push blocks while
+// the queue is full, so a fast publisher is throttled to the speed of the
+// slowest consumer instead of buffering unboundedly — exactly the behaviour
+// a streaming service needs when "heavy traffic" outruns a shard. Close()
+// releases everyone: pending items still drain (Pop keeps returning them),
+// further Push calls fail, and Pop returns nullopt once the queue is empty.
 //
 // The drain guarantee — tested behaviour, not aspiration (see
-// tests/service/bounded_queue_test.cc):
+// tests/service/bounded_queue_test.cc, including the multi-producer
+// stress):
 //   * a Push that returned true has its item delivered by exactly one Pop,
 //     even when Push races Close() on a full queue (no loss, no dupes);
 //   * a Push that returned false enqueued nothing;
 //   * consumers blocked in Pop wake on Close() only after the queue is
 //     empty, so shutdown never discards accepted work.
+//
+// Producer fairness: concurrent Push calls are admitted in arrival order
+// (a ticket turnstile), so one hot publisher thread cannot starve another
+// out of a full queue indefinitely — with M publisher streams feeding one
+// service this is what keeps per-caller latency bounded.
+//
+// BoundedQueueGroup is the multi-queue epoch-merge primitive (DESIGN.md
+// §9): N independently bounded FIFO lanes — one per producer — drained by
+// ONE consumer that can wait on "anything ready" across all lanes and can
+// cap, per lane, how many items it is willing to take (the cap is how a
+// shard holds back documents published after a pending subscribe's epoch
+// cut while still draining those published before it).
 
 #ifndef VITEX_SERVICE_BOUNDED_QUEUE_H_
 #define VITEX_SERVICE_BOUNDED_QUEUE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace vitex::service {
 
@@ -38,14 +54,22 @@ class BoundedQueue {
 
   /// Blocks until there is room (backpressure), then enqueues. Returns
   /// false — without enqueueing — if the queue is (or becomes) closed.
+  /// Concurrent pushers are admitted strictly in arrival order.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [this] { return closed_ || items_.size() < capacity_; });
+    const uint64_t ticket = push_tail_++;
+    not_full_.wait(lock, [this, ticket] {
+      return closed_ || (ticket == push_head_ && items_.size() < capacity_);
+    });
     if (closed_) return false;
+    ++push_head_;
     items_.push_back(std::move(item));
+    pushed_.fetch_add(1, std::memory_order_release);
     lock.unlock();
     not_empty_.notify_one();
+    // The next ticket holder may have been waiting only for its turn; it
+    // is not necessarily the waiter notify_one would pick.
+    not_full_.notify_all();
     return true;
   }
 
@@ -59,7 +83,7 @@ class BoundedQueue {
     T item = std::move(items_.front());
     items_.pop_front();
     lock.unlock();
-    not_full_.notify_one();
+    not_full_.notify_all();
     return item;
   }
 
@@ -80,6 +104,14 @@ class BoundedQueue {
     return items_.size();
   }
 
+  /// Successful pushes so far. Monotonic; incremented while the push holds
+  /// the queue lock, so the count order IS the FIFO order — the k-th
+  /// successful push is the k-th item popped (telemetry, and the invariant
+  /// the multi-producer stress test pins).
+  uint64_t pushed_count() const {
+    return pushed_.load(std::memory_order_acquire);
+  }
+
   size_t capacity() const { return capacity_; }
 
  private:
@@ -88,7 +120,138 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   const size_t capacity_;
+  // Ticket turnstile for producer FIFO admission: a pusher proceeds only
+  // when its ticket is being served AND there is room.
+  uint64_t push_tail_ = 0;
+  uint64_t push_head_ = 0;
+  std::atomic<uint64_t> pushed_{0};
   bool closed_ = false;
+};
+
+/// A group of bounded FIFO lanes drained by ONE consumer.
+///
+/// Producers push into their own lane (per-lane capacity bound, blocking);
+/// the single consumer pops with PopReady, which waits on all lanes at once
+/// and can bound, per lane, how many items it is willing to have taken in
+/// total. That per-lane cap is the epoch-merge mechanism: when a service
+/// shard pops a pending control op's barrier marker from a lane, it caps
+/// that lane right there — items behind the marker wait, the other lanes
+/// keep draining — until the marker has arrived on every lane and the op
+/// applies. See DESIGN.md §9 for why consistently ordered markers plus
+/// these caps are deadlock-free under bounded lanes.
+template <typename T>
+class BoundedQueueGroup {
+ public:
+  /// Per-lane cap value meaning "unlimited".
+  static constexpr uint64_t kNoLimit = ~static_cast<uint64_t>(0);
+
+  struct Popped {
+    size_t lane = 0;
+    T item;
+  };
+
+  BoundedQueueGroup(size_t lanes, size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity),
+        lanes_(lanes < 1 ? 1 : lanes) {}
+
+  BoundedQueueGroup(const BoundedQueueGroup&) = delete;
+  BoundedQueueGroup& operator=(const BoundedQueueGroup&) = delete;
+
+  size_t lanes() const { return lanes_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Blocks until `lane` has room, then enqueues. Returns false — without
+  /// enqueueing — if the lane is (or becomes) closed.
+  bool Push(size_t lane, T item) {
+    Lane& l = lanes_[lane];
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this, &l] {
+      return l.closed || l.items.size() < capacity_;
+    });
+    if (l.closed) return false;
+    l.items.push_back(std::move(item));
+    ++l.pushed;
+    lock.unlock();
+    ready_.notify_one();  // single consumer
+    return true;
+  }
+
+  /// Pops the oldest item of a *ready* lane: non-empty, and with fewer than
+  /// `limits[lane]` items popped so far (`limits == nullptr` — no caps).
+  /// Ready lanes are served round-robin so no stream starves another.
+  /// Blocks while no lane is ready but some lane could still become ready
+  /// under these caps (open, below cap); returns nullopt once no lane can
+  /// (every lane closed-and-empty or at its cap). Single consumer only.
+  std::optional<Popped> PopReady(const uint64_t* limits) {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      bool could_become_ready = false;
+      for (size_t i = 0; i < lanes_.size(); ++i) {
+        size_t lane = (next_lane_ + i) % lanes_.size();
+        Lane& l = lanes_[lane];
+        if (limits != nullptr && l.popped >= limits[lane]) continue;
+        if (!l.items.empty()) {
+          Popped out;
+          out.lane = lane;
+          out.item = std::move(l.items.front());
+          l.items.pop_front();
+          ++l.popped;
+          next_lane_ = lane + 1;
+          lock.unlock();
+          not_full_.notify_all();
+          return out;
+        }
+        if (!l.closed) could_become_ready = true;
+      }
+      if (!could_become_ready) return std::nullopt;
+      ready_.wait(lock);
+    }
+  }
+
+  /// Closes one lane: its producer's future Push calls fail; queued items
+  /// still drain through PopReady. Idempotent.
+  void CloseLane(size_t lane) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      lanes_[lane].closed = true;
+    }
+    not_full_.notify_all();
+    ready_.notify_all();
+  }
+
+  /// Items popped from `lane` so far (consumer-side epoch bookkeeping).
+  uint64_t popped(size_t lane) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lanes_[lane].popped;
+  }
+
+  size_t lane_size(size_t lane) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lanes_[lane].items.size();
+  }
+
+  /// Total items currently queued across lanes (stats snapshot).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const Lane& l : lanes_) total += l.items.size();
+    return total;
+  }
+
+ private:
+  struct Lane {
+    std::deque<T> items;
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+    bool closed = false;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable ready_;  // wakes the single consumer
+  const size_t capacity_;
+  std::vector<Lane> lanes_;
+  size_t next_lane_ = 0;  // round-robin cursor over ready lanes
 };
 
 }  // namespace vitex::service

@@ -1,6 +1,8 @@
 #include "service/stream_service.h"
 
 #include <algorithm>
+#include <cassert>
+#include <unordered_set>
 #include <utility>
 
 #include "twigm/builder.h"
@@ -48,36 +50,64 @@ struct StreamService::FlushGate {
   size_t remaining = 0;
 };
 
-struct StreamService::IngestItem {
-  enum class Kind { kDocument, kSubscribe, kUnsubscribe, kFlush };
-  Kind kind = Kind::kDocument;
-  std::string document;                 // kDocument
-  std::string xpath;                    // kSubscribe
-  SubscriptionId subscription = 0;      // kSubscribe / kUnsubscribe
-  std::shared_ptr<SubscriberSink> sink; // kSubscribe
-  std::shared_ptr<FlushGate> gate;      // kFlush
+// One control operation, shared by the M×N marker copies that carry it
+// through every stream queue into every shard lane. Only the shard that
+// ShardHandles() the op touches its payload, exactly once, when its
+// barrier completes — so the non-const members need no locking.
+struct StreamService::ControlOp {
+  enum class Kind { kSubscribe, kUnsubscribe, kFlush };
+  Kind kind = Kind::kFlush;
+  SubscriptionId subscription = 0;               // kSubscribe / kUnsubscribe
+  std::unique_ptr<twigm::BuiltMachine> machine;  // kSubscribe
+  std::shared_ptr<SubscriberSink> sink;          // kSubscribe
+  std::shared_ptr<FlushGate> gate;               // kFlush
 };
 
+// What flows through a stream's ingest queue: a document to parse, or a
+// control marker to forward (in FIFO position) to every shard lane.
+struct StreamService::StreamItem {
+  std::string document;
+  std::shared_ptr<ControlOp> op;  // non-null == marker
+};
+
+// What flows through a shard inbox lane.
 struct StreamService::ShardItem {
-  enum class Kind { kDocument, kSubscribe, kUnsubscribe, kFlush };
+  enum class Kind { kDocument, kMarker };
   Kind kind = Kind::kDocument;
-  std::shared_ptr<const xml::EventLog> log;         // kDocument
-  std::unique_ptr<twigm::BuiltMachine> machine;     // kSubscribe
-  SubscriptionId subscription = 0;                  // kSubscribe/kUnsubscribe
-  std::shared_ptr<SubscriberSink> sink;             // kSubscribe
-  std::shared_ptr<FlushGate> gate;                  // kFlush
+  std::shared_ptr<const xml::EventLog> log;  // kDocument
+  std::shared_ptr<ControlOp> op;             // kMarker
 };
 
-// One worker shard: a queue, a thread, and a private MultiQueryEngine whose
-// machines are this shard's slice of the subscription set. Everything below
-// `queue` is touched only by the shard thread, except the atomics and the
-// mutex-guarded dispatch snapshot.
+// One publisher stream: a bounded queue of raw documents (and control
+// markers) drained by this stream's parser thread. Counters are written by
+// that thread, read by stats().
+struct StreamService::Stream {
+  explicit Stream(size_t index_in, size_t queue_capacity)
+      : index(index_in), queue(queue_capacity) {}
+
+  const size_t index;  // == this stream's lane on every shard inbox
+  BoundedQueue<StreamItem> queue;
+  std::thread thread;
+
+  std::atomic<uint64_t> documents_published{0};
+  std::atomic<uint64_t> documents_parsed{0};
+  std::atomic<uint64_t> documents_rejected{0};
+  std::atomic<uint64_t> events_parsed{0};
+};
+
+// One worker shard: an M-lane inbox, a thread, and a private
+// MultiQueryEngine whose machines are this shard's slice of the
+// subscription set. Everything below `inbox` is touched only by the shard
+// thread, except the atomics and the mutex-guarded dispatch snapshot.
 struct StreamService::Shard {
-  Shard(size_t queue_capacity, xml::SaxParserOptions sax_options)
-      : queue(queue_capacity),
+  Shard(size_t index_in, size_t lanes, size_t lane_capacity,
+        xml::SaxParserOptions sax_options)
+      : index(index_in),
+        inbox(lanes, lane_capacity),
         engine(std::make_unique<twigm::MultiQueryEngine>(sax_options)) {}
 
-  BoundedQueue<ShardItem> queue;
+  const size_t index;
+  BoundedQueueGroup<ShardItem> inbox;
   std::unique_ptr<twigm::MultiQueryEngine> engine;
   std::thread thread;
   bool failed = false;  // fail-stop: skip further documents after an error
@@ -102,19 +132,28 @@ struct StreamService::Shard {
 StreamService::StreamService(StreamServiceOptions options)
     : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
   size_t shard_count = std::max<size_t>(1, options_.shard_count);
-  ingest_queue_ =
-      std::make_unique<BoundedQueue<IngestItem>>(options_.queue_capacity);
+  size_t stream_count = std::max<size_t>(1, options_.stream_count);
   xml::SaxParserOptions shard_sax = options_.sax_options;
   shard_sax.symbols = &symbols_;
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(
-        std::make_unique<Shard>(options_.queue_capacity, shard_sax));
+    shards_.push_back(std::make_unique<Shard>(
+        i, stream_count, options_.queue_capacity, shard_sax));
   }
+  streams_.reserve(stream_count);
+  for (size_t i = 0; i < stream_count; ++i) {
+    streams_.push_back(std::make_unique<Stream>(i, options_.queue_capacity));
+  }
+  // The table enters its read-only phase before any parser thread exists;
+  // Subscribe() is the only place it is (briefly) reopened.
+  symbols_.Freeze();
   for (auto& shard : shards_) {
     shard->thread = std::thread(&StreamService::ShardLoop, this, shard.get());
   }
-  ingest_thread_ = std::thread(&StreamService::IngestLoop, this);
+  for (auto& stream : streams_) {
+    stream->thread =
+        std::thread(&StreamService::StreamLoop, this, stream.get());
+  }
 }
 
 StreamService::~StreamService() { (void)Stop(); }
@@ -129,11 +168,12 @@ Status StreamService::Stop() {
     if (stopped_) return first_error_;
     stopped_ = true;
   }
-  // Closing the ingest queue lets the ingest thread drain what is already
-  // queued, then close every shard queue (which likewise drain) — so work
-  // accepted before Stop() is still fully processed.
-  ingest_queue_->Close();
-  ingest_thread_.join();
+  // Closing the stream queues lets each parser thread drain what is
+  // already queued, then close its lane on every shard inbox (which
+  // likewise drains) — so work accepted before Stop() is still fully
+  // processed.
+  for (auto& stream : streams_) stream->queue.Close();
+  for (auto& stream : streams_) stream->thread.join();
   for (auto& shard : shards_) shard->thread.join();
   std::lock_guard<std::mutex> lock(mu_);
   return first_error_;
@@ -156,37 +196,68 @@ size_t StreamService::ShardOf(SubscriptionId id) const {
   return static_cast<size_t>(x % shards_.size());
 }
 
+bool StreamService::ShardHandles(const Shard& shard,
+                                 const ControlOp& op) const {
+  // Flush barriers every shard; subscription changes barrier only the
+  // shard that owns the subscription — other shards discard the marker.
+  if (op.kind == ControlOp::Kind::kFlush) return true;
+  return ShardOf(op.subscription) == shard.index;
+}
+
 // ---------------------------------------------------------------------------
 // Caller-facing API.
 // ---------------------------------------------------------------------------
 
+bool StreamService::EmitControl(std::shared_ptr<ControlOp> op) {
+  // Push the marker into every stream queue while holding control_mu_ (the
+  // caller does): concurrent control ops therefore appear in the SAME
+  // relative order in every queue, which is what lets a shard treat "next
+  // marker on an unheld lane" as "marker of my pending op" (DESIGN.md §9).
+  bool ok = true;
+  for (auto& stream : streams_) {
+    StreamItem item;
+    item.op = op;
+    // A closed queue means the service is stopping; keep emitting to the
+    // remaining streams so shards that do see the marker can still make
+    // progress, and let shutdown force-complete the rest.
+    ok = stream->queue.Push(std::move(item)) && ok;
+  }
+  return ok;
+}
+
 Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath) {
+  std::lock_guard<std::mutex> control_lock(control_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopped_) return Status::InvalidArgument("service is stopped");
   }
-  // Validate synchronously against a throwaway private table; the real
-  // machine is compiled on the ingest thread, where the shared table may
-  // be mutated safely. Compilation is cheap (O(|Q|)) and subscription is
-  // rare next to document traffic.
-  VITEX_RETURN_IF_ERROR(
-      twigm::TwigMBuilder::Build(xpath, nullptr, options_.machine_options,
-                                 nullptr)
-          .status());
+  auto sink = std::make_shared<SubscriberSink>(&results_delivered_);
+  // Compile on this thread, under exclusive table access: parser streams
+  // hold symbols_mu_ shared for the duration of a parse, so the unique
+  // lock quiesces them for the (rare, O(|Q|)) moment interning happens.
+  Result<twigm::BuiltMachine> built = [&] {
+    std::unique_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+    symbols_.Unfreeze();
+    auto result = twigm::TwigMBuilder::Build(
+        xpath, sink.get(), options_.machine_options, &symbols_);
+    symbols_.Freeze();
+    return result;
+  }();
+  VITEX_RETURN_IF_ERROR(built.status());
 
   SubscriptionId id =
       next_subscription_.fetch_add(1, std::memory_order_relaxed);
-  auto sink = std::make_shared<SubscriberSink>(&results_delivered_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     subscriptions_[id] = sink;
   }
-  IngestItem item;
-  item.kind = IngestItem::Kind::kSubscribe;
-  item.xpath = std::string(xpath);
-  item.subscription = id;
-  item.sink = std::move(sink);
-  if (!ingest_queue_->Push(std::move(item))) {
+  auto op = std::make_shared<ControlOp>();
+  op->kind = ControlOp::Kind::kSubscribe;
+  op->subscription = id;
+  op->machine =
+      std::make_unique<twigm::BuiltMachine>(std::move(built).value());
+  op->sink = std::move(sink);
+  if (!EmitControl(std::move(op))) {
     std::lock_guard<std::mutex> lock(mu_);
     subscriptions_.erase(id);
     return Status::InvalidArgument("service is stopped");
@@ -195,6 +266,7 @@ Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath) {
 }
 
 Status StreamService::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> control_lock(control_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = subscriptions_.find(id);
@@ -203,12 +275,12 @@ Status StreamService::Unsubscribe(SubscriptionId id) {
     }
     subscriptions_.erase(it);
   }
-  IngestItem item;
-  item.kind = IngestItem::Kind::kUnsubscribe;
-  item.subscription = id;
-  // A closed queue means the service is stopping: teardown removes every
+  auto op = std::make_shared<ControlOp>();
+  op->kind = ControlOp::Kind::kUnsubscribe;
+  op->subscription = id;
+  // A failed emit means the service is stopping: teardown removes every
   // machine anyway, so the unsubscribe is already effectively applied.
-  ingest_queue_->Push(std::move(item));
+  EmitControl(std::move(op));
   return Status::OK();
 }
 
@@ -226,12 +298,23 @@ Result<std::vector<Delivery>> StreamService::Drain(SubscriptionId id) {
 }
 
 Status StreamService::Publish(std::string document) {
-  IngestItem item;
-  item.kind = IngestItem::Kind::kDocument;
+  size_t stream = static_cast<size_t>(next_stream_.fetch_add(
+                      1, std::memory_order_relaxed)) %
+                  streams_.size();
+  return PublishToStream(stream, std::move(document));
+}
+
+Status StreamService::PublishToStream(size_t stream, std::string document) {
+  if (stream >= streams_.size()) {
+    return Status::InvalidArgument("stream index out of range");
+  }
+  StreamItem item;
   item.document = std::move(document);
-  if (!ingest_queue_->Push(std::move(item))) {
+  if (!streams_[stream]->queue.Push(std::move(item))) {
     return Status::InvalidArgument("service is stopped");
   }
+  streams_[stream]->documents_published.fetch_add(1,
+                                                  std::memory_order_relaxed);
   documents_published_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -239,11 +322,17 @@ Status StreamService::Publish(std::string document) {
 Status StreamService::Flush() {
   auto gate = std::make_shared<FlushGate>();
   gate->remaining = shards_.size();
-  IngestItem item;
-  item.kind = IngestItem::Kind::kFlush;
-  item.gate = gate;
-  if (!ingest_queue_->Push(std::move(item))) {
-    // Stopping: Stop() drains everything, which is a stronger barrier.
+  auto op = std::make_shared<ControlOp>();
+  op->kind = ControlOp::Kind::kFlush;
+  op->gate = gate;
+  bool emitted;
+  {
+    std::lock_guard<std::mutex> control_lock(control_mu_);
+    emitted = EmitControl(std::move(op));
+  }
+  if (!emitted) {
+    // Stopping: Stop() drains everything, which is a stronger barrier, and
+    // a partially emitted marker may never complete every shard's gate.
     std::lock_guard<std::mutex> lock(mu_);
     return first_error_;
   }
@@ -259,10 +348,23 @@ ServiceStats StreamService::stats() const {
   s.documents_rejected = documents_rejected_.load(std::memory_order_relaxed);
   s.events_parsed = events_parsed_.load(std::memory_order_relaxed);
   s.results_delivered = results_delivered_.load(std::memory_order_relaxed);
-  s.ingest_queue_depth = ingest_queue_->size();
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.active_subscriptions = subscriptions_.size();
+  }
+  for (const auto& stream : streams_) {
+    StreamStatsSnapshot snap;
+    snap.documents_published =
+        stream->documents_published.load(std::memory_order_relaxed);
+    snap.documents_parsed =
+        stream->documents_parsed.load(std::memory_order_relaxed);
+    snap.documents_rejected =
+        stream->documents_rejected.load(std::memory_order_relaxed);
+    snap.events_parsed =
+        stream->events_parsed.load(std::memory_order_relaxed);
+    snap.queue_depth = stream->queue.size();
+    s.ingest_queue_depth += snap.queue_depth;
+    s.streams.push_back(snap);
   }
   uint64_t min_docs = 0;
   bool first = true;
@@ -270,7 +372,7 @@ ServiceStats StreamService::stats() const {
     ShardStatsSnapshot snap;
     snap.documents = shard->documents.load(std::memory_order_relaxed);
     snap.events = shard->events.load(std::memory_order_relaxed);
-    snap.queue_depth = shard->queue.size();
+    snap.queue_depth = shard->inbox.size();
     snap.live_queries = shard->live_queries.load(std::memory_order_relaxed);
     snap.live_machines = shard->live_machines.load(std::memory_order_relaxed);
     s.active_plan_machines += snap.live_machines;
@@ -297,135 +399,176 @@ ServiceStats StreamService::stats() const {
 }
 
 // ---------------------------------------------------------------------------
-// Ingest thread: parse once, fan out; compile subscriptions. The ONLY
-// thread that touches the shared SymbolTable after construction.
+// Stream threads: parse once (concurrently with the other streams, under a
+// shared lock on the frozen SymbolTable), fan the event log out to every
+// shard; forward control markers in FIFO position.
 // ---------------------------------------------------------------------------
 
-void StreamService::IngestLoop() {
+void StreamService::StreamLoop(Stream* stream) {
   xml::SaxParserOptions parse_options = options_.sax_options;
   parse_options.symbols = &symbols_;
-  while (std::optional<IngestItem> item = ingest_queue_->Pop()) {
-    switch (item->kind) {
-      case IngestItem::Kind::kDocument: {
-        auto log = std::make_shared<xml::EventLog>();
-        xml::EventRecorder recorder(log.get());
-        Status parsed =
-            xml::ParseString(item->document, &recorder, parse_options);
-        if (!parsed.ok()) {
-          // A malformed publication is dropped, not fatal: pub/sub streams
-          // outlive one bad document.
-          documents_rejected_.fetch_add(1, std::memory_order_relaxed);
-          break;
-        }
-        events_parsed_.fetch_add(log->size(), std::memory_order_relaxed);
-        for (auto& shard : shards_) {
-          ShardItem doc;
-          doc.kind = ShardItem::Kind::kDocument;
-          doc.log = log;  // shared: one parse, N replays
-          shard->queue.Push(std::move(doc));  // blocks on backpressure
-        }
-        break;
+  while (std::optional<StreamItem> item = stream->queue.Pop()) {
+    if (item->op != nullptr) {
+      // Control marker: deliver to EVERY shard's lane before touching the
+      // next queue item. This "fully forwarded before the next item"
+      // invariant is what makes the shard barrier deadlock-free
+      // (DESIGN.md §9).
+      for (auto& shard : shards_) {
+        ShardItem marker;
+        marker.kind = ShardItem::Kind::kMarker;
+        marker.op = item->op;
+        shard->inbox.Push(stream->index, std::move(marker));
       }
-      case IngestItem::Kind::kSubscribe: {
-        // Recompile against the shared table (the Subscribe-time build
-        // only validated). Interning happens here, on this thread.
-        auto built = twigm::TwigMBuilder::Build(
-            item->xpath, item->sink.get(), options_.machine_options,
-            &symbols_);
-        if (!built.ok()) {
-          RecordError(built.status());  // passed validation; cannot differ
-          break;
-        }
-        ShardItem sub;
-        sub.kind = ShardItem::Kind::kSubscribe;
-        sub.machine =
-            std::make_unique<twigm::BuiltMachine>(std::move(built).value());
-        sub.subscription = item->subscription;
-        sub.sink = std::move(item->sink);
-        shards_[ShardOf(item->subscription)]->queue.Push(std::move(sub));
-        break;
-      }
-      case IngestItem::Kind::kUnsubscribe: {
-        ShardItem unsub;
-        unsub.kind = ShardItem::Kind::kUnsubscribe;
-        unsub.subscription = item->subscription;
-        shards_[ShardOf(item->subscription)]->queue.Push(std::move(unsub));
-        break;
-      }
-      case IngestItem::Kind::kFlush: {
-        for (auto& shard : shards_) {
-          ShardItem flush;
-          flush.kind = ShardItem::Kind::kFlush;
-          flush.gate = item->gate;
-          shard->queue.Push(std::move(flush));
-        }
-        break;
-      }
+      continue;
+    }
+    auto log = std::make_shared<xml::EventLog>();
+    Status parsed;
+    {
+      // Parse with the table in its read-only phase: any number of streams
+      // may hold this shared lock at once; only Subscribe takes it
+      // exclusively (to intern a new query vocabulary).
+      std::shared_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+      xml::EventRecorder recorder(log.get());
+      parsed = xml::ParseString(item->document, &recorder, parse_options);
+    }
+    if (!parsed.ok()) {
+      // A malformed publication is dropped, not fatal: pub/sub streams
+      // outlive one bad document.
+      stream->documents_rejected.fetch_add(1, std::memory_order_relaxed);
+      documents_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    stream->documents_parsed.fetch_add(1, std::memory_order_relaxed);
+    stream->events_parsed.fetch_add(log->size(), std::memory_order_relaxed);
+    events_parsed_.fetch_add(log->size(), std::memory_order_relaxed);
+    for (auto& shard : shards_) {
+      ShardItem doc;
+      doc.kind = ShardItem::Kind::kDocument;
+      doc.log = log;  // shared: one parse, N replays
+      shard->inbox.Push(stream->index, std::move(doc));  // backpressure
     }
   }
-  // Ingest queue closed and drained: release the shards the same way.
-  for (auto& shard : shards_) shard->queue.Close();
+  // Stream queue closed and drained: release this lane on every shard.
+  for (auto& shard : shards_) shard->inbox.CloseLane(stream->index);
 }
 
 // ---------------------------------------------------------------------------
-// Shard threads: replay documents into the private engine; apply
-// subscription changes between documents (epoch boundaries).
+// Shard threads: merge the per-stream lanes, replaying documents into the
+// private engine and applying control ops at their epoch boundary — when
+// the op's marker has arrived on every lane. A lane that has delivered the
+// pending op's marker is held back (its cap) until the barrier completes,
+// so no document published after the op's epoch is replayed before it.
 // ---------------------------------------------------------------------------
 
-void StreamService::ShardLoop(Shard* shard) {
+void StreamService::ApplyControl(Shard* shard, ControlOp* op) {
   twigm::MultiQueryEngine& engine = *shard->engine;
-  while (std::optional<ShardItem> item = shard->queue.Pop()) {
-    switch (item->kind) {
-      case ShardItem::Kind::kDocument: {
-        if (shard->failed) break;  // fail-stop, but keep draining the queue
-        Status status = engine.RunEvents(*item->log);
-        if (!status.ok()) {
-          shard->failed = true;
-          RecordError(status);
-          break;
-        }
-        shard->documents.fetch_add(1, std::memory_order_relaxed);
-        shard->events.fetch_add(item->log->size(),
+  switch (op->kind) {
+    case ControlOp::Kind::kSubscribe: {
+      if (shard->failed) break;
+      Result<twigm::QueryId> qid = engine.AddBuilt(std::move(*op->machine));
+      if (!qid.ok()) {
+        RecordError(qid.status());
+        break;
+      }
+      shard->queries[op->subscription] = qid.value();
+      shard->sinks[op->subscription] = std::move(op->sink);
+      shard->live_queries.store(shard->queries.size(),
                                 std::memory_order_relaxed);
-        std::lock_guard<std::mutex> lock(shard->dispatch_mu);
-        shard->dispatch = engine.dispatch_stats();
-        break;
+      shard->live_machines.store(engine.machine_count(),
+                                 std::memory_order_relaxed);
+      break;
+    }
+    case ControlOp::Kind::kUnsubscribe: {
+      auto it = shard->queries.find(op->subscription);
+      if (it == shard->queries.end()) break;  // never installed (failed)
+      if (!shard->failed) {
+        (void)engine.RemoveQuery(it->second);
       }
-      case ShardItem::Kind::kSubscribe: {
-        if (shard->failed) break;
-        Result<twigm::QueryId> qid =
-            engine.AddBuilt(std::move(*item->machine));
-        if (!qid.ok()) {
-          RecordError(qid.status());
-          break;
-        }
-        shard->queries[item->subscription] = qid.value();
-        shard->sinks[item->subscription] = std::move(item->sink);
-        shard->live_queries.store(shard->queries.size(),
-                                  std::memory_order_relaxed);
-        shard->live_machines.store(engine.machine_count(),
-                                   std::memory_order_relaxed);
-        break;
+      shard->queries.erase(it);
+      shard->sinks.erase(op->subscription);
+      shard->live_queries.store(shard->queries.size(),
+                                std::memory_order_relaxed);
+      shard->live_machines.store(engine.machine_count(),
+                                 std::memory_order_relaxed);
+      break;
+    }
+    case ControlOp::Kind::kFlush: {
+      std::lock_guard<std::mutex> lock(op->gate->mu);
+      if (--op->gate->remaining == 0) op->gate->cv.notify_all();
+      break;
+    }
+  }
+}
+
+void StreamService::ShardLoop(Shard* shard) {
+  const size_t lanes = streams_.size();
+  // Per-lane pop counts (single consumer: these mirror the inbox's own
+  // counts) and the active caps. limits[l] == popped[l] freezes lane l.
+  std::vector<uint64_t> popped(lanes, 0);
+  std::vector<uint64_t> limits(lanes, BoundedQueueGroup<ShardItem>::kNoLimit);
+  std::shared_ptr<ControlOp> pending;  // barrier in progress
+  size_t lanes_at_barrier = 0;
+  // Ops force-applied during shutdown drain: stale copies of their marker
+  // may still surface from other lanes and must not re-barrier (a flush
+  // gate decremented twice, a subscribe's machine moved-from twice).
+  std::unordered_set<const ControlOp*> force_applied;
+
+  while (true) {
+    std::optional<BoundedQueueGroup<ShardItem>::Popped> next =
+        shard->inbox.PopReady(limits.data());
+    if (!next.has_value()) {
+      if (pending != nullptr) {
+        // Shutdown drain: some lane closed before delivering the pending
+        // op's marker (its emit raced Stop()). Epoch exactness is moot —
+        // every machine is about to be torn down — but flush gates must
+        // still release their waiters, so force-apply and keep draining.
+        ApplyControl(shard, pending.get());
+        force_applied.insert(pending.get());
+        pending.reset();
+        lanes_at_barrier = 0;
+        std::fill(limits.begin(), limits.end(),
+                  BoundedQueueGroup<ShardItem>::kNoLimit);
+        continue;
       }
-      case ShardItem::Kind::kUnsubscribe: {
-        auto it = shard->queries.find(item->subscription);
-        if (it == shard->queries.end()) break;  // never installed (failed)
-        if (!shard->failed) {
-          (void)engine.RemoveQuery(it->second);
-        }
-        shard->queries.erase(it);
-        shard->sinks.erase(item->subscription);
-        shard->live_queries.store(shard->queries.size(),
-                                  std::memory_order_relaxed);
-        shard->live_machines.store(engine.machine_count(),
-                                   std::memory_order_relaxed);
-        break;
+      break;  // every lane closed and fully drained
+    }
+    const size_t lane = next->lane;
+    ++popped[lane];
+    ShardItem& item = next->item;
+    if (item.kind == ShardItem::Kind::kDocument) {
+      if (shard->failed) continue;  // fail-stop, but keep draining
+      Status status = shard->engine->RunEvents(*item.log);
+      if (!status.ok()) {
+        shard->failed = true;
+        RecordError(status);
+        continue;
       }
-      case ShardItem::Kind::kFlush: {
-        std::lock_guard<std::mutex> lock(item->gate->mu);
-        if (--item->gate->remaining == 0) item->gate->cv.notify_all();
-        break;
-      }
+      shard->documents.fetch_add(1, std::memory_order_relaxed);
+      shard->events.fetch_add(item.log->size(), std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(shard->dispatch_mu);
+      shard->dispatch = shard->engine->dispatch_stats();
+      continue;
+    }
+    // Marker. Because ops enter every lane in one consistent order and a
+    // lane freezes once it delivers the pending op's marker, a marker
+    // popped while a barrier is pending is either that op's (from a lane
+    // that hadn't delivered it yet) or an older, not-handled-here op's.
+    if (force_applied.count(item.op.get()) != 0) continue;  // stale copy
+    if (pending != nullptr) {
+      if (item.op != pending) continue;  // older op, no barrier here
+    } else if (ShardHandles(*shard, *item.op)) {
+      pending = item.op;
+      lanes_at_barrier = 0;
+    } else {
+      continue;  // marker for another shard's subscription
+    }
+    limits[lane] = popped[lane];  // freeze this lane at the epoch boundary
+    if (++lanes_at_barrier == lanes) {
+      ApplyControl(shard, pending.get());
+      pending.reset();
+      lanes_at_barrier = 0;
+      std::fill(limits.begin(), limits.end(),
+                BoundedQueueGroup<ShardItem>::kNoLimit);
     }
   }
 }

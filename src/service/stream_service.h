@@ -1,31 +1,44 @@
 // StreamService: a sharded, multi-threaded pub/sub runtime over the TwigM
 // pipeline — the paper's motivating deployment (stock tickers, sports
-// feeds, personalized newspapers: one stream, many standing subscriptions)
-// run across cores. See DESIGN.md §5.
+// feeds, personalized newspapers: many streams, many standing
+// subscriptions) run across cores. See DESIGN.md §5 and §9.
 //
 // Architecture (threads left to right):
 //
-//   callers ──Publish──▶ [ingest queue] ── ingest thread ──▶ [shard queues]
-//   callers ──Subscribe/Unsubscribe──────────┘ (same FIFO)        │
-//                                                    shard 0..N-1 threads,
-//                                                    each a private
-//                                                    MultiQueryEngine
+//   Publish ──▶ [stream queue 0..M-1] ──▶ M parser threads ──▶ ┐
+//   Subscribe/Unsubscribe/Flush ──markers into every stream──▶ ┘
+//                                                              │
+//                              [per-shard inbox: M lanes, one per stream,
+//                               merged under a barrier-marker discipline]
+//                                                              │
+//                                  shard 0..N-1 threads, each a private
+//                                  MultiQueryEngine
 //
-//   * Documents are parsed ONCE, on the ingest thread, into an
+//   * M publisher streams, each with its OWN parser thread: a published
+//     document is parsed once, on its stream's thread, into an
 //     xml::EventLog (symbol- and sequence-stamped), then the log is
-//     replayed into every shard — N shards cost one parse.
-//   * Subscriptions are hash-partitioned across shards; each shard's
-//     engine dispatches events only to its own machines, so per-event
-//     match work splits N ways.
-//   * Every queue is bounded: a slow shard backpressures the ingest
-//     thread, which backpressures Publish. Nothing buffers unboundedly.
-//   * Subscribe/Unsubscribe flow through the SAME queues as documents, so
-//     they apply at exact document epoch boundaries: a subscription sees
-//     every document published after the Subscribe call returned, and
-//     none published before.
-//   * All SymbolTable mutation (query compilation, parse-time interning)
-//     is confined to the ingest thread; shard threads consume only stamped
-//     integer symbols, so the shared table needs no lock.
+//     replayed into every shard — M documents parse concurrently, and
+//     N shards still cost one parse each.
+//   * The shared SymbolTable is FROZEN (read-only) while streams run, so
+//     all M parser threads resolve symbols concurrently without write
+//     locks (parse-side resolution is lookup-only; misses stamp
+//     kAbsentSymbol). Control operations that must intern — subscription
+//     compiles — run through a serialized control lane that briefly
+//     quiesces the parsers, unfreezes the table, compiles, and refreezes.
+//   * Epoch discipline: every control op (Subscribe/Unsubscribe/Flush) is
+//     a MARKER pushed into every stream's queue, in one consistent order
+//     across streams. Stream threads forward markers to every shard lane
+//     in FIFO position; a shard applies the op once the marker has arrived
+//     on ALL of its lanes, holding back each lane at the point its marker
+//     appeared. Subscribe/Unsubscribe therefore apply at exact
+//     document-epoch boundaries — a subscription sees every document
+//     published after the Subscribe call returned, and none published
+//     before it was called — and per-subscriber match order stays
+//     deterministic within a stream (cross-stream interleaving is
+//     unordered by design). DESIGN.md §9 has the deadlock-freedom
+//     argument.
+//   * Every queue is bounded: a slow shard backpressures the parser
+//     streams, which backpressure Publish. Nothing buffers unboundedly.
 //   * Results are delivered into a per-subscriber thread-safe sink; the
 //     caller collects them with Drain(id) at its own pace.
 
@@ -38,6 +51,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -66,11 +80,15 @@ struct Delivery {
 struct StreamServiceOptions {
   /// Worker shards (each one thread + one MultiQueryEngine). Clamped to 1.
   size_t shard_count = 4;
-  /// Capacity of the ingest queue and of each shard's queue (documents +
-  /// control ops). Smaller values bound memory harder and backpressure
-  /// sooner.
+  /// Concurrent publisher streams (each one parser thread + one bounded
+  /// ingest queue). Clamped to 1. Publish() spreads documents round-robin;
+  /// PublishToStream pins a document to a stream when per-stream FIFO
+  /// ordering matters to the caller.
+  size_t stream_count = 1;
+  /// Capacity of each stream's ingest queue and of each per-shard inbox
+  /// lane. Smaller values bound memory harder and backpressure sooner.
   size_t queue_capacity = 64;
-  /// Parser options for the single ingest-side parse. The `symbols` field
+  /// Parser options for the per-stream ingest parses. The `symbols` field
   /// is overridden with the service's shared table.
   xml::SaxParserOptions sax_options;
   /// Options applied to every subscription's TwigM machine.
@@ -82,13 +100,22 @@ struct StreamServiceOptions {
 struct ShardStatsSnapshot {
   uint64_t documents = 0;  ///< documents fully processed by this shard
   uint64_t events = 0;     ///< SAX events replayed into this shard
-  size_t queue_depth = 0;
+  size_t queue_depth = 0;  ///< items queued across this shard's inbox lanes
   size_t live_queries = 0;
   /// Plan machines actually executing this shard's queries — under plan
   /// sharing (DESIGN.md §7) far below live_queries when subscriptions
   /// share skeletons (`//quote[@symbol = 'X']/price` per ticker X).
   size_t live_machines = 0;
   twigm::DispatchStats dispatch;  ///< as of the last completed document
+};
+
+/// Per-stream counters (monotonic except queue_depth).
+struct StreamStatsSnapshot {
+  uint64_t documents_published = 0;  ///< accepted by Publish on this stream
+  uint64_t documents_parsed = 0;     ///< parsed OK on this stream's thread
+  uint64_t documents_rejected = 0;   ///< failed to parse on this stream
+  uint64_t events_parsed = 0;        ///< SAX events recorded on this stream
+  size_t queue_depth = 0;            ///< this stream's ingest queue
 };
 
 /// Service-wide snapshot (stats()).
@@ -103,11 +130,12 @@ struct ServiceStats {
   /// Sum of live plan machines over shards (<= active_subscriptions; the
   /// gap is what hash-consed plan sharing saves per event).
   uint64_t active_plan_machines = 0;
-  size_t ingest_queue_depth = 0;
+  size_t ingest_queue_depth = 0;  ///< sum over the stream ingest queues
   double uptime_seconds = 0;
   double docs_per_sec = 0;    ///< documents_processed / uptime
   double events_per_sec = 0;  ///< events_replayed / uptime (total work rate)
   std::vector<ShardStatsSnapshot> shards;
+  std::vector<StreamStatsSnapshot> streams;
 };
 
 class StreamService {
@@ -118,14 +146,15 @@ class StreamService {
   StreamService(const StreamService&) = delete;
   StreamService& operator=(const StreamService&) = delete;
 
-  /// Registers a standing subscription. The query is validated
-  /// synchronously (errors return immediately); the machine itself is
-  /// compiled on the ingest thread and installed in its shard at the next
-  /// document boundary. The subscription receives results for every
-  /// document published after this call returns.
+  /// Registers a standing subscription. The query compiles synchronously
+  /// on this thread — the one place the shared SymbolTable is unfrozen, so
+  /// the call briefly quiesces the parser streams — and installs in its
+  /// shard at this call's epoch boundary. The subscription receives
+  /// results for every document published after this call returns, and
+  /// none published before it was called.
   Result<SubscriptionId> Subscribe(std::string_view xpath);
 
-  /// Ends a subscription at the next document boundary; undrained results
+  /// Ends a subscription at this call's epoch boundary; undrained results
   /// are discarded and the id becomes invalid immediately.
   Status Unsubscribe(SubscriptionId id);
 
@@ -134,11 +163,18 @@ class StreamService {
   /// finishes that document (Flush() to force completion).
   Result<std::vector<Delivery>> Drain(SubscriptionId id);
 
-  /// Publishes one complete XML document to every subscription. Blocks
-  /// only for backpressure (ingest queue full); processing is
-  /// asynchronous. A document that fails to parse is counted rejected and
-  /// dropped; it does not stop the service.
+  /// Publishes one complete XML document to every subscription, on a
+  /// round-robin-chosen stream. Blocks only for backpressure (the stream's
+  /// ingest queue is full); processing is asynchronous. A document that
+  /// fails to parse is counted rejected and dropped; it does not stop the
+  /// service.
   Status Publish(std::string document);
+
+  /// Publish with an explicit stream choice: documents published to the
+  /// same stream by the same caller are parsed, replayed and delivered in
+  /// publish order (cross-stream order is unspecified). `stream` must be
+  /// < stream_count().
+  Status PublishToStream(size_t stream, std::string document);
 
   /// Blocks until everything published (and every subscribe/unsubscribe
   /// issued) before this call has been fully processed by every shard.
@@ -151,30 +187,48 @@ class StreamService {
   Status Stop();
 
   size_t shard_count() const { return shards_.size(); }
+  size_t stream_count() const { return streams_.size(); }
   ServiceStats stats() const;
 
  private:
   class SubscriberSink;
   struct FlushGate;
-  struct IngestItem;
+  struct ControlOp;
+  struct StreamItem;
   struct ShardItem;
+  struct Stream;
   struct Shard;
 
-  void IngestLoop();
+  void StreamLoop(Stream* stream);
   void ShardLoop(Shard* shard);
   size_t ShardOf(SubscriptionId id) const;
+  bool ShardHandles(const Shard& shard, const ControlOp& op) const;
   void RecordError(const Status& status);
+  /// Applies one control op on the shard's thread, at its epoch boundary
+  /// (all lane markers arrived) or force-applied during shutdown drain.
+  void ApplyControl(Shard* shard, ControlOp* op);
+  /// Pushes `op` as a marker into EVERY stream queue, under control_mu_ so
+  /// concurrent ops enter all queues in one consistent total order (the
+  /// correctness precondition of the shard-side barrier; DESIGN.md §9).
+  /// Returns false if the service is stopping (some queue closed).
+  bool EmitControl(std::shared_ptr<ControlOp> op);
 
   StreamServiceOptions options_;
-  // Shared by the ingest parser and every shard engine. Mutated (Intern)
-  // only on the ingest thread; shard threads never call into it — they
-  // read stamped symbols off replayed events, and MultiQueryEngine sizes
-  // its dispatch index from query vocabulary, not from the table.
+  // Shared by every stream's parser and every shard engine. FROZEN
+  // (read-only) while streams run: stream threads hold symbols_mu_ shared
+  // for the duration of a parse and only Lookup; Subscribe holds it
+  // exclusive around Unfreeze → compile (interns) → Freeze, so mutation
+  // never overlaps a lookup. Shard threads never touch the table: they
+  // consume stamped integer symbols off replayed events.
   SymbolTable symbols_;
+  std::shared_mutex symbols_mu_;
 
-  std::unique_ptr<BoundedQueue<IngestItem>> ingest_queue_;
+  std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::thread ingest_thread_;
+
+  // The serialized control lane: holds marker emission (and the compile
+  // that precedes it for Subscribe) so control ops are totally ordered.
+  std::mutex control_mu_;
 
   // Held for the whole of Stop() so concurrent stops (destructor racing an
   // explicit Stop) wait for the joins instead of returning early.
@@ -189,6 +243,7 @@ class StreamService {
   bool stopped_ = false;
 
   std::atomic<uint64_t> next_subscription_{1};
+  std::atomic<uint64_t> next_stream_{0};  // Publish round-robin cursor
   std::atomic<uint64_t> documents_published_{0};
   std::atomic<uint64_t> documents_rejected_{0};
   std::atomic<uint64_t> events_parsed_{0};

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace vitex {
@@ -93,6 +95,77 @@ TEST(SymbolTableTest, MoveKeepsContents) {
   EXPECT_EQ(moved.Lookup("x"), 0u);
   EXPECT_EQ(moved.Lookup("y"), 1u);
   EXPECT_EQ(moved.name(1), "y");
+}
+
+// -------------------------------------------------------------------------
+// The freeze (read-only phase) contract — what lets the service's M parser
+// threads resolve symbols concurrently without locks (DESIGN.md §9).
+// -------------------------------------------------------------------------
+
+TEST(InternerFreezeTest, FreezeTogglesAndReInterningStaysAllowed) {
+  SymbolTable table;
+  Symbol a = table.Intern("a");
+  EXPECT_FALSE(table.frozen());
+  table.Freeze();
+  EXPECT_TRUE(table.frozen());
+  // Interning an EXISTING name mutates nothing and stays legal.
+  EXPECT_EQ(table.Intern("a"), a);
+  EXPECT_EQ(table.size(), 1u);
+  table.Unfreeze();
+  EXPECT_FALSE(table.frozen());
+  EXPECT_EQ(table.Intern("b"), 1u);  // minting is legal again
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(InternerFreezeTest, FrozenTableRefusesToMint) {
+  SymbolTable table;
+  table.Intern("known");
+  table.Freeze();
+#ifdef NDEBUG
+  // Release: the guard returns the never-valid sentinel without mutating.
+  EXPECT_EQ(table.Intern("new-name"), kNoSymbol);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Lookup("new-name"), kNoSymbol);
+#else
+  // Debug: minting on a frozen table is a caller bug and asserts.
+  EXPECT_DEATH(table.Intern("new-name"), "frozen");
+#endif
+}
+
+// The asan/tsan acceptance test: a frozen table serves concurrent lookups
+// (hits and misses, plus name()/size() reads) from many threads with no
+// synchronization at all.
+TEST(InternerFreezeTest, FrozenTableServesConcurrentLookups) {
+  SymbolTable table;
+  std::vector<std::string> names;
+  for (int i = 0; i < 512; ++i) {
+    names.push_back("tag_" + std::to_string(i));
+    table.Intern(names.back());
+  }
+  table.Freeze();
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> hits{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &names, &hits, t] {
+      uint64_t local = 0;
+      for (int r = 0; r < kRounds; ++r) {
+        for (size_t i = t % 7; i < names.size(); i += 7) {
+          Symbol s = table.Lookup(names[i]);
+          ASSERT_EQ(s, static_cast<Symbol>(i));
+          ASSERT_EQ(table.name(s), names[i]);
+          ++local;
+        }
+        ASSERT_EQ(table.Lookup("never-interned-" + std::to_string(r)),
+                  kNoSymbol);
+        ASSERT_EQ(table.size(), names.size());
+      }
+      hits.fetch_add(local);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(hits.load(), 0u);
 }
 
 }  // namespace

@@ -117,14 +117,26 @@ TEST(OracleTest, SequenceNumbersIdenticalAcrossRoutes) {
   EXPECT_EQ(twig.value(), dom.value());
   EXPECT_EQ(multi.value()[0], dom.value());
   EXPECT_EQ(service.value()[0], dom.value());
+  // Multi-stream service: the document published once per stream yields
+  // each (sequence, fragment) pair exactly stream_count times.
+  auto multi_stream = Oracle::RunService({query}, {}, doc, 2, 3);
+  ASSERT_TRUE(multi_stream.ok());
+  ASSERT_EQ(multi_stream.value()[0].size(), 6u);
+  for (size_t i = 0; i < multi_stream.value()[0].size(); ++i) {
+    EXPECT_EQ(multi_stream.value()[0][i], dom.value()[i / 3]) << i;
+  }
 }
 
-TEST(OracleTest, ShardCountRotatesAndServiceAgrees) {
+TEST(OracleTest, ShardAndStreamCountsSweepTheGridAndServiceAgrees) {
   OracleOptions options;
   options.max_shards = 4;
+  options.max_streams = 2;
   Oracle oracle(options);
   const std::string doc = "<r><a><b>1</b></a><a><b>2</b></a></r>";
-  for (int i = 0; i < 8; ++i) {  // covers shard counts 1..4 twice
+  // Each batch advances checks_ by 2, so 8 batches step the shard cycle
+  // through 1,3,1,3,... and the stream cycle (advancing per shard-wrap)
+  // through both values: a sweep across the stream×shard grid.
+  for (int i = 0; i < 8; ++i) {
     auto d = oracle.CheckBatch({"//a[b]", "//a/b/text()"}, {"//*"}, doc);
     EXPECT_FALSE(d.has_value()) << d->ToString();
   }

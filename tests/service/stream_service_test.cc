@@ -361,6 +361,263 @@ TEST(StreamServiceTest, SharedSkeletonSubscriptionChurn) {
   }
 }
 
+// -------------------------------------------------------------------------
+// Multi-stream ingest (DESIGN.md §9).
+// -------------------------------------------------------------------------
+
+TEST(StreamServiceTest, MultiStreamDeliveriesMatchDirectEngine) {
+  const std::vector<std::string> queries = {
+      "//item0/val/text()", "//item1/@id", "//item2[val]/val/text()",
+      "//*/val/text()",     "//feed//item3"};
+  std::vector<std::string> docs;
+  for (int i = 0; i < 12; ++i) docs.push_back(MakeDoc(5, 5 + i % 7, i));
+
+  twigm::MultiQueryEngine reference;
+  std::vector<twigm::VectorResultCollector> expected(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_TRUE(reference.AddQuery(queries[q], &expected[q]).ok());
+  }
+  for (const std::string& doc : docs) {
+    ASSERT_TRUE(reference.RunString(doc).ok());
+    reference.ResetStream();
+  }
+
+  for (size_t stream_count : {1, 2, 4}) {
+    for (size_t shard_count : {1, 3}) {
+      StreamServiceOptions options;
+      options.shard_count = shard_count;
+      options.stream_count = stream_count;
+      StreamService service(options);
+      ASSERT_EQ(service.stream_count(), stream_count);
+      std::vector<SubscriptionId> subs;
+      for (const std::string& q : queries) {
+        auto id = service.Subscribe(q);
+        ASSERT_TRUE(id.ok()) << q << ": " << id.status();
+        subs.push_back(id.value());
+      }
+      for (const std::string& doc : docs) {
+        ASSERT_TRUE(service.Publish(doc).ok());  // round-robin over streams
+      }
+      ASSERT_TRUE(service.Flush().ok());
+      for (size_t q = 0; q < queries.size(); ++q) {
+        auto drained = service.Drain(subs[q]);
+        ASSERT_TRUE(drained.ok());
+        std::vector<std::string> want;
+        for (const auto& e : expected[q].results()) {
+          want.push_back(e.fragment);
+        }
+        std::sort(want.begin(), want.end());
+        EXPECT_EQ(SortedFragments(std::move(drained).value()), want)
+            << "query " << queries[q] << " streams=" << stream_count
+            << " shards=" << shard_count;
+      }
+      EXPECT_TRUE(service.Stop().ok());
+    }
+  }
+}
+
+TEST(StreamServiceTest, PublishToStreamValidatesIndex) {
+  StreamServiceOptions options;
+  options.stream_count = 2;
+  StreamService service(options);
+  EXPECT_TRUE(service.PublishToStream(1, "<a/>").ok());
+  EXPECT_TRUE(
+      service.PublishToStream(2, "<a/>").IsInvalidArgument());
+}
+
+// Within one stream, deliveries preserve publish order even while another
+// stream interleaves its own documents arbitrarily.
+TEST(StreamServiceTest, PerStreamOrderIsPreserved) {
+  StreamServiceOptions options;
+  options.shard_count = 2;
+  options.stream_count = 2;
+  options.queue_capacity = 4;
+  StreamService service(options);
+  auto id = service.Subscribe("//doc/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.Flush().ok());
+
+  constexpr int kPerStream = 40;
+  std::vector<std::thread> publishers;
+  for (int s = 0; s < 2; ++s) {
+    publishers.emplace_back([&service, s] {
+      for (int i = 0; i < kPerStream; ++i) {
+        std::string doc = "<doc>s" + std::to_string(s) + "_" +
+                          std::to_string(i) + "</doc>";
+        ASSERT_TRUE(service.PublishToStream(s, std::move(doc)).ok());
+      }
+    });
+  }
+  for (auto& t : publishers) t.join();
+  ASSERT_TRUE(service.Flush().ok());
+
+  auto drained = service.Drain(id.value());
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(drained->size(), 2u * kPerStream);
+  // Filter the delivery sequence per stream: each must be 0,1,2,... even
+  // though the two streams interleave arbitrarily.
+  for (int s = 0; s < 2; ++s) {
+    const std::string prefix = "s" + std::to_string(s) + "_";
+    int next = 0;
+    for (const Delivery& d : drained.value()) {
+      if (d.fragment.compare(0, prefix.size(), prefix) != 0) continue;
+      EXPECT_EQ(d.fragment, prefix + std::to_string(next))
+          << "stream " << s << " out of order at position " << next;
+      ++next;
+    }
+    EXPECT_EQ(next, kPerStream);
+  }
+}
+
+// The epoch-boundary guarantee with real multi-stream traffic: every
+// document whose Publish RETURNED before Subscribe was called is invisible
+// to the subscription; every document published after Subscribe RETURNED is
+// seen. (The markers must cut all four stream queues consistently.)
+TEST(StreamServiceTest, SubscribeCutsAllStreamsAtOneEpoch) {
+  StreamServiceOptions options;
+  options.shard_count = 2;
+  options.stream_count = 4;
+  StreamService service(options);
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(service.Publish("<doc><pre>p" + std::to_string(i) +
+                                "</pre></doc>")
+                    .ok());
+  }
+  auto late = service.Subscribe("//doc/*/text()");
+  ASSERT_TRUE(late.ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(service.Publish("<doc><post>q" + std::to_string(i) +
+                                "</post></doc>")
+                    .ok());
+  }
+  ASSERT_TRUE(service.Flush().ok());
+
+  auto drained = service.Drain(late.value());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), 20u);  // all post-subscribe documents...
+  for (const Delivery& d : drained.value()) {
+    EXPECT_EQ(d.fragment[0], 'q')  // ...and nothing pre-subscribe
+        << "saw a pre-subscribe document: " << d.fragment;
+  }
+}
+
+// A malformed document on one stream must not desynchronize the epoch
+// merge: markers are positions in the queue, not document counts.
+TEST(StreamServiceTest, RejectedDocumentDoesNotWedgeTheEpochMerge) {
+  StreamServiceOptions options;
+  options.shard_count = 2;
+  options.stream_count = 3;
+  StreamService service(options);
+  ASSERT_TRUE(service.PublishToStream(0, "<broken><nope").ok());
+  ASSERT_TRUE(service.PublishToStream(1, "<a>first</a>").ok());
+  auto id = service.Subscribe("//a/text()");
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(service.PublishToStream(0, "<a>second</a>").ok());
+  ASSERT_TRUE(service.PublishToStream(2, "<broken too").ok());
+  ASSERT_TRUE(service.PublishToStream(2, "<a>third</a>").ok());
+  ASSERT_TRUE(service.Flush().ok());
+  auto drained = service.Drain(id.value());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(SortedFragments(std::move(drained).value()),
+            (std::vector<std::string>{"second", "third"}));
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.documents_rejected, 2u);
+  EXPECT_EQ(stats.documents_processed, 3u);
+}
+
+TEST(StreamServiceTest, PerStreamStatsGauges) {
+  StreamServiceOptions options;
+  options.shard_count = 2;
+  options.stream_count = 3;
+  StreamService service(options);
+  ASSERT_TRUE(service.PublishToStream(0, MakeDoc(2, 4, 0)).ok());
+  ASSERT_TRUE(service.PublishToStream(0, MakeDoc(2, 4, 1)).ok());
+  ASSERT_TRUE(service.PublishToStream(2, "<oops").ok());
+  ASSERT_TRUE(service.Flush().ok());
+  ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.streams.size(), 3u);
+  EXPECT_EQ(stats.streams[0].documents_published, 2u);
+  EXPECT_EQ(stats.streams[0].documents_parsed, 2u);
+  EXPECT_EQ(stats.streams[0].documents_rejected, 0u);
+  EXPECT_GT(stats.streams[0].events_parsed, 0u);
+  EXPECT_EQ(stats.streams[1].documents_published, 0u);
+  EXPECT_EQ(stats.streams[2].documents_published, 1u);
+  EXPECT_EQ(stats.streams[2].documents_parsed, 0u);
+  EXPECT_EQ(stats.streams[2].documents_rejected, 1u);
+  EXPECT_EQ(stats.documents_published, 3u);
+  EXPECT_EQ(stats.documents_rejected, 1u);
+  EXPECT_EQ(stats.events_parsed,
+            stats.streams[0].events_parsed + stats.streams[2].events_parsed);
+  EXPECT_EQ(stats.ingest_queue_depth, 0u);
+}
+
+// The TSAN tentpole scenario: M publisher threads drive M streams
+// concurrently while subscriptions churn from other threads. The stable
+// subscriber must see every matching document exactly once; the churners
+// exercise the freeze/unfreeze + barrier machinery mid-traffic.
+TEST(StreamServiceTest, ConcurrentMultiStreamPublishWithChurn) {
+  constexpr size_t kStreams = 4;
+  StreamServiceOptions options;
+  options.shard_count = 3;
+  options.stream_count = kStreams;
+  options.queue_capacity = 8;
+  StreamService service(options);
+
+  auto stable = service.Subscribe("//item0/val/text()");
+  ASSERT_TRUE(stable.ok());
+  ASSERT_TRUE(service.Flush().ok());  // stable machine installed
+
+  constexpr int kDocsPerStream = 25;
+  constexpr int kChurners = 2;
+  size_t expected = 0;
+  std::vector<std::vector<std::string>> docs(kStreams);
+  for (size_t s = 0; s < kStreams; ++s) {
+    for (int i = 0; i < kDocsPerStream; ++i) {
+      docs[s].push_back(MakeDoc(6, 8, static_cast<int>(s * 100) + i));
+      for (size_t pos = docs[s].back().find("<item0 ");
+           pos != std::string::npos;
+           pos = docs[s].back().find("<item0 ", pos + 1)) {
+        ++expected;
+      }
+    }
+  }
+  std::atomic<size_t> publishers_done{0};
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < kStreams; ++s) {
+    threads.emplace_back([&service, &docs, &publishers_done, s] {
+      for (const std::string& doc : docs[s]) {
+        ASSERT_TRUE(service.PublishToStream(s, doc).ok());
+      }
+      publishers_done.fetch_add(1);
+    });
+  }
+  for (int c = 0; c < kChurners; ++c) {
+    threads.emplace_back([&service, &publishers_done, c] {
+      int made = 0;
+      while (publishers_done.load() < kStreams || made < 4) {
+        auto id = service.Subscribe("//item" + std::to_string(1 + c) +
+                                    "[val]/@id");
+        ASSERT_TRUE(id.ok());
+        ++made;
+        (void)service.Drain(id.value());
+        ASSERT_TRUE(service.Unsubscribe(id.value()).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_TRUE(service.Flush().ok());
+
+  auto drained = service.Drain(stable.value());
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(drained->size(), expected);
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.documents_processed,
+            static_cast<uint64_t>(kStreams * kDocsPerStream));
+  EXPECT_EQ(stats.active_subscriptions, 1u);
+  EXPECT_TRUE(service.Stop().ok());
+}
+
 TEST(StreamServiceTest, StopIsIdempotentAndDrainSurvivesIt) {
   StreamService service;
   auto id = service.Subscribe("//a/text()");

@@ -23,6 +23,12 @@ genuine across-the-board regression is visible in the log; pass
 --no-normalize for raw absolute comparison (sensible when baseline and
 current come from the same machine).
 
+Build types: the JSON context block records library_build_type; a
+baseline recorded from a Debug build compared against a Release run (or
+vice versa) prints a loud warning — such ratios are dominated by the
+compiler, not the code. Record baselines with tools/bench_record.sh,
+which forces a Release build.
+
 Usage:
   python3 tools/bench_compare.py --baseline bench/baseline --current bench_out
   python3 tools/bench_compare.py ... --threshold 0.4   # looser gate
@@ -45,7 +51,11 @@ PREFERRED_RATE_KEYS = ("bytes_per_second", "items_per_second")
 
 
 def load_benchmarks(path):
-    """Returns {benchmark name: metrics dict} for one BENCH_*.json file."""
+    """Returns ({benchmark name: metrics dict}, build_type) for one
+    BENCH_*.json file. build_type prefers the vitex_build_type custom
+    context (the CMAKE_BUILD_TYPE the bench binary was compiled under,
+    stamped by bench/bench_json.h) and falls back to the library's own
+    library_build_type; None when absent (very old files)."""
     with open(path, "r", encoding="utf-8") as f:
         data = json.load(f)
     out = {}
@@ -55,7 +65,19 @@ def load_benchmarks(path):
         if bench.get("run_type") == "aggregate":
             continue
         out[bench["name"]] = bench
-    return out
+    context = data.get("context", {})
+    return out, context.get("vitex_build_type",
+                            context.get("library_build_type"))
+
+
+def build_class(build_type):
+    """Collapses build-type strings into comparable classes: every
+    optimized flavor (Release, RelWithDebInfo, MinSizeRel) performs in the
+    same ballpark; Debug (or unknown) does not."""
+    if build_type and build_type.lower() in (
+            "release", "relwithdebinfo", "minsizerel"):
+        return "optimized"
+    return "unoptimized-or-unknown"
 
 
 def metric_key_of(bench):
@@ -177,8 +199,18 @@ def main():
         if not os.path.exists(base_path):
             per_file.append((fname, None, None))
             continue
-        baseline = load_benchmarks(base_path)
-        current = load_benchmarks(os.path.join(args.current, fname))
+        baseline, base_build = load_benchmarks(base_path)
+        current, cur_build = load_benchmarks(os.path.join(args.current, fname))
+        if build_class(base_build) != build_class(cur_build):
+            # Debug-vs-optimized throughput differs by integer factors that
+            # normalization can't honestly absorb; the comparison is noise.
+            # Warn loudly rather than fail: --update runs hit this once by
+            # design when upgrading an old baseline.
+            print(f"WARNING: [{fname}] build-type mismatch — baseline "
+                  f"'{base_build}' vs current '{cur_build}'. Ratios below "
+                  f"are not meaningful; re-record the baseline with "
+                  f"tools/bench_record.sh (forces Release).",
+                  file=sys.stderr)
         rows, pairs, drifts = collect_pairs(baseline, current, fname)
         all_drifts.extend(drifts)
         all_ratios.extend(ratio for _, ratio, _, _, _ in pairs)

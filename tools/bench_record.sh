@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Records the bench/baseline/BENCH_*.json snapshot the CI bench-regression
+# gate compares against.
+#
+# Always configures a dedicated Release build (build-bench/): baselines
+# recorded from Debug or ad-hoc trees made the gate compare compiler
+# flags, not code. tools/bench_compare.py cross-checks the build type
+# stamped into each JSON (context.vitex_build_type) and warns on
+# mismatches; this script is the supported way to refresh the snapshot.
+#
+# The filters below mirror the CI tier-1 "Benchmark smoke" step exactly —
+# the gate only compares benchmark names present on BOTH sides, so the
+# baseline must be recorded with the same filters CI runs.
+#
+# Usage:
+#   tools/bench_record.sh            # record into bench/baseline/
+#   tools/bench_record.sh --dry-run  # run + compare only, no update
+#   BENCH_MIN_TIME=0.5 tools/bench_record.sh   # steadier numbers
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-bench}
+OUT_DIR=${OUT_DIR:-bench_out}
+MIN_TIME=${BENCH_MIN_TIME:-0.05}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DVITEX_BUILD_TESTS=OFF -DVITEX_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j --target \
+  bench_multi_query bench_protein_e2e bench_service bench_difftest bench_sax
+
+mkdir -p "$OUT_DIR"
+# Keep these invocations in lockstep with .github/workflows/ci.yml
+# ("Benchmark smoke" step in the tier1 job).
+VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_multi_query \
+  --benchmark_filter='DisjointTags|SharedSkeletons' \
+  --benchmark_min_time="$MIN_TIME"
+VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_protein_e2e \
+  --benchmark_filter='BM_ProteinViteX/1000$' --benchmark_min_time="$MIN_TIME"
+VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_service \
+  --benchmark_filter='shards:[148]/subs:256' --benchmark_min_time="$MIN_TIME"
+VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_difftest \
+  --benchmark_filter='service:0' --benchmark_min_time="$MIN_TIME"
+VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_sax \
+  --benchmark_filter='BM_SaxThroughput' --benchmark_min_time="$MIN_TIME"
+
+if [[ "${1:-}" == "--dry-run" ]]; then
+  python3 tools/bench_compare.py --baseline bench/baseline \
+    --current "$OUT_DIR" || true
+else
+  python3 tools/bench_compare.py --current "$OUT_DIR" --update
+  echo "baseline refreshed from a Release build; review and commit" \
+       "bench/baseline/"
+fi

@@ -1,6 +1,7 @@
 // difftest_main: long-running differential fuzzer over the five evaluation
 // routes (DomEvaluator ground truth, TwigMachine, per-query
-// MultiQueryEngine with decoys, StreamService replay across shards, and the
+// MultiQueryEngine with decoys, StreamService replay across 1-4 shards ×
+// 1-4 publisher streams (one published copy per stream), and the
 // shared-plan MultiQueryEngine). Odd iterations draw SharedSkeletonBatch
 // query families — literal/tag variants of one template — so the plan cache
 // is hammered with the subscriber-population shape it hash-conses. Designed
@@ -49,6 +50,7 @@ struct Args {
   size_t batch = 4;
   size_t decoys = 2;
   size_t max_shards = 4;
+  size_t max_streams = 4;
   size_t chunk_bytes = 0;
   std::string repro_dir = "difftest_repros";
   bool no_minimize = false;
@@ -60,7 +62,8 @@ struct Args {
       stderr,
       "usage: %s [--seed N] [--iterations N] [--workload all|protein|books|"
       "xmark|recursive|random]\n"
-      "          [--batch N] [--decoys N] [--max-shards N] [--chunk BYTES]\n"
+      "          [--batch N] [--decoys N] [--max-shards N] [--max-streams N]\n"
+      "          [--chunk BYTES]\n"
       "          [--repro-dir DIR] [--no-minimize] [--no-service]\n",
       argv0);
   std::exit(2);
@@ -85,6 +88,8 @@ Args ParseArgs(int argc, char** argv) {
       args.decoys = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--max-shards") == 0) {
       args.max_shards = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-streams") == 0) {
+      args.max_streams = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--chunk") == 0) {
       args.chunk_bytes = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--repro-dir") == 0) {
@@ -126,6 +131,7 @@ int main(int argc, char** argv) {
 
   OracleOptions oracle_options;
   oracle_options.max_shards = args.no_service ? 0 : args.max_shards;
+  oracle_options.max_streams = args.max_streams;
   oracle_options.feed_chunk_bytes = args.chunk_bytes;
   oracle_options.minimize = !args.no_minimize;
   Oracle oracle(oracle_options);

@@ -12,6 +12,10 @@
 // ingest-parse ceiling: ./news_server 8 512 200 4 parses four documents
 // concurrently (DESIGN.md §9); the mid-stream churn below then exercises
 // the cross-stream epoch barrier, not just a single queue.
+//
+// After the dashboard the run prints the live /statsz payload (DESIGN.md
+// §10): the same Prometheus text a scrape endpoint would serve, with the
+// per-stage latency histograms and queue-watermark gauges for THIS run.
 
 #include <cstdio>
 #include <cstdlib>
@@ -131,5 +135,10 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(sh.dispatch.start_visits),
         static_cast<unsigned long long>(sh.dispatch.broadcast_visits));
   }
+
+  // The observability tentpole, live: what a /statsz scrape of this
+  // process would return right now.
+  std::printf("\n--- /statsz (Prometheus text exposition) ---\n");
+  std::fputs(service.StatszText().c_str(), stdout);
   return 0;
 }

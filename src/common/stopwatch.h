@@ -32,6 +32,16 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+/// Monotonic wall-clock in nanoseconds since an arbitrary epoch — the
+/// timestamp the pipeline's stage-latency tracing stamps onto documents
+/// (DESIGN.md §10). One steady_clock read, no allocation; differences of
+/// two values are valid across threads.
+inline int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace vitex
 
 #endif  // VITEX_COMMON_STOPWATCH_H_

@@ -1,0 +1,144 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "obs/prometheus.h"
+
+namespace vitex::obs {
+
+uint64_t HistogramSnapshot::count() const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  return total;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank with interpolation: find the bucket holding the target
+  // rank, then place the quantile linearly inside its [2^(i-1), 2^i - 1]
+  // span. Clamped to the observed max so p99/max never exceed reality.
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (target < 1) target = 1;
+  if (target > n) target = n;
+  uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    uint64_t b = buckets[i];
+    if (b > 0 && cum + b >= target) {
+      double lower = i == 0 ? 0.0 : std::ldexp(1.0, i - 1);
+      double upper = i == 0 ? 0.0 : std::ldexp(1.0, i) - 1.0;
+      double within =
+          b == 0 ? 1.0 : static_cast<double>(target - cum) / static_cast<double>(b);
+      double value = lower + (upper - lower) * within;
+      double observed_max = static_cast<double>(max);
+      return value > observed_max ? observed_max : value;
+    }
+    cum += b;
+  }
+  return static_cast<double>(max);
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+Counter* Registry::AddCounter(std::string name, std::string help,
+                              Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.emplace_back();
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.labels = std::move(labels);
+  entry.type = MetricType::kCounter;
+  entry.counter = &counters_.back();
+  entries_.push_back(std::move(entry));
+  return &counters_.back();
+}
+
+Gauge* Registry::AddGauge(std::string name, std::string help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.emplace_back();
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.labels = std::move(labels);
+  entry.type = MetricType::kGauge;
+  entry.gauge = &gauges_.back();
+  entries_.push_back(std::move(entry));
+  return &gauges_.back();
+}
+
+Histogram* Registry::AddHistogram(std::string name, std::string help,
+                                  Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_.emplace_back();
+  Entry entry;
+  entry.name = std::move(name);
+  entry.help = std::move(help);
+  entry.labels = std::move(labels);
+  entry.type = MetricType::kHistogram;
+  entry.histogram = &histograms_.back();
+  entries_.push_back(std::move(entry));
+  return &histograms_.back();
+}
+
+std::string Registry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PrometheusWriter writer;
+  // Registration order, grouped by name: series of one name stay together
+  // under a single HELP/TYPE header, and same-name+same-labels histogram
+  // instances (the per-shard pattern) merge into one exposition series.
+  std::vector<bool> done(entries_.size(), false);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (done[i]) continue;
+    const Entry& head = entries_[i];
+    for (size_t j = i; j < entries_.size(); ++j) {
+      if (done[j] || entries_[j].name != head.name) continue;
+      const Entry& entry = entries_[j];
+      assert(entry.type == head.type && "one name, one metric type");
+      done[j] = true;
+      switch (entry.type) {
+        case MetricType::kCounter:
+          writer.WriteCounter(entry.name, entry.help, entry.labels,
+                              entry.counter->value());
+          break;
+        case MetricType::kGauge:
+          writer.WriteGauge(entry.name, entry.help, entry.labels,
+                            static_cast<double>(entry.gauge->value()));
+          break;
+        case MetricType::kHistogram: {
+          HistogramSnapshot merged = entry.histogram->Snapshot();
+          for (size_t k = j + 1; k < entries_.size(); ++k) {
+            if (done[k] || entries_[k].name != head.name ||
+                entries_[k].labels != entry.labels) {
+              continue;
+            }
+            merged.MergeFrom(entries_[k].histogram->Snapshot());
+            done[k] = true;
+          }
+          writer.WriteHistogram(entry.name, entry.help, entry.labels, merged);
+          break;
+        }
+      }
+    }
+  }
+  return writer.TakeText();
+}
+
+}  // namespace vitex::obs

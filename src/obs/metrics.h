@@ -1,0 +1,191 @@
+// Low-overhead metrics core for the streaming pipeline (DESIGN.md §10).
+//
+// The design constraint is the match hot path: a shard replaying millions
+// of events per second cannot afford a lock, an allocation, or a hash
+// lookup per update. So:
+//
+//   * Counter / Gauge are single relaxed atomics; Histogram::Record is one
+//     relaxed increment into a power-of-two bucket (plus a relaxed sum add
+//     and a CAS-loop max) — a handful of nanoseconds, no fences.
+//   * All registration happens up front (service construction); the hot
+//     path holds raw pointers into the Registry and never touches the
+//     registry lock again. Instances are arena'd in deques, so pointers
+//     stay stable as later registrations happen.
+//   * Contended writers get their OWN instance: each shard/stream
+//     registers a private Histogram under a shared name, and the Registry
+//     merges same-name instances at snapshot/render time. Hot-path updates
+//     therefore never share a cache line across threads by construction
+//     (beyond what false sharing of neighboring instances costs — each
+//     Histogram is cacheline-padded to avoid even that).
+//
+// Histogram buckets are logarithmic base 2: bucket 0 holds value 0, bucket
+// i >= 1 holds [2^(i-1), 2^i - 1], bucket 63 tops out at UINT64_MAX. One
+// `Record(ns)` is exactly one increment; quantiles (p50/p90/p99) are
+// reconstructed from the bucket counts at snapshot time with linear
+// interpolation inside the winning bucket — accurate to the bucket's
+// factor-of-two width, which is plenty for latency telemetry.
+//
+// Readers (stats snapshots, the /statsz exposition) may run concurrently
+// with writers: all fields are relaxed atomics, so a snapshot is a
+// possibly-slightly-torn but race-free view. A snapshot taken after the
+// writers have quiesced (thread join) is exact — pinned by the TSan test
+// in tests/obs/metrics_test.cc.
+
+#ifndef VITEX_OBS_METRICS_H_
+#define VITEX_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vitex::obs {
+
+/// Monotonic counter. Hot-path safe: one relaxed atomic add.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge with a monotonic-max helper (high watermarks).
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if `v` is larger (relaxed CAS loop).
+  void UpdateMax(uint64_t v) {
+    uint64_t prev = value_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !value_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Read-side view of one histogram (or a merge of several instances).
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+
+  uint64_t buckets[kBuckets] = {};
+  uint64_t sum = 0;  ///< total of recorded values (mean = sum / count())
+  uint64_t max = 0;  ///< largest recorded value (0 when empty)
+
+  /// Total recordings. Derived from the buckets, so it is always
+  /// consistent with them even when the snapshot raced a writer.
+  uint64_t count() const;
+
+  /// q-quantile (q in (0, 1]) of the recorded distribution, linearly
+  /// interpolated inside the winning power-of-two bucket and clamped to
+  /// the observed max. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Adds another instance's counts into this one (per-shard merge).
+  void MergeFrom(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed (base-2) histogram. Record is wait-free: one relaxed
+/// bucket increment, one relaxed sum add, one relaxed max CAS loop.
+class alignas(64) Histogram {
+ public:
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
+
+  /// Bucket index of `v`: 0 -> 0, else bit_width(v) clamped to 63.
+  /// Bucket i >= 1 spans [2^(i-1), 2^i - 1]; bucket 63 spans up to
+  /// UINT64_MAX.
+  static int BucketIndex(uint64_t v) {
+    if (v == 0) return 0;
+    int width = 64 - __builtin_clzll(v);
+    return width > kBuckets - 1 ? kBuckets - 1 : width;
+  }
+
+  /// Inclusive upper bound of bucket `i` (the Prometheus `le` value).
+  static uint64_t BucketUpperBound(int i) {
+    if (i <= 0) return 0;
+    if (i >= kBuckets - 1) return ~static_cast<uint64_t>(0);
+    return (static_cast<uint64_t>(1) << i) - 1;
+  }
+
+  void Record(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Prometheus-style labels, e.g. {{"shard", "0"}}. Order is preserved
+/// into the exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// A registry of named metrics rendered to Prometheus text exposition
+/// format by RenderText() (src/obs/prometheus.*).
+///
+/// Registration model: Add* may be called multiple times with the same
+/// name — counters and gauges must then differ in labels (separate
+/// series); histogram instances with the SAME name and labels are merged
+/// into one series at render time (the per-shard/per-stream pattern:
+/// every writer thread owns a private instance, readers see the union).
+/// Returned pointers stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* AddCounter(std::string name, std::string help, Labels labels = {});
+  Gauge* AddGauge(std::string name, std::string help, Labels labels = {});
+  Histogram* AddHistogram(std::string name, std::string help,
+                          Labels labels = {});
+
+  /// Renders every registered metric in Prometheus text exposition
+  /// format: counters/gauges as typed series, histograms as cumulative
+  /// `_bucket{le=...}` series plus `_sum`/`_count` and p50/p90/p99/max
+  /// summary gauges. Same-name histogram instances are merged first.
+  std::string RenderText() const;
+
+ private:
+  friend class PrometheusWriter;
+
+  struct Entry {
+    std::string name;
+    std::string help;
+    Labels labels;
+    MetricType type = MetricType::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  // Deques: stable addresses under growth, no per-metric allocation after
+  // the node itself.
+  mutable std::mutex mu_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vitex::obs
+
+#endif  // VITEX_OBS_METRICS_H_

@@ -1,0 +1,149 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace vitex::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+// Integral doubles print as integers (queue depths, counts); everything
+// else as shortest-ish %g — deterministic, so golden tests can pin it.
+void AppendValue(std::string* out, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, static_cast<int64_t>(v));
+    *out += buf;
+  } else {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+void PrometheusWriter::Header(std::string_view name, std::string_view help,
+                              std::string_view type) {
+  if (last_header_ == name) return;  // one header per run of series
+  last_header_.assign(name);
+  if (!help.empty()) {
+    out_ += "# HELP ";
+    out_.append(name);
+    out_ += ' ';
+    out_.append(help);
+    out_ += '\n';
+  }
+  out_ += "# TYPE ";
+  out_.append(name);
+  out_ += ' ';
+  out_.append(type);
+  out_ += '\n';
+}
+
+void PrometheusWriter::SeriesPrefix(std::string_view name,
+                                    const Labels& labels) {
+  out_.append(name);
+  if (!labels.empty()) {
+    out_ += '{';
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) out_ += ',';
+      out_ += labels[i].first;
+      out_ += "=\"";
+      AppendEscaped(&out_, labels[i].second);
+      out_ += '"';
+    }
+    out_ += '}';
+  }
+  out_ += ' ';
+}
+
+void PrometheusWriter::Series(std::string_view name, const Labels& labels,
+                              double value) {
+  SeriesPrefix(name, labels);
+  AppendValue(&out_, value);
+  out_ += '\n';
+}
+
+void PrometheusWriter::SeriesInt(std::string_view name, const Labels& labels,
+                                 uint64_t value) {
+  SeriesPrefix(name, labels);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += buf;
+  out_ += '\n';
+}
+
+void PrometheusWriter::WriteCounter(std::string_view name,
+                                    std::string_view help,
+                                    const Labels& labels, uint64_t value) {
+  Header(name, help, "counter");
+  SeriesInt(name, labels, value);
+}
+
+void PrometheusWriter::WriteGauge(std::string_view name, std::string_view help,
+                                  const Labels& labels, double value) {
+  Header(name, help, "gauge");
+  Series(name, labels, value);
+}
+
+void PrometheusWriter::WriteHistogram(std::string_view name,
+                                      std::string_view help,
+                                      const Labels& labels,
+                                      const HistogramSnapshot& snapshot) {
+  Header(name, help, "histogram");
+  std::string base(name);
+  uint64_t cum = 0;
+  Labels bucket_labels = labels;
+  bucket_labels.emplace_back("le", "");
+  for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    if (snapshot.buckets[i] == 0) continue;  // cumulative value unchanged
+    cum += snapshot.buckets[i];
+    char bound[32];
+    std::snprintf(bound, sizeof(bound), "%" PRIu64,
+                  Histogram::BucketUpperBound(i));
+    bucket_labels.back().second = bound;
+    SeriesInt(base + "_bucket", bucket_labels, cum);
+  }
+  bucket_labels.back().second = "+Inf";
+  SeriesInt(base + "_bucket", bucket_labels, cum);
+  SeriesInt(base + "_sum", labels, snapshot.sum);
+  SeriesInt(base + "_count", labels, cum);
+  // Summary lines: separate gauge-typed metric names, so the exposition
+  // stays strictly valid while p50/p90/p99/max read off one line each.
+  struct {
+    const char* suffix;
+    double value;
+  } summaries[] = {
+      {"_p50", snapshot.Quantile(0.50)},
+      {"_p90", snapshot.Quantile(0.90)},
+      {"_p99", snapshot.Quantile(0.99)},
+      {"_max", static_cast<double>(snapshot.max)},
+  };
+  for (const auto& summary : summaries) {
+    std::string qname = base + summary.suffix;
+    Header(qname, "", "gauge");
+    Series(qname, labels, summary.value);
+  }
+}
+
+}  // namespace vitex::obs

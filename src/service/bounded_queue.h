@@ -42,6 +42,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/stopwatch.h"
+
 namespace vitex::service {
 
 template <typename T>
@@ -58,12 +60,20 @@ class BoundedQueue {
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mu_);
     const uint64_t ticket = push_tail_++;
-    not_full_.wait(lock, [this, ticket] {
+    auto admitted = [this, ticket] {
       return closed_ || (ticket == push_head_ && items_.size() < capacity_);
-    });
+    };
+    if (!admitted()) {
+      // Backpressure stall: time only the waits, so the uncontended push
+      // pays one extra predicate check and nothing else.
+      const int64_t blocked_from = MonotonicNanos();
+      not_full_.wait(lock, admitted);
+      blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
+    }
     if (closed_) return false;
     ++push_head_;
     items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
     pushed_.fetch_add(1, std::memory_order_release);
     lock.unlock();
     not_empty_.notify_one();
@@ -114,6 +124,20 @@ class BoundedQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Deepest the queue has ever been (backpressure headroom telemetry).
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
+  /// Total nanoseconds producers have spent blocked in Push waiting for
+  /// room (or their turnstile turn). Monotonic; the /statsz backpressure
+  /// stall counter.
+  uint64_t producer_blocked_nanos() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_nanos_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable not_full_;
@@ -125,6 +149,8 @@ class BoundedQueue {
   uint64_t push_tail_ = 0;
   uint64_t push_head_ = 0;
   std::atomic<uint64_t> pushed_{0};
+  size_t high_watermark_ = 0;
+  uint64_t blocked_nanos_ = 0;
   bool closed_ = false;
 };
 
@@ -165,12 +191,21 @@ class BoundedQueueGroup {
   bool Push(size_t lane, T item) {
     Lane& l = lanes_[lane];
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [this, &l] {
+    auto admitted = [this, &l] {
       return l.closed || l.items.size() < capacity_;
-    });
+    };
+    if (!admitted()) {
+      // A full lane means the consumer (shard) is the bottleneck; the
+      // accumulated wait is the per-group backpressure stall counter.
+      const int64_t blocked_from = MonotonicNanos();
+      not_full_.wait(lock, admitted);
+      blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
+    }
     if (l.closed) return false;
     l.items.push_back(std::move(item));
     ++l.pushed;
+    ++total_items_;
+    if (total_items_ > high_watermark_) high_watermark_ = total_items_;
     lock.unlock();
     ready_.notify_one();  // single consumer
     return true;
@@ -196,6 +231,7 @@ class BoundedQueueGroup {
           out.item = std::move(l.items.front());
           l.items.pop_front();
           ++l.popped;
+          --total_items_;
           next_lane_ = lane + 1;
           lock.unlock();
           not_full_.notify_all();
@@ -233,9 +269,20 @@ class BoundedQueueGroup {
   /// Total items currently queued across lanes (stats snapshot).
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
-    size_t total = 0;
-    for (const Lane& l : lanes_) total += l.items.size();
-    return total;
+    return total_items_;
+  }
+
+  /// Deepest the group has ever been, totalled across lanes.
+  size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
+  /// Total nanoseconds producers have spent blocked pushing into any lane
+  /// of this group (the consumer was the bottleneck). Monotonic.
+  uint64_t producer_blocked_nanos() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocked_nanos_;
   }
 
  private:
@@ -252,6 +299,9 @@ class BoundedQueueGroup {
   const size_t capacity_;
   std::vector<Lane> lanes_;
   size_t next_lane_ = 0;  // round-robin cursor over ready lanes
+  size_t total_items_ = 0;
+  size_t high_watermark_ = 0;
+  uint64_t blocked_nanos_ = 0;
 };
 
 }  // namespace vitex::service

@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/stopwatch.h"
+#include "obs/prometheus.h"
 #include "twigm/builder.h"
 #include "xml/sax_parser.h"
 
@@ -63,10 +65,19 @@ struct StreamService::ControlOp {
   std::shared_ptr<FlushGate> gate;               // kFlush
 };
 
+// Stage-tracing context shared by one document's N shard replays: the
+// publish timestamp for the end-to-end histogram, and a countdown so the
+// LAST shard to finish records it (tracing only; null when off).
+struct StreamService::DocTrace {
+  int64_t publish_ns = 0;
+  std::atomic<size_t> shards_remaining{0};
+};
+
 // What flows through a stream's ingest queue: a document to parse, or a
 // control marker to forward (in FIFO position) to every shard lane.
 struct StreamService::StreamItem {
   std::string document;
+  int64_t publish_ns = 0;         // stamped by Publish when tracing
   std::shared_ptr<ControlOp> op;  // non-null == marker
 };
 
@@ -75,6 +86,8 @@ struct StreamService::ShardItem {
   enum class Kind { kDocument, kMarker };
   Kind kind = Kind::kDocument;
   std::shared_ptr<const xml::EventLog> log;  // kDocument
+  int64_t enqueue_ns = 0;                    // fan-out time (tracing)
+  std::shared_ptr<DocTrace> trace;           // kDocument, tracing only
   std::shared_ptr<ControlOp> op;             // kMarker
 };
 
@@ -93,6 +106,11 @@ struct StreamService::Stream {
   std::atomic<uint64_t> documents_parsed{0};
   std::atomic<uint64_t> documents_rejected{0};
   std::atomic<uint64_t> events_parsed{0};
+
+  // This stream's private stage histograms (merged under shared names at
+  // render time); null when tracing is off.
+  obs::Histogram* ingest_wait_hist = nullptr;  // publish → parse start
+  obs::Histogram* parse_hist = nullptr;        // the parse itself
 };
 
 // One worker shard: an M-lane inbox, a thread, and a private
@@ -123,6 +141,10 @@ struct StreamService::Shard {
   std::atomic<size_t> live_machines{0};  // plan instances (DESIGN.md §7)
   std::mutex dispatch_mu;
   twigm::DispatchStats dispatch;  // snapshot after each document
+
+  // This shard's private stage histograms; null when tracing is off.
+  obs::Histogram* queue_wait_hist = nullptr;  // fan-out → shard pop
+  obs::Histogram* match_hist = nullptr;       // replay + delivery
 };
 
 // ---------------------------------------------------------------------------
@@ -143,6 +165,33 @@ StreamService::StreamService(StreamServiceOptions options)
   streams_.reserve(stream_count);
   for (size_t i = 0; i < stream_count; ++i) {
     streams_.push_back(std::make_unique<Stream>(i, options_.queue_capacity));
+  }
+  if (options_.enable_tracing) {
+    // All registration happens here, before any worker thread exists; the
+    // hot paths below only ever touch these raw instance pointers.
+    for (auto& stream : streams_) {
+      stream->ingest_wait_hist = registry_.AddHistogram(
+          "vitex_stage_ingest_wait_nanos",
+          "Publish to parse-start: time a document waited in its stream's "
+          "ingest queue (ns)");
+      stream->parse_hist = registry_.AddHistogram(
+          "vitex_stage_parse_nanos",
+          "Ingest parse of one document into its event log (ns)");
+    }
+    for (auto& shard : shards_) {
+      shard->queue_wait_hist = registry_.AddHistogram(
+          "vitex_stage_shard_queue_wait_nanos",
+          "Fan-out to shard pop: time a parsed document waited in a shard "
+          "inbox lane (ns)");
+      shard->match_hist = registry_.AddHistogram(
+          "vitex_stage_match_nanos",
+          "Replay of one document through a shard's engine, including "
+          "result delivery (ns)");
+    }
+    e2e_hist_ = registry_.AddHistogram(
+        "vitex_stage_e2e_nanos",
+        "Publish to last-shard-done: full pipeline latency of one "
+        "document (ns)");
   }
   // The table enters its read-only phase before any parser thread exists;
   // Subscribe() is the only place it is (briefly) reopened.
@@ -310,6 +359,7 @@ Status StreamService::PublishToStream(size_t stream, std::string document) {
   }
   StreamItem item;
   item.document = std::move(document);
+  if (options_.enable_tracing) item.publish_ns = MonotonicNanos();
   if (!streams_[stream]->queue.Push(std::move(item))) {
     return Status::InvalidArgument("service is stopped");
   }
@@ -363,6 +413,8 @@ ServiceStats StreamService::stats() const {
     snap.events_parsed =
         stream->events_parsed.load(std::memory_order_relaxed);
     snap.queue_depth = stream->queue.size();
+    snap.queue_high_watermark = stream->queue.high_watermark();
+    snap.publish_blocked_nanos = stream->queue.producer_blocked_nanos();
     s.ingest_queue_depth += snap.queue_depth;
     s.streams.push_back(snap);
   }
@@ -373,6 +425,8 @@ ServiceStats StreamService::stats() const {
     snap.documents = shard->documents.load(std::memory_order_relaxed);
     snap.events = shard->events.load(std::memory_order_relaxed);
     snap.queue_depth = shard->inbox.size();
+    snap.queue_high_watermark = shard->inbox.high_watermark();
+    snap.fanout_blocked_nanos = shard->inbox.producer_blocked_nanos();
     snap.live_queries = shard->live_queries.load(std::memory_order_relaxed);
     snap.live_machines = shard->live_machines.load(std::memory_order_relaxed);
     s.active_plan_machines += snap.live_machines;
@@ -389,13 +443,165 @@ ServiceStats StreamService::stats() const {
   s.uptime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
-  if (s.uptime_seconds > 0) {
+  // Rate floor: immediately after construction uptime is microseconds, and
+  // dividing by it extrapolates the first few documents into absurd
+  // per-second figures. Below the floor the honest answer is "no rate yet".
+  if (s.uptime_seconds >= kMinRateUptimeSeconds) {
     s.docs_per_sec = static_cast<double>(s.documents_processed) /
                      s.uptime_seconds;
     s.events_per_sec =
         static_cast<double>(s.events_replayed) / s.uptime_seconds;
   }
   return s;
+}
+
+std::string StreamService::StatszText() const {
+  // Snapshot-derived series first (ServiceStats counters, queue telemetry,
+  // per-shard dispatch stats), then the registry's hot-path histograms.
+  // Both halves share the serializer, so the payload is one consistent
+  // Prometheus text exposition.
+  ServiceStats s = stats();
+  obs::PrometheusWriter w;
+  w.WriteCounter("vitex_documents_published_total",
+                 "Documents accepted by Publish", {}, s.documents_published);
+  w.WriteCounter("vitex_documents_rejected_total",
+                 "Published documents that failed the ingest parse", {},
+                 s.documents_rejected);
+  w.WriteCounter("vitex_documents_processed_total",
+                 "Documents completed by every shard", {},
+                 s.documents_processed);
+  w.WriteCounter("vitex_events_parsed_total",
+                 "SAX events recorded by the ingest parses", {},
+                 s.events_parsed);
+  w.WriteCounter("vitex_events_replayed_total",
+                 "SAX events replayed into shard engines (sum over shards)",
+                 {}, s.events_replayed);
+  w.WriteCounter("vitex_results_delivered_total",
+                 "Query solutions delivered into subscriber sinks", {},
+                 s.results_delivered);
+  w.WriteGauge("vitex_active_subscriptions", "Live standing subscriptions",
+               {}, static_cast<double>(s.active_subscriptions));
+  w.WriteGauge("vitex_active_plan_machines",
+               "Live plan machines across shards (plan sharing keeps this "
+               "at or below active_subscriptions)",
+               {}, static_cast<double>(s.active_plan_machines));
+  w.WriteGauge("vitex_uptime_seconds", "Seconds since service construction",
+               {}, s.uptime_seconds);
+  w.WriteGauge("vitex_docs_per_sec",
+               "documents_processed / uptime (0 below the uptime floor)", {},
+               s.docs_per_sec);
+  w.WriteGauge("vitex_events_per_sec",
+               "events_replayed / uptime (0 below the uptime floor)", {},
+               s.events_per_sec);
+
+  auto stream_label = [](size_t i) {
+    return obs::Labels{{"stream", std::to_string(i)}};
+  };
+  for (size_t i = 0; i < s.streams.size(); ++i) {
+    w.WriteCounter("vitex_stream_documents_published_total",
+                   "Documents accepted by Publish, per stream",
+                   stream_label(i), s.streams[i].documents_published);
+  }
+  for (size_t i = 0; i < s.streams.size(); ++i) {
+    w.WriteCounter("vitex_stream_documents_parsed_total",
+                   "Documents parsed OK, per stream", stream_label(i),
+                   s.streams[i].documents_parsed);
+  }
+  for (size_t i = 0; i < s.streams.size(); ++i) {
+    w.WriteCounter("vitex_stream_documents_rejected_total",
+                   "Documents that failed to parse, per stream",
+                   stream_label(i), s.streams[i].documents_rejected);
+  }
+  for (size_t i = 0; i < s.streams.size(); ++i) {
+    w.WriteGauge("vitex_stream_queue_depth",
+                 "Documents waiting in the stream's ingest queue",
+                 stream_label(i),
+                 static_cast<double>(s.streams[i].queue_depth));
+  }
+  for (size_t i = 0; i < s.streams.size(); ++i) {
+    w.WriteGauge("vitex_stream_queue_high_watermark",
+                 "Deepest the stream's ingest queue has ever been",
+                 stream_label(i),
+                 static_cast<double>(s.streams[i].queue_high_watermark));
+  }
+  for (size_t i = 0; i < s.streams.size(); ++i) {
+    w.WriteCounter(
+        "vitex_stream_publish_blocked_nanos_total",
+        "Nanoseconds publishers spent blocked on this stream's full "
+        "ingest queue (backpressure reaching the caller)",
+        stream_label(i), s.streams[i].publish_blocked_nanos);
+  }
+
+  auto shard_label = [](size_t i) {
+    return obs::Labels{{"shard", std::to_string(i)}};
+  };
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    w.WriteCounter("vitex_shard_documents_total",
+                   "Documents fully processed, per shard", shard_label(i),
+                   s.shards[i].documents);
+  }
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    w.WriteCounter("vitex_shard_events_total",
+                   "SAX events replayed, per shard", shard_label(i),
+                   s.shards[i].events);
+  }
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    w.WriteGauge("vitex_shard_inbox_depth",
+                 "Items queued across the shard's inbox lanes",
+                 shard_label(i), static_cast<double>(s.shards[i].queue_depth));
+  }
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    w.WriteGauge("vitex_shard_inbox_high_watermark",
+                 "Deepest the shard's inbox has ever been (all lanes)",
+                 shard_label(i),
+                 static_cast<double>(s.shards[i].queue_high_watermark));
+  }
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    w.WriteCounter(
+        "vitex_shard_fanout_blocked_nanos_total",
+        "Nanoseconds parser streams spent blocked pushing into this "
+        "shard's inbox (the shard was the bottleneck)",
+        shard_label(i), s.shards[i].fanout_blocked_nanos);
+  }
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    w.WriteGauge("vitex_shard_live_queries", "Subscriptions owned, per shard",
+                 shard_label(i),
+                 static_cast<double>(s.shards[i].live_queries));
+  }
+  for (size_t i = 0; i < s.shards.size(); ++i) {
+    w.WriteGauge("vitex_shard_live_machines",
+                 "Plan machines executing, per shard (DESIGN.md §7)",
+                 shard_label(i),
+                 static_cast<double>(s.shards[i].live_machines));
+  }
+  // DispatchStats folded into the exposition: ForEachDispatchStat is the
+  // single enumeration of the struct, so new engine counters show up here
+  // without touching this file. Grouped name-major (one TYPE header per
+  // metric, shards as labels).
+  twigm::ForEachDispatchStat(
+      twigm::DispatchStats{},
+      [&](const char* field, uint64_t, bool is_gauge) {
+        std::string name = std::string("vitex_shard_dispatch_") + field;
+        if (!is_gauge) name += "_total";
+        for (size_t i = 0; i < s.shards.size(); ++i) {
+          uint64_t value = 0;
+          twigm::ForEachDispatchStat(
+              s.shards[i].dispatch,
+              [&](const char* inner, uint64_t v, bool) {
+                if (std::string_view(inner) == field) value = v;
+              });
+          if (is_gauge) {
+            w.WriteGauge(name, "", shard_label(i),
+                         static_cast<double>(value));
+          } else {
+            w.WriteCounter(name, "", shard_label(i), value);
+          }
+        }
+      });
+
+  std::string out = w.TakeText();
+  out += registry_.RenderText();
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -421,6 +627,13 @@ void StreamService::StreamLoop(Stream* stream) {
       }
       continue;
     }
+    // Stage tracing: ingest-queue wait ends and the parse begins now.
+    int64_t parse_start_ns = 0;
+    if (stream->ingest_wait_hist != nullptr) {
+      parse_start_ns = MonotonicNanos();
+      stream->ingest_wait_hist->Record(
+          static_cast<uint64_t>(parse_start_ns - item->publish_ns));
+    }
     auto log = std::make_shared<xml::EventLog>();
     Status parsed;
     {
@@ -430,6 +643,13 @@ void StreamService::StreamLoop(Stream* stream) {
       std::shared_lock<std::shared_mutex> symbols_lock(symbols_mu_);
       xml::EventRecorder recorder(log.get());
       parsed = xml::ParseString(item->document, &recorder, parse_options);
+    }
+    int64_t parse_done_ns = 0;
+    if (stream->parse_hist != nullptr) {
+      parse_done_ns = MonotonicNanos();
+      // Rejected documents still count: their parse work was real.
+      stream->parse_hist->Record(
+          static_cast<uint64_t>(parse_done_ns - parse_start_ns));
     }
     if (!parsed.ok()) {
       // A malformed publication is dropped, not fatal: pub/sub streams
@@ -441,10 +661,19 @@ void StreamService::StreamLoop(Stream* stream) {
     stream->documents_parsed.fetch_add(1, std::memory_order_relaxed);
     stream->events_parsed.fetch_add(log->size(), std::memory_order_relaxed);
     events_parsed_.fetch_add(log->size(), std::memory_order_relaxed);
+    std::shared_ptr<DocTrace> trace;
+    if (stream->parse_hist != nullptr) {
+      trace = std::make_shared<DocTrace>();
+      trace->publish_ns = item->publish_ns;
+      trace->shards_remaining.store(shards_.size(),
+                                    std::memory_order_relaxed);
+    }
     for (auto& shard : shards_) {
       ShardItem doc;
       doc.kind = ShardItem::Kind::kDocument;
       doc.log = log;  // shared: one parse, N replays
+      doc.enqueue_ns = parse_done_ns;
+      doc.trace = trace;
       shard->inbox.Push(stream->index, std::move(doc));  // backpressure
     }
   }
@@ -537,11 +766,30 @@ void StreamService::ShardLoop(Shard* shard) {
     ShardItem& item = next->item;
     if (item.kind == ShardItem::Kind::kDocument) {
       if (shard->failed) continue;  // fail-stop, but keep draining
+      const bool traced =
+          shard->match_hist != nullptr && item.trace != nullptr;
+      int64_t pop_ns = 0;
+      if (traced) {
+        pop_ns = MonotonicNanos();
+        shard->queue_wait_hist->Record(
+            static_cast<uint64_t>(pop_ns - item.enqueue_ns));
+      }
       Status status = shard->engine->RunEvents(*item.log);
       if (!status.ok()) {
         shard->failed = true;
         RecordError(status);
         continue;
+      }
+      if (traced) {
+        int64_t done_ns = MonotonicNanos();
+        shard->match_hist->Record(static_cast<uint64_t>(done_ns - pop_ns));
+        // The last shard to finish this document owns its end-to-end
+        // latency sample.
+        if (item.trace->shards_remaining.fetch_sub(
+                1, std::memory_order_relaxed) == 1) {
+          e2e_hist_->Record(
+              static_cast<uint64_t>(done_ns - item.trace->publish_ns));
+        }
       }
       shard->documents.fetch_add(1, std::memory_order_relaxed);
       shard->events.fetch_add(item.log->size(), std::memory_order_relaxed);

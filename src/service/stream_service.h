@@ -60,6 +60,7 @@
 
 #include "common/interner.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "service/bounded_queue.h"
 #include "twigm/multi_query.h"
 #include "xml/event_log.h"
@@ -93,6 +94,15 @@ struct StreamServiceOptions {
   xml::SaxParserOptions sax_options;
   /// Options applied to every subscription's TwigM machine.
   twigm::TwigMachine::Options machine_options;
+  /// Stage-latency tracing (DESIGN.md §10): stamp every published document
+  /// with a monotonic timestamp and record per-stage latency histograms
+  /// (ingest-queue wait, parse, shard-queue wait, match+deliver, and
+  /// end-to-end publish→last-shard-done) into the service's metric
+  /// registry, exposed by StatszText(). Costs a few clock reads and
+  /// relaxed atomic increments per document per shard — bounded ≤3% of
+  /// BM_ServiceThroughput by the BM_MetricsOverhead bench axis. Flag off
+  /// to shed even that; counters and queue watermarks stay on regardless.
+  bool enable_tracing = true;
 };
 
 /// Per-shard counters (monotonic except queue_depth/live_queries/
@@ -101,6 +111,12 @@ struct ShardStatsSnapshot {
   uint64_t documents = 0;  ///< documents fully processed by this shard
   uint64_t events = 0;     ///< SAX events replayed into this shard
   size_t queue_depth = 0;  ///< items queued across this shard's inbox lanes
+  /// Deepest the inbox has ever been (all lanes totalled) — how close the
+  /// shard came to stalling its producers.
+  size_t queue_high_watermark = 0;
+  /// Total ns parser streams spent blocked pushing into this shard's inbox
+  /// (this shard was the pipeline bottleneck). Monotonic.
+  uint64_t fanout_blocked_nanos = 0;
   size_t live_queries = 0;
   /// Plan machines actually executing this shard's queries — under plan
   /// sharing (DESIGN.md §7) far below live_queries when subscriptions
@@ -116,6 +132,11 @@ struct StreamStatsSnapshot {
   uint64_t documents_rejected = 0;   ///< failed to parse on this stream
   uint64_t events_parsed = 0;        ///< SAX events recorded on this stream
   size_t queue_depth = 0;            ///< this stream's ingest queue
+  /// Deepest this stream's ingest queue has ever been.
+  size_t queue_high_watermark = 0;
+  /// Total ns publishers spent blocked in Publish on this stream's queue
+  /// (backpressure reached the caller). Monotonic.
+  uint64_t publish_blocked_nanos = 0;
 };
 
 /// Service-wide snapshot (stats()).
@@ -132,8 +153,12 @@ struct ServiceStats {
   uint64_t active_plan_machines = 0;
   size_t ingest_queue_depth = 0;  ///< sum over the stream ingest queues
   double uptime_seconds = 0;
-  double docs_per_sec = 0;    ///< documents_processed / uptime
-  double events_per_sec = 0;  ///< events_replayed / uptime (total work rate)
+  /// documents_processed / uptime. Held at 0 until uptime reaches
+  /// StreamService::kMinRateUptimeSeconds: a stats() call microseconds
+  /// after construction would otherwise extrapolate a handful of
+  /// documents into a nonsense per-second figure.
+  double docs_per_sec = 0;
+  double events_per_sec = 0;  ///< events_replayed / uptime (same floor)
   std::vector<ShardStatsSnapshot> shards;
   std::vector<StreamStatsSnapshot> streams;
 };
@@ -190,6 +215,17 @@ class StreamService {
   size_t stream_count() const { return streams_.size(); }
   ServiceStats stats() const;
 
+  /// Minimum uptime before stats() reports docs_per_sec/events_per_sec;
+  /// below it the rates are 0 (division-by-near-zero guard).
+  static constexpr double kMinRateUptimeSeconds = 0.1;
+
+  /// The /statsz payload (ROADMAP item 2 serves this over TCP): every
+  /// pipeline counter, queue watermark/stall gauge, per-shard dispatch
+  /// stat, and — when enable_tracing is on — the per-stage latency
+  /// histograms with p50/p90/p99/max summaries, in Prometheus text
+  /// exposition format. Thread-safe; snapshot semantics match stats().
+  std::string StatszText() const;
+
  private:
   class SubscriberSink;
   struct FlushGate;
@@ -198,6 +234,7 @@ class StreamService {
   struct ShardItem;
   struct Stream;
   struct Shard;
+  struct DocTrace;
 
   void StreamLoop(Stream* stream);
   void ShardLoop(Shard* shard);
@@ -241,6 +278,13 @@ class StreamService {
       subscriptions_;
   Status first_error_;
   bool stopped_ = false;
+
+  // Hot-path metrics (DESIGN.md §10). Each stream/shard registers its own
+  // histogram instances under shared names at construction; the registry
+  // merges them when StatszText() renders, so recording never contends
+  // across threads. Null instance pointers when enable_tracing is off.
+  obs::Registry registry_;
+  obs::Histogram* e2e_hist_ = nullptr;  // publish → last-shard-done
 
   std::atomic<uint64_t> next_subscription_{1};
   std::atomic<uint64_t> next_stream_{0};  // Publish round-robin cursor

@@ -107,6 +107,28 @@ struct DispatchStats {
   uint64_t plan_misses = 0;
 };
 
+/// Invokes `fn(name, value, is_gauge)` for every DispatchStats field, in
+/// declaration order. The one place that enumerates the struct, so the
+/// service's /statsz exposition (DESIGN.md §10) stays in lockstep with it:
+/// adding a field here is adding it to the payload. `is_gauge` marks the
+/// point-in-time shape fields (subscriptions/machines/plans); the rest are
+/// monotonic counters.
+template <typename Fn>
+void ForEachDispatchStat(const DispatchStats& stats, Fn&& fn) {
+  fn("start_events", stats.start_events, false);
+  fn("end_events", stats.end_events, false);
+  fn("text_nodes", stats.text_nodes, false);
+  fn("start_visits", stats.start_visits, false);
+  fn("end_visits", stats.end_visits, false);
+  fn("text_visits", stats.text_visits, false);
+  fn("broadcast_visits", stats.broadcast_visits, false);
+  fn("subscriptions", stats.subscriptions, true);
+  fn("machines", stats.machines, true);
+  fn("plans", stats.plans, true);
+  fn("plan_hits", stats.plan_hits, false);
+  fn("plan_misses", stats.plan_misses, false);
+}
+
 class MultiQueryEngine {
  public:
   struct Options {

@@ -1,0 +1,160 @@
+// Metrics-core tests (DESIGN.md §10): bucket-boundary table, concurrent
+// hammering with a racing snapshot reader (run under TSan in CI — the
+// Obs|Metrics regex), and counter/gauge basics.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace vitex::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7u);
+  g.UpdateMax(3);  // lower: no-op
+  EXPECT_EQ(g.value(), 7u);
+  g.UpdateMax(19);
+  EXPECT_EQ(g.value(), 19u);
+}
+
+TEST(ObsMetricsTest, BucketBoundaryTable) {
+  const uint64_t kMax = std::numeric_limits<uint64_t>::max();
+  struct {
+    uint64_t value;
+    int bucket;
+  } kCases[] = {
+      {0, 0},
+      {1, 1},
+      {2, 2},
+      {3, 2},
+      {4, 3},
+      {7, 3},
+      {8, 4},
+      {1023, 10},
+      {1024, 11},
+      {(uint64_t{1} << 31) - 1, 31},
+      {uint64_t{1} << 31, 32},
+      {(uint64_t{1} << 62) - 1, 62},
+      {uint64_t{1} << 62, 63},
+      {uint64_t{1} << 63, 63},  // top bucket absorbs the last power of two
+      {kMax, 63},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_EQ(Histogram::BucketIndex(c.value), c.bucket)
+        << "value " << c.value;
+  }
+  // Upper bounds are inclusive and consistent with the index function:
+  // every value lands in a bucket whose bound is >= the value, and the
+  // previous bucket's bound is < the value.
+  for (const auto& c : kCases) {
+    EXPECT_GE(Histogram::BucketUpperBound(c.bucket), c.value);
+    if (c.bucket > 0) {
+      EXPECT_LT(Histogram::BucketUpperBound(c.bucket - 1), c.value);
+    }
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(63), kMax);
+}
+
+TEST(ObsMetricsTest, RecordSnapshotAndQuantiles) {
+  Histogram h;
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 1000ull}) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count(), 6u);
+  EXPECT_EQ(snap.sum, 1010u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.50), 2.5);  // interpolated inside [2,3]
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.90), 1000.0);  // clamped to observed max
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(HistogramSnapshot{}.Quantile(0.5), 0.0);  // empty
+}
+
+TEST(ObsMetricsTest, MergeAddsCountsAndKeepsMax) {
+  Histogram a, b;
+  a.Record(5);
+  a.Record(100);
+  b.Record(7);
+  b.Record(90000);
+  HistogramSnapshot merged = a.Snapshot();
+  merged.MergeFrom(b.Snapshot());
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_EQ(merged.sum, 90112u);
+  EXPECT_EQ(merged.max, 90000u);
+}
+
+TEST(ObsMetricsTest, RegistryPointersStableAcrossGrowth) {
+  Registry registry;
+  Counter* first = registry.AddCounter("vitex_first_total", "first");
+  std::vector<Histogram*> hists;
+  for (int i = 0; i < 100; ++i) {
+    hists.push_back(registry.AddHistogram("vitex_some_nanos", "growth"));
+  }
+  first->Add(5);
+  hists.front()->Record(1);
+  EXPECT_EQ(first->value(), 5u);  // not invalidated by 100 registrations
+  EXPECT_EQ(hists.front()->Snapshot().count(), 1u);
+}
+
+// The TSan acceptance scenario: N writer threads hammer ONE histogram
+// while a reader snapshots and merges concurrently; after join the count
+// and sum are exact (every Record is one relaxed increment, none lost).
+TEST(ObsMetricsTest, ConcurrentHammerWithRacingSnapshots) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  Histogram h;
+  std::atomic<bool> done{false};
+
+  std::thread reader([&] {
+    uint64_t last_count = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      HistogramSnapshot snap = h.Snapshot();
+      uint64_t count = snap.count();
+      // Counts only grow, and a racing snapshot is still well-formed.
+      EXPECT_GE(count, last_count);
+      EXPECT_LE(count, kThreads * kPerThread);
+      last_count = count;
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record((i + static_cast<uint64_t>(t)) % 1024);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += (i + static_cast<uint64_t>(t)) % 1024;
+    }
+  }
+  HistogramSnapshot final_snap = h.Snapshot();
+  EXPECT_EQ(final_snap.count(), kThreads * kPerThread);
+  EXPECT_EQ(final_snap.sum, expected_sum);
+  EXPECT_EQ(final_snap.max, 1023u);
+}
+
+}  // namespace
+}  // namespace vitex::obs

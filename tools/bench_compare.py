@@ -34,11 +34,23 @@ Usage:
   python3 tools/bench_compare.py ... --threshold 0.4   # looser gate
   python3 tools/bench_compare.py ... --update          # refresh baseline
 
-Only benchmarks present in BOTH trees are compared; new benchmarks are
-listed as "new" and ignored, removed ones as "gone" (also ignored, so
-renames need a baseline refresh to stay gated). After intentional perf
-changes — or when CI runner hardware shifts — refresh the snapshot with
---update and commit the result.
+New benchmarks (in current, not in baseline) are listed as "new" and
+ignored until committed with --update. A baselined benchmark MISSING from
+the current run, or whose metric key no longer resolves the same way
+(METRIC-DRIFT), is a failure in its own class: silently dropping it would
+un-gate that benchmark forever. Failure messages always carry the
+baseline and current values, not just the ratio.
+
+Exit codes:
+  0  gate passed
+  1  throughput regression(s) beyond --threshold
+  2  usage / IO problems (missing dirs, nothing compared)
+  3  baselined benchmark or metric missing from the current run
+     (renames and intentional removals need a --update refresh);
+     when regressions are ALSO present, 1 wins — it is the louder signal.
+
+After intentional perf changes — or when CI runner hardware shifts —
+refresh the snapshot with --update and commit the result.
 """
 
 import argparse
@@ -105,12 +117,24 @@ def metric_value(bench, key):
 
 
 def collect_pairs(baseline, current, fname):
-    """Returns (rows, pairs, drifts): display rows, comparable
-    (row_index, ratio) pairs, and metric-drift messages."""
-    rows, pairs, drifts = [], [], []
+    """Returns (rows, pairs, missing): display rows, comparable
+    (row_index, ratio, key, base_value, cur_value) pairs, and
+    missing-metric messages (baselined benchmark absent from the current
+    run, or its metric key drifted)."""
+    rows, pairs, missing = [], [], []
     for bench_name in sorted(set(baseline) | set(current)):
         if bench_name not in current:
-            rows.append([bench_name, "gone", "", ""])
+            base_row = baseline[bench_name]
+            key = metric_key_of(base_row)
+            base_value = metric_value(base_row, key) if key else None
+            baseline_text = (f"baseline {key}={base_value:.3g}"
+                             if base_value else "no baseline metric")
+            rows.append([bench_name, "MISSING", key or "", ""])
+            missing.append(
+                f"{fname}: {bench_name} is baselined ({baseline_text}) but "
+                f"absent from the current run — renamed or dropped? refresh "
+                f"with --update if intentional"
+            )
             continue
         if bench_name not in baseline:
             rows.append([bench_name, "new", "", ""])
@@ -125,12 +149,16 @@ def collect_pairs(baseline, current, fname):
             key == "1/real_time"
             and base_row.get("time_unit") != cur_row.get("time_unit")
         ):
+            base_value = metric_value(base_row, key)
+            cur_value = metric_value(cur_row, cur_key) if cur_key else None
             rows.append([bench_name, "METRIC-DRIFT", key, ""])
-            drifts.append(
-                f"{fname}: {bench_name} baseline metric '{key}"
-                f"/{base_row.get('time_unit')}' vs current "
-                f"'{cur_key}/{cur_row.get('time_unit')}' — refresh the "
-                f"baseline with --update"
+            missing.append(
+                f"{fname}: {bench_name} baseline metric "
+                f"'{key}/{base_row.get('time_unit')}'="
+                f"{base_value if base_value is None else format(base_value, '.3g')}"
+                f" vs current '{cur_key}/{cur_row.get('time_unit')}'="
+                f"{cur_value if cur_value is None else format(cur_value, '.3g')}"
+                f" — refresh the baseline with --update"
             )
             continue
         base_value = metric_value(base_row, key)
@@ -141,7 +169,7 @@ def collect_pairs(baseline, current, fname):
         pairs.append((len(rows), cur_value / base_value, key,
                       base_value, cur_value))
         rows.append([bench_name, "?", key, ""])
-    return rows, pairs, drifts
+    return rows, pairs, missing
 
 
 def main():
@@ -193,7 +221,7 @@ def main():
     # so the machine-drift factor is estimated over the whole fleet.
     per_file = []
     all_ratios = []
-    all_drifts = []
+    all_missing = []
     for fname in current_files:
         base_path = os.path.join(args.baseline, fname)
         if not os.path.exists(base_path):
@@ -211,8 +239,8 @@ def main():
                   f"are not meaningful; re-record the baseline with "
                   f"tools/bench_record.sh (forces Release).",
                   file=sys.stderr)
-        rows, pairs, drifts = collect_pairs(baseline, current, fname)
-        all_drifts.extend(drifts)
+        rows, pairs, missing = collect_pairs(baseline, current, fname)
+        all_missing.extend(missing)
         all_ratios.extend(ratio for _, ratio, _, _, _ in pairs)
         per_file.append((fname, rows, pairs))
 
@@ -256,14 +284,14 @@ def main():
         print("bench_compare: nothing compared (no overlapping files)",
               file=sys.stderr)
         return 2
-    failures = regressions + all_drifts
-    if failures:
+    if regressions or all_missing:
         print(f"\n{len(regressions)} throughput regression(s) beyond "
-              f"{args.threshold:.0%}, {len(all_drifts)} metric drift(s):",
-              file=sys.stderr)
-        for line in failures:
+              f"{args.threshold:.0%}, {len(all_missing)} missing/drifted "
+              f"metric(s):", file=sys.stderr)
+        for line in regressions + all_missing:
             print(f"  {line}", file=sys.stderr)
-        return 1
+        # Regression (1) outranks missing-metric (3) when both are present.
+        return 1 if regressions else 3
     print(f"\nbench gate OK: {compared} file(s), no regression beyond "
           f"{args.threshold:.0%}")
     return 0

@@ -8,8 +8,8 @@
 // PRs append these files to a trajectory to track perf over time:
 //
 //   VITEX_BENCH_JSON=bench_out ./bench_multi_query
-//   jq '.benchmarks[] | {name, real_time, counters}' \
-//       bench_out/BENCH_multi_query.json
+//   jq '.benchmarks[] | {name, real_time, counters}' bench.json
+//       (where bench.json is bench_out/BENCH_multi_query.json)
 
 #ifndef VITEX_BENCH_BENCH_JSON_H_
 #define VITEX_BENCH_BENCH_JSON_H_

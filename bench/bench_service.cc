@@ -15,8 +15,8 @@
 // spread over.
 //
 //   VITEX_BENCH_JSON=bench_out ./bench_service
-//   jq '.benchmarks[] | {name, events_per_sec: .counters.events_per_sec}' \
-//       bench_out/BENCH_service.json
+//   jq '.benchmarks[] | {name, events_per_sec: .counters.events_per_sec}'
+//       over bench_out/BENCH_service.json
 
 #include <benchmark/benchmark.h>
 

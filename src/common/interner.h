@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace vitex {
 
@@ -49,18 +51,32 @@ inline constexpr Symbol kAbsentSymbol = static_cast<Symbol>(-2);
 /// required, as for any container) and can then be frozen into an
 /// explicitly *read-only* phase with Freeze(). While frozen, any number of
 /// threads may call Lookup()/name()/size() concurrently without locks —
-/// nothing mutates, so there is nothing to race. Unfreeze() reopens the
-/// table for interning; the Freeze/Unfreeze transitions themselves must be
-/// externally synchronized against concurrent readers (the service does
-/// this by quiescing its parser streams around subscription compiles).
+/// nothing mutates, so there is nothing to race.
+///
+/// The phase TRANSITIONS are where concurrent readers could be torn, so
+/// the table owns the capability that synchronizes them (DESIGN.md §11):
+/// Freeze()/Unfreeze() require mu() held exclusively, a compile-time fact
+/// under Clang's thread safety analysis. Concurrent frozen-phase readers
+/// hold mu() shared for the duration of their read phase (the service's
+/// parser streams hold it across each parse); a writer that wants to mint
+/// must take mu() exclusively — which quiesces every reader — then
+/// Unfreeze → Intern → Freeze. Build-phase use (one thread, never frozen,
+/// e.g. a private machine table or a test) needs no locking and keeps
+/// calling Intern/Lookup directly; see the §11 capability map for where
+/// the analysis boundary lies.
+///
+/// Owning a mutex pins the table: share it by pointer (everything in the
+/// pipeline already does).
 class SymbolTable {
  public:
   SymbolTable();
 
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
-  SymbolTable(SymbolTable&&) = default;
-  SymbolTable& operator=(SymbolTable&&) = default;
+
+  /// The freeze capability: exclusive = may flip phases (and mint, via
+  /// Unfreeze); shared = may read concurrently while frozen.
+  SharedMutex& mu() const RETURN_CAPABILITY(mu_) { return mu_; }
 
   /// Returns the symbol for `name`, minting a new one on first sight.
   /// On a frozen table: returns the existing symbol if `name` was interned
@@ -72,14 +88,15 @@ class SymbolTable {
   /// Safe to call concurrently from many threads while the table is frozen.
   Symbol Lookup(std::string_view name) const;
 
-  /// Enters the read-only phase: all mutation stops until Unfreeze(). The
-  /// caller must ensure no Intern is in flight; after Freeze() returns (and
-  /// is made visible to them), readers need no further synchronization.
-  void Freeze() { frozen_ = true; }
+  /// Enters the read-only phase: all mutation stops until Unfreeze().
+  /// Requires mu() exclusively — no Intern can be in flight, and once the
+  /// writer lock drops, readers need no further synchronization.
+  void Freeze() REQUIRES(mu_) { frozen_ = true; }
 
-  /// Leaves the read-only phase. The caller must ensure no concurrent
-  /// Lookup can observe the mutation that follows.
-  void Unfreeze() { frozen_ = false; }
+  /// Leaves the read-only phase. Requires mu() exclusively, so no
+  /// concurrent frozen-phase reader (they hold mu() shared) can observe
+  /// the mutation that follows.
+  void Unfreeze() REQUIRES(mu_) { frozen_ = false; }
 
   bool frozen() const { return frozen_; }
 
@@ -108,6 +125,13 @@ class SymbolTable {
   std::vector<Slot> slots_;              // open addressing, pow2 capacity
   std::vector<std::string_view> names_;  // symbol -> arena-stable spelling
   Arena arena_;
+  // The freeze capability (see mu()). The table's DATA is deliberately not
+  // GUARDED_BY it: build-phase use is single-threaded and lock-free, and
+  // frozen-phase reads are safe without any capability because nothing
+  // mutates. The lock exists to order the phase transitions against the
+  // concurrent readers, which is exactly what the Freeze()/Unfreeze()
+  // REQUIRES annotations pin down.
+  mutable SharedMutex mu_;
   bool frozen_ = false;  // read-only phase flag; see class comment
 };
 

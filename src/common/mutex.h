@@ -1,0 +1,142 @@
+// Annotated mutex wrappers: the lockable capabilities of the concurrent
+// core (DESIGN.md §11).
+//
+// vitex::Mutex / vitex::SharedMutex are thin wrappers over std::mutex /
+// std::shared_mutex whose lock operations carry Clang Thread Safety
+// Analysis annotations, so every structure they protect can declare its
+// contract (`GUARDED_BY(mu_)`, `REQUIRES(mu_)`) and have it checked at
+// compile time under -Werror=thread-safety. Off Clang the annotations
+// vanish and these are exactly the standard types — zero overhead, no
+// behavior change.
+//
+// Locking idiom: prefer the scoped types (MutexLock, ReaderMutexLock,
+// WriterMutexLock) over manual Lock/Unlock — the analysis tracks scoped
+// capabilities through early returns for free, while manual unlock paths
+// each need their own annotation.
+//
+// CondVar is the condition-variable companion. Wait(mu) REQUIRES the
+// mutex: from the analysis' point of view the capability is held across
+// the wait (it is released and reacquired inside, invisibly, exactly like
+// std::condition_variable under the hood). There is deliberately no
+// predicate overload — a lambda predicate is analyzed as a separate
+// unannotated function and would defeat the checking of every field it
+// reads. Write the loop out:
+//
+//     MutexLock lock(mu_);
+//     while (!ReadyLocked()) cv_.Wait(mu_);   // ReadyLocked() REQUIRES(mu_)
+
+#ifndef VITEX_COMMON_MUTEX_H_
+#define VITEX_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace vitex {
+
+/// Exclusive mutex capability (wraps std::mutex).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex capability (wraps std::shared_mutex). Exclusive
+/// ("writer") acquisition guards mutation; shared ("reader") acquisition
+/// guards concurrent read phases — the SymbolTable freeze contract.
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive ("writer") lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped shared ("reader") lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable bound to vitex::Mutex. See the header comment for
+/// the no-predicate-overload rationale.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, and reacquires it before returning.
+  /// As with every condition variable, wake-ups may be spurious — always
+  /// re-check the predicate in a loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scoped lock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace vitex
+
+#endif  // VITEX_COMMON_MUTEX_H_

@@ -1,0 +1,120 @@
+// Clang Thread Safety Analysis annotations (DESIGN.md §11).
+//
+// These macros attach compile-time locking contracts to mutexes, guarded
+// data and lock-taking functions: which mutex guards which field, which
+// capability a function requires, which RAII type is a scoped capability.
+// Under Clang with -Wthread-safety (the static-analysis CI job promotes it
+// to -Werror=thread-safety) a read of a GUARDED_BY field without its lock,
+// or a call to a REQUIRES function without the capability, fails the
+// build. Under every other compiler the macros expand to nothing and the
+// code is byte-identical to the unannotated version.
+//
+// The spellings are the ABSL/Clang-documentation standard set, kept
+// unprefixed so annotated code reads like the upstream examples. Each is
+// #ifndef-guarded against a hosting project that already defines them.
+//
+// The analysis is intra-procedural and sees only what is annotated: it
+// proves lock DISCIPLINE (the right capability is held at each annotated
+// access), not memory-model correctness, and it cannot follow data that
+// escapes through unannotated pointers (e.g. a SymbolTable* handed to the
+// SAX parser through SaxParserOptions). ThreadSanitizer remains the
+// complementary dynamic check for everything outside the annotation
+// boundary — see DESIGN.md §11 for the capability map and the split of
+// labor between the two.
+
+#ifndef VITEX_COMMON_THREAD_ANNOTATIONS_H_
+#define VITEX_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define VITEX_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define VITEX_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+// A type that is a lockable capability (mutexes, shared mutexes).
+#ifndef CAPABILITY
+#define CAPABILITY(x) VITEX_THREAD_ANNOTATION__(capability(x))
+#endif
+
+// An RAII type that acquires a capability in its constructor and releases
+// it in its destructor.
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY VITEX_THREAD_ANNOTATION__(scoped_lockable)
+#endif
+
+// Data member: may only be read while holding the capability shared, and
+// written while holding it exclusively.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) VITEX_THREAD_ANNOTATION__(guarded_by(x))
+#endif
+
+// Pointer member: the POINTED-TO data is guarded (the pointer itself may
+// be read freely).
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) VITEX_THREAD_ANNOTATION__(pt_guarded_by(x))
+#endif
+
+// Function requires the capability exclusively / shared on entry, and does
+// not release it.
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  VITEX_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  VITEX_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+// Function acquires the capability (exclusively / shared) and holds it on
+// return.
+#ifndef ACQUIRE
+#define ACQUIRE(...) VITEX_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  VITEX_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+// Function releases the capability (exclusive / shared / either). The
+// GENERIC form is what a scoped lock's destructor uses when the same RAII
+// type can hold either mode.
+#ifndef RELEASE
+#define RELEASE(...) VITEX_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  VITEX_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  VITEX_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+#endif
+
+// Function tries to acquire the capability; first argument is the return
+// value that means success.
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  VITEX_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+// Caller must NOT hold the capability (deadlock documentation for
+// non-reentrant mutexes).
+#ifndef EXCLUDES
+#define EXCLUDES(...) VITEX_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#endif
+
+// Function returns a reference to the named capability (lets an accessor
+// abstract over a private mutex member: REQUIRES(table.mu()) resolves to
+// the member behind mu()).
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) VITEX_THREAD_ANNOTATION__(lock_returned(x))
+#endif
+
+// Escape hatch for functions whose locking is deliberately outside the
+// analysis (use sparingly; say why at the use site).
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  VITEX_THREAD_ANNOTATION__(no_thread_safety_analysis)
+#endif
+
+#endif  // VITEX_COMMON_THREAD_ANNOTATIONS_H_

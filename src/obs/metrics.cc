@@ -59,7 +59,7 @@ HistogramSnapshot Histogram::Snapshot() const {
 
 Counter* Registry::AddCounter(std::string name, std::string help,
                               Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.emplace_back();
   Entry entry;
   entry.name = std::move(name);
@@ -72,7 +72,7 @@ Counter* Registry::AddCounter(std::string name, std::string help,
 }
 
 Gauge* Registry::AddGauge(std::string name, std::string help, Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_.emplace_back();
   Entry entry;
   entry.name = std::move(name);
@@ -86,7 +86,7 @@ Gauge* Registry::AddGauge(std::string name, std::string help, Labels labels) {
 
 Histogram* Registry::AddHistogram(std::string name, std::string help,
                                   Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   histograms_.emplace_back();
   Entry entry;
   entry.name = std::move(name);
@@ -99,7 +99,7 @@ Histogram* Registry::AddHistogram(std::string name, std::string help,
 }
 
 std::string Registry::RenderText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PrometheusWriter writer;
   // Registration order, grouped by name: series of one name stay together
   // under a single HELP/TYPE header, and same-name+same-labels histogram

@@ -37,10 +37,12 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace vitex::obs {
 
@@ -178,12 +180,14 @@ class Registry {
   };
 
   // Deques: stable addresses under growth, no per-metric allocation after
-  // the node itself.
-  mutable std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::vector<Entry> entries_;
+  // the node itself. mu_ guards registration and render-time iteration;
+  // the metric instances themselves are lock-free by design (hot-path
+  // writers hold raw pointers and never touch the registry again).
+  mutable Mutex mu_;
+  std::deque<Counter> counters_ GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ GUARDED_BY(mu_);
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace vitex::obs

@@ -28,21 +28,25 @@
 // cap, per lane, how many items it is willing to take (the cap is how a
 // shard holds back documents published after a pending subscribe's epoch
 // cut while still draining those published before it).
+//
+// Every internal field is GUARDED_BY the queue mutex and every wait
+// predicate is a REQUIRES-annotated method (DESIGN.md §11), so the lock
+// discipline is checked at compile time under -Werror=thread-safety.
 
 #ifndef VITEX_SERVICE_BOUNDED_QUEUE_H_
 #define VITEX_SERVICE_BOUNDED_QUEUE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
+#include "common/thread_annotations.h"
 
 namespace vitex::service {
 
@@ -58,28 +62,28 @@ class BoundedQueue {
   /// false — without enqueueing — if the queue is (or becomes) closed.
   /// Concurrent pushers are admitted strictly in arrival order.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    const uint64_t ticket = push_tail_++;
-    auto admitted = [this, ticket] {
-      return closed_ || (ticket == push_head_ && items_.size() < capacity_);
-    };
-    if (!admitted()) {
-      // Backpressure stall: time only the waits, so the uncontended push
-      // pays one extra predicate check and nothing else.
-      const int64_t blocked_from = MonotonicNanos();
-      not_full_.wait(lock, admitted);
-      blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
+    {
+      MutexLock lock(mu_);
+      const uint64_t ticket = push_tail_++;
+      if (!PushAdmitted(ticket)) {
+        // Backpressure stall: time only the waits, so the uncontended push
+        // pays one extra predicate check and nothing else.
+        const int64_t blocked_from = MonotonicNanos();
+        do {
+          not_full_.Wait(mu_);
+        } while (!PushAdmitted(ticket));
+        blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
+      }
+      if (closed_) return false;
+      ++push_head_;
+      items_.push_back(std::move(item));
+      if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+      pushed_.fetch_add(1, std::memory_order_release);
     }
-    if (closed_) return false;
-    ++push_head_;
-    items_.push_back(std::move(item));
-    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
-    pushed_.fetch_add(1, std::memory_order_release);
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     // The next ticket holder may have been waiting only for its turn; it
     // is not necessarily the waiter notify_one would pick.
-    not_full_.notify_all();
+    not_full_.NotifyAll();
     return true;
   }
 
@@ -87,13 +91,15 @@ class BoundedQueue {
   /// only when the queue is closed *and* fully drained, so no enqueued
   /// item is ever lost to a shutdown race.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_all();
+    std::optional<T> item;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.NotifyAll();
     return item;
   }
 
@@ -101,16 +107,16 @@ class BoundedQueue {
   /// Pop drain what remains. Idempotent.
   void Close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   /// Items currently queued (a snapshot; for stats/monitoring).
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -126,7 +132,7 @@ class BoundedQueue {
 
   /// Deepest the queue has ever been (backpressure headroom telemetry).
   size_t high_watermark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return high_watermark_;
   }
 
@@ -134,24 +140,33 @@ class BoundedQueue {
   /// room (or their turnstile turn). Monotonic; the /statsz backpressure
   /// stall counter.
   uint64_t producer_blocked_nanos() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return blocked_nanos_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
+  /// The Push admission predicate: the caller's ticket is being served AND
+  /// there is room (or the queue closed, which releases every waiter).
+  bool PushAdmitted(uint64_t ticket) const REQUIRES(mu_) {
+    return closed_ || (ticket == push_head_ && items_.size() < capacity_);
+  }
+
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ GUARDED_BY(mu_);
   const size_t capacity_;
   // Ticket turnstile for producer FIFO admission: a pusher proceeds only
   // when its ticket is being served AND there is room.
-  uint64_t push_tail_ = 0;
-  uint64_t push_head_ = 0;
+  uint64_t push_tail_ GUARDED_BY(mu_) = 0;
+  uint64_t push_head_ GUARDED_BY(mu_) = 0;
+  // Atomic (not merely guarded) so pushed_count() stays a lock-free read
+  // for monitoring threads; the store still happens under mu_, which is
+  // what makes the count order the FIFO order.
   std::atomic<uint64_t> pushed_{0};
-  size_t high_watermark_ = 0;
-  uint64_t blocked_nanos_ = 0;
-  bool closed_ = false;
+  size_t high_watermark_ GUARDED_BY(mu_) = 0;
+  uint64_t blocked_nanos_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// A group of bounded FIFO lanes drained by ONE consumer.
@@ -178,36 +193,37 @@ class BoundedQueueGroup {
 
   BoundedQueueGroup(size_t lanes, size_t capacity)
       : capacity_(capacity < 1 ? 1 : capacity),
-        lanes_(lanes < 1 ? 1 : lanes) {}
+        lane_count_(lanes < 1 ? 1 : lanes),
+        lanes_(lane_count_) {}
 
   BoundedQueueGroup(const BoundedQueueGroup&) = delete;
   BoundedQueueGroup& operator=(const BoundedQueueGroup&) = delete;
 
-  size_t lanes() const { return lanes_.size(); }
+  size_t lanes() const { return lane_count_; }
   size_t capacity() const { return capacity_; }
 
   /// Blocks until `lane` has room, then enqueues. Returns false — without
   /// enqueueing — if the lane is (or becomes) closed.
   bool Push(size_t lane, T item) {
-    Lane& l = lanes_[lane];
-    std::unique_lock<std::mutex> lock(mu_);
-    auto admitted = [this, &l] {
-      return l.closed || l.items.size() < capacity_;
-    };
-    if (!admitted()) {
-      // A full lane means the consumer (shard) is the bottleneck; the
-      // accumulated wait is the per-group backpressure stall counter.
-      const int64_t blocked_from = MonotonicNanos();
-      not_full_.wait(lock, admitted);
-      blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
+    {
+      MutexLock lock(mu_);
+      Lane& l = lanes_[lane];
+      if (!LaneAdmits(l)) {
+        // A full lane means the consumer (shard) is the bottleneck; the
+        // accumulated wait is the per-group backpressure stall counter.
+        const int64_t blocked_from = MonotonicNanos();
+        do {
+          not_full_.Wait(mu_);
+        } while (!LaneAdmits(l));
+        blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
+      }
+      if (l.closed) return false;
+      l.items.push_back(std::move(item));
+      ++l.pushed;
+      ++total_items_;
+      if (total_items_ > high_watermark_) high_watermark_ = total_items_;
     }
-    if (l.closed) return false;
-    l.items.push_back(std::move(item));
-    ++l.pushed;
-    ++total_items_;
-    if (total_items_ > high_watermark_) high_watermark_ = total_items_;
-    lock.unlock();
-    ready_.notify_one();  // single consumer
+    ready_.NotifyOne();  // single consumer
     return true;
   }
 
@@ -218,70 +234,58 @@ class BoundedQueueGroup {
   /// under these caps (open, below cap); returns nullopt once no lane can
   /// (every lane closed-and-empty or at its cap). Single consumer only.
   std::optional<Popped> PopReady(const uint64_t* limits) {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (true) {
-      bool could_become_ready = false;
-      for (size_t i = 0; i < lanes_.size(); ++i) {
-        size_t lane = (next_lane_ + i) % lanes_.size();
-        Lane& l = lanes_[lane];
-        if (limits != nullptr && l.popped >= limits[lane]) continue;
-        if (!l.items.empty()) {
-          Popped out;
-          out.lane = lane;
-          out.item = std::move(l.items.front());
-          l.items.pop_front();
-          ++l.popped;
-          --total_items_;
-          next_lane_ = lane + 1;
-          lock.unlock();
-          not_full_.notify_all();
-          return out;
-        }
-        if (!l.closed) could_become_ready = true;
+    std::optional<Popped> out;
+    {
+      MutexLock lock(mu_);
+      while (true) {
+        PopAttempt result = TryPopReady(limits, &out);
+        if (result == PopAttempt::kPopped) break;
+        if (result == PopAttempt::kExhausted) return std::nullopt;
+        ready_.Wait(mu_);
       }
-      if (!could_become_ready) return std::nullopt;
-      ready_.wait(lock);
     }
+    not_full_.NotifyAll();
+    return out;
   }
 
   /// Closes one lane: its producer's future Push calls fail; queued items
   /// still drain through PopReady. Idempotent.
   void CloseLane(size_t lane) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       lanes_[lane].closed = true;
     }
-    not_full_.notify_all();
-    ready_.notify_all();
+    not_full_.NotifyAll();
+    ready_.NotifyAll();
   }
 
   /// Items popped from `lane` so far (consumer-side epoch bookkeeping).
   uint64_t popped(size_t lane) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lanes_[lane].popped;
   }
 
   size_t lane_size(size_t lane) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return lanes_[lane].items.size();
   }
 
   /// Total items currently queued across lanes (stats snapshot).
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return total_items_;
   }
 
   /// Deepest the group has ever been, totalled across lanes.
   size_t high_watermark() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return high_watermark_;
   }
 
   /// Total nanoseconds producers have spent blocked pushing into any lane
   /// of this group (the consumer was the bottleneck). Monotonic.
   uint64_t producer_blocked_nanos() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return blocked_nanos_;
   }
 
@@ -293,15 +297,51 @@ class BoundedQueueGroup {
     bool closed = false;
   };
 
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable ready_;  // wakes the single consumer
+  enum class PopAttempt { kPopped, kWouldBlock, kExhausted };
+
+  /// The Push admission predicate for one lane: room below the per-lane
+  /// capacity (or closed, which releases the waiter to fail the push).
+  bool LaneAdmits(const Lane& l) const REQUIRES(mu_) {
+    return l.closed || l.items.size() < capacity_;
+  }
+
+  /// One round-robin sweep over the lanes: pops into *out and returns
+  /// kPopped, or reports whether any open lane could still become ready
+  /// under `limits` (kWouldBlock) versus none ever can (kExhausted).
+  PopAttempt TryPopReady(const uint64_t* limits, std::optional<Popped>* out)
+      REQUIRES(mu_) {
+    bool could_become_ready = false;
+    for (size_t i = 0; i < lanes_.size(); ++i) {
+      size_t lane = (next_lane_ + i) % lanes_.size();
+      Lane& l = lanes_[lane];
+      if (limits != nullptr && l.popped >= limits[lane]) continue;
+      if (!l.items.empty()) {
+        Popped popped_item;
+        popped_item.lane = lane;
+        popped_item.item = std::move(l.items.front());
+        l.items.pop_front();
+        ++l.popped;
+        --total_items_;
+        next_lane_ = lane + 1;
+        *out = std::move(popped_item);
+        return PopAttempt::kPopped;
+      }
+      if (!l.closed) could_become_ready = true;
+    }
+    return could_become_ready ? PopAttempt::kWouldBlock
+                              : PopAttempt::kExhausted;
+  }
+
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar ready_;  // wakes the single consumer
   const size_t capacity_;
-  std::vector<Lane> lanes_;
-  size_t next_lane_ = 0;  // round-robin cursor over ready lanes
-  size_t total_items_ = 0;
-  size_t high_watermark_ = 0;
-  uint64_t blocked_nanos_ = 0;
+  const size_t lane_count_;
+  std::vector<Lane> lanes_ GUARDED_BY(mu_);
+  size_t next_lane_ GUARDED_BY(mu_) = 0;  // round-robin cursor over ready lanes
+  size_t total_items_ GUARDED_BY(mu_) = 0;
+  size_t high_watermark_ GUARDED_BY(mu_) = 0;
+  uint64_t blocked_nanos_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace vitex::service

@@ -1,10 +1,14 @@
+// lint: relaxed-ok(single-writer shard counters read by stats snapshots; cross-thread ordering is carried by the queue mutexes)
+
 #include "service/stream_service.h"
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/stopwatch.h"
 #include "obs/prometheus.h"
 #include "twigm/builder.h"
@@ -25,7 +29,7 @@ class StreamService::SubscriberSink : public twigm::ResultHandler {
 
   void OnResult(std::string_view fragment, uint64_t sequence) override {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       pending_.push_back(Delivery{std::string(fragment), sequence});
     }
     delivered_->fetch_add(1, std::memory_order_relaxed);
@@ -33,23 +37,23 @@ class StreamService::SubscriberSink : public twigm::ResultHandler {
 
   std::vector<Delivery> Drain() {
     std::vector<Delivery> out;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.swap(pending_);
     return out;
   }
 
  private:
-  std::mutex mu_;
-  std::vector<Delivery> pending_;
+  Mutex mu_;
+  std::vector<Delivery> pending_ GUARDED_BY(mu_);
   std::atomic<uint64_t>* delivered_;
 };
 
 // Barrier token for Flush(): every shard decrements once it has processed
 // everything enqueued before the token.
 struct StreamService::FlushGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t remaining = 0;
+  Mutex mu;
+  CondVar cv;
+  size_t remaining GUARDED_BY(mu) = 0;
 };
 
 // One control operation, shared by the M×N marker copies that carry it
@@ -139,8 +143,8 @@ struct StreamService::Shard {
   std::atomic<uint64_t> events{0};
   std::atomic<size_t> live_queries{0};
   std::atomic<size_t> live_machines{0};  // plan instances (DESIGN.md §7)
-  std::mutex dispatch_mu;
-  twigm::DispatchStats dispatch;  // snapshot after each document
+  Mutex dispatch_mu;
+  twigm::DispatchStats dispatch GUARDED_BY(dispatch_mu);  // after each doc
 
   // This shard's private stage histograms; null when tracing is off.
   obs::Histogram* queue_wait_hist = nullptr;  // fan-out → shard pop
@@ -195,7 +199,10 @@ StreamService::StreamService(StreamServiceOptions options)
   }
   // The table enters its read-only phase before any parser thread exists;
   // Subscribe() is the only place it is (briefly) reopened.
-  symbols_.Freeze();
+  {
+    WriterMutexLock symbols_lock(symbols_.mu());
+    symbols_.Freeze();
+  }
   for (auto& shard : shards_) {
     shard->thread = std::thread(&StreamService::ShardLoop, this, shard.get());
   }
@@ -211,9 +218,9 @@ Status StreamService::Stop() {
   // Serializes stops: a concurrent second caller blocks here until the
   // first caller has finished joining, so no caller (in particular the
   // destructor) can proceed while threads are still running.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(stop_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return first_error_;
     stopped_ = true;
   }
@@ -224,12 +231,12 @@ Status StreamService::Stop() {
   for (auto& stream : streams_) stream->queue.Close();
   for (auto& stream : streams_) stream->thread.join();
   for (auto& shard : shards_) shard->thread.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 
 void StreamService::RecordError(const Status& status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (first_error_.ok()) first_error_ = status;
 }
 
@@ -275,39 +282,42 @@ bool StreamService::EmitControl(std::shared_ptr<ControlOp> op) {
 }
 
 Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath) {
-  std::lock_guard<std::mutex> control_lock(control_mu_);
+  MutexLock control_lock(control_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return Status::InvalidArgument("service is stopped");
   }
   auto sink = std::make_shared<SubscriberSink>(&results_delivered_);
   // Compile on this thread, under exclusive table access: parser streams
-  // hold symbols_mu_ shared for the duration of a parse, so the unique
+  // hold symbols_.mu() shared for the duration of a parse, so the writer
   // lock quiesces them for the (rare, O(|Q|)) moment interning happens.
-  Result<twigm::BuiltMachine> built = [&] {
-    std::unique_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+  // A plain scoped block, not a lambda: the thread safety analysis checks
+  // the Unfreeze/Freeze capability requirements right here, where the
+  // lock is visibly held (DESIGN.md §11).
+  std::optional<Result<twigm::BuiltMachine>> built;
+  {
+    WriterMutexLock symbols_lock(symbols_.mu());
     symbols_.Unfreeze();
-    auto result = twigm::TwigMBuilder::Build(
-        xpath, sink.get(), options_.machine_options, &symbols_);
+    built.emplace(twigm::TwigMBuilder::Build(
+        xpath, sink.get(), options_.machine_options, &symbols_));
     symbols_.Freeze();
-    return result;
-  }();
-  VITEX_RETURN_IF_ERROR(built.status());
+  }
+  VITEX_RETURN_IF_ERROR(built->status());
 
   SubscriptionId id =
       next_subscription_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     subscriptions_[id] = sink;
   }
   auto op = std::make_shared<ControlOp>();
   op->kind = ControlOp::Kind::kSubscribe;
   op->subscription = id;
   op->machine =
-      std::make_unique<twigm::BuiltMachine>(std::move(built).value());
+      std::make_unique<twigm::BuiltMachine>(std::move(*built).value());
   op->sink = std::move(sink);
   if (!EmitControl(std::move(op))) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     subscriptions_.erase(id);
     return Status::InvalidArgument("service is stopped");
   }
@@ -315,9 +325,9 @@ Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath) {
 }
 
 Status StreamService::Unsubscribe(SubscriptionId id) {
-  std::lock_guard<std::mutex> control_lock(control_mu_);
+  MutexLock control_lock(control_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = subscriptions_.find(id);
     if (it == subscriptions_.end()) {
       return Status::InvalidArgument("unknown subscription id");
@@ -336,7 +346,7 @@ Status StreamService::Unsubscribe(SubscriptionId id) {
 Result<std::vector<Delivery>> StreamService::Drain(SubscriptionId id) {
   std::shared_ptr<SubscriberSink> sink;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = subscriptions_.find(id);
     if (it == subscriptions_.end()) {
       return Status::InvalidArgument("unknown subscription id");
@@ -371,24 +381,29 @@ Status StreamService::PublishToStream(size_t stream, std::string document) {
 
 Status StreamService::Flush() {
   auto gate = std::make_shared<FlushGate>();
-  gate->remaining = shards_.size();
+  {
+    MutexLock gate_lock(gate->mu);
+    gate->remaining = shards_.size();
+  }
   auto op = std::make_shared<ControlOp>();
   op->kind = ControlOp::Kind::kFlush;
   op->gate = gate;
   bool emitted;
   {
-    std::lock_guard<std::mutex> control_lock(control_mu_);
+    MutexLock control_lock(control_mu_);
     emitted = EmitControl(std::move(op));
   }
   if (!emitted) {
     // Stopping: Stop() drains everything, which is a stronger barrier, and
     // a partially emitted marker may never complete every shard's gate.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return first_error_;
   }
-  std::unique_lock<std::mutex> lock(gate->mu);
-  gate->cv.wait(lock, [&] { return gate->remaining == 0; });
-  std::lock_guard<std::mutex> err_lock(mu_);
+  {
+    MutexLock gate_lock(gate->mu);
+    while (gate->remaining != 0) gate->cv.Wait(gate->mu);
+  }
+  MutexLock err_lock(mu_);
   return first_error_;
 }
 
@@ -399,7 +414,7 @@ ServiceStats StreamService::stats() const {
   s.events_parsed = events_parsed_.load(std::memory_order_relaxed);
   s.results_delivered = results_delivered_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     s.active_subscriptions = subscriptions_.size();
   }
   for (const auto& stream : streams_) {
@@ -431,7 +446,7 @@ ServiceStats StreamService::stats() const {
     snap.live_machines = shard->live_machines.load(std::memory_order_relaxed);
     s.active_plan_machines += snap.live_machines;
     {
-      std::lock_guard<std::mutex> lock(shard->dispatch_mu);
+      MutexLock lock(shard->dispatch_mu);
       snap.dispatch = shard->dispatch;
     }
     s.events_replayed += snap.events;
@@ -640,7 +655,7 @@ void StreamService::StreamLoop(Stream* stream) {
       // Parse with the table in its read-only phase: any number of streams
       // may hold this shared lock at once; only Subscribe takes it
       // exclusively (to intern a new query vocabulary).
-      std::shared_lock<std::shared_mutex> symbols_lock(symbols_mu_);
+      ReaderMutexLock symbols_lock(symbols_.mu());
       xml::EventRecorder recorder(log.get());
       parsed = xml::ParseString(item->document, &recorder, parse_options);
     }
@@ -722,8 +737,8 @@ void StreamService::ApplyControl(Shard* shard, ControlOp* op) {
       break;
     }
     case ControlOp::Kind::kFlush: {
-      std::lock_guard<std::mutex> lock(op->gate->mu);
-      if (--op->gate->remaining == 0) op->gate->cv.notify_all();
+      MutexLock lock(op->gate->mu);
+      if (--op->gate->remaining == 0) op->gate->cv.NotifyAll();
       break;
     }
   }
@@ -793,7 +808,7 @@ void StreamService::ShardLoop(Shard* shard) {
       }
       shard->documents.fetch_add(1, std::memory_order_relaxed);
       shard->events.fetch_add(item.log->size(), std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(shard->dispatch_mu);
+      MutexLock lock(shard->dispatch_mu);
       shard->dispatch = shard->engine->dispatch_stats();
       continue;
     }

@@ -47,11 +47,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -59,7 +56,9 @@
 #include <vector>
 
 #include "common/interner.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "service/bounded_queue.h"
 #include "twigm/multi_query.h"
@@ -240,7 +239,7 @@ class StreamService {
   void ShardLoop(Shard* shard);
   size_t ShardOf(SubscriptionId id) const;
   bool ShardHandles(const Shard& shard, const ControlOp& op) const;
-  void RecordError(const Status& status);
+  void RecordError(const Status& status) EXCLUDES(mu_);
   /// Applies one control op on the shard's thread, at its epoch boundary
   /// (all lane markers arrived) or force-applied during shutdown drain.
   void ApplyControl(Shard* shard, ControlOp* op);
@@ -248,36 +247,37 @@ class StreamService {
   /// concurrent ops enter all queues in one consistent total order (the
   /// correctness precondition of the shard-side barrier; DESIGN.md §9).
   /// Returns false if the service is stopping (some queue closed).
-  bool EmitControl(std::shared_ptr<ControlOp> op);
+  bool EmitControl(std::shared_ptr<ControlOp> op) REQUIRES(control_mu_);
 
   StreamServiceOptions options_;
   // Shared by every stream's parser and every shard engine. FROZEN
-  // (read-only) while streams run: stream threads hold symbols_mu_ shared
-  // for the duration of a parse and only Lookup; Subscribe holds it
+  // (read-only) while streams run: stream threads hold symbols_.mu()
+  // shared for the duration of a parse and only Lookup; Subscribe holds it
   // exclusive around Unfreeze → compile (interns) → Freeze, so mutation
-  // never overlaps a lookup. Shard threads never touch the table: they
-  // consume stamped integer symbols off replayed events.
+  // never overlaps a lookup — the capability lives in the table itself and
+  // the phase flips are REQUIRES-checked (DESIGN.md §11). Shard threads
+  // never touch the table: they consume stamped integer symbols off
+  // replayed events.
   SymbolTable symbols_;
-  std::shared_mutex symbols_mu_;
 
   std::vector<std::unique_ptr<Stream>> streams_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   // The serialized control lane: holds marker emission (and the compile
   // that precedes it for Subscribe) so control ops are totally ordered.
-  std::mutex control_mu_;
+  Mutex control_mu_;
 
   // Held for the whole of Stop() so concurrent stops (destructor racing an
   // explicit Stop) wait for the joins instead of returning early.
-  std::mutex stop_mu_;
-  mutable std::mutex mu_;  // subscriptions_, first_error_, stopped_
+  Mutex stop_mu_;
+  mutable Mutex mu_;
   // Live subscriptions' sinks (routing is recomputed from the id by
   // ShardOf). The owning shard holds a second shared_ptr until it applies
   // the unsubscribe, so a sink is never destroyed under a running machine.
   std::unordered_map<SubscriptionId, std::shared_ptr<SubscriberSink>>
-      subscriptions_;
-  Status first_error_;
-  bool stopped_ = false;
+      subscriptions_ GUARDED_BY(mu_);
+  Status first_error_ GUARDED_BY(mu_);
+  bool stopped_ GUARDED_BY(mu_) = false;
 
   // Hot-path metrics (DESIGN.md §10). Each stream/shard registers its own
   // histogram instances under shared names at construction; the registry

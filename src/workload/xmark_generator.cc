@@ -14,7 +14,7 @@ const char* const kRegions[] = {"africa",        "asia",   "australia",
 constexpr int kRegionCount = 6;
 
 std::string Id(const char* prefix, uint64_t n) {
-  char buf[32];
+  char buf[64];
   std::snprintf(buf, sizeof(buf), "%s%llu", prefix,
                 static_cast<unsigned long long>(n));
   return buf;

@@ -1,0 +1,21 @@
+// Thread-safety analysis proof, negative half, for the SymbolTable freeze
+// contract (DESIGN.md §9/§11): the unfreeze → mint → refreeze sequence
+// WITHOUT the table's writer capability must be rejected under
+// -Werror=thread-safety. While frozen, parser streams read the table
+// lock-free under mu() held shared; a writer that flipped the phase
+// without taking mu() exclusively would mutate under their feet. The
+// REQUIRES annotations on Freeze()/Unfreeze() make that a compile error —
+// this TU is the proof that they do.
+//
+// Identical to positive_frozen_mint.cc except for the missing
+// WriterMutexLock.
+
+#include "common/interner.h"
+#include "common/mutex.h"
+
+void vitex_analysis_negative_frozen_mint() {
+  vitex::SymbolTable table;
+  table.Unfreeze();  // no writer capability — must not compile
+  table.Intern("minted-without-writer-lock");
+  table.Freeze();
+}

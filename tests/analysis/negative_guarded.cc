@@ -1,0 +1,37 @@
+// Thread-safety analysis proof, negative half (DESIGN.md §11): reading a
+// GUARDED_BY field WITHOUT its mutex must be rejected under
+// -Werror=thread-safety. tests/analysis/try_compile_proj asserts this TU
+// does NOT compile — the gate that proves the annotations in
+// src/common/thread_annotations.h are live attributes, not inert macros.
+//
+// Identical to positive_guarded.cc except for the missing lock in
+// balance().
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(unsigned n) {
+    vitex::MutexLock lock(mu_);
+    balance_ += n;
+  }
+
+  unsigned balance() const {
+    return balance_;  // racy read: no capability held — must not compile
+  }
+
+ private:
+  mutable vitex::Mutex mu_;
+  unsigned balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+unsigned vitex_analysis_negative_guarded() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}

@@ -1,0 +1,18 @@
+// Thread-safety analysis proof, positive half, for the SymbolTable freeze
+// contract (DESIGN.md §9/§11): flipping the freeze phase while holding the
+// table's writer capability compiles clean. Paired with
+// negative_frozen_mint.cc, which drops the lock.
+//
+// Compiled by tests/analysis/try_compile_proj; never linked or run (so
+// the missing interner.cc definitions are fine — STATIC_LIBRARY mode).
+
+#include "common/interner.h"
+#include "common/mutex.h"
+
+void vitex_analysis_positive_frozen_mint() {
+  vitex::SymbolTable table;
+  vitex::WriterMutexLock lock(table.mu());
+  table.Unfreeze();
+  table.Intern("minted-under-writer-lock");
+  table.Freeze();
+}

@@ -1,0 +1,38 @@
+// Thread-safety analysis proof, positive half (DESIGN.md §11): a
+// GUARDED_BY field accessed only under its mutex compiles clean with
+// -Werror=thread-safety. Paired with negative_guarded.cc, which differs
+// only in dropping the lock — if THIS file failed to build, the negative
+// test would be failing for the wrong reason (broken includes, not a
+// caught race).
+//
+// Compiled by tests/analysis/try_compile_proj; never linked or run.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(unsigned n) {
+    vitex::MutexLock lock(mu_);
+    balance_ += n;
+  }
+
+  unsigned balance() const {
+    vitex::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable vitex::Mutex mu_;
+  unsigned balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+unsigned vitex_analysis_positive_guarded() {
+  Account account;
+  account.Deposit(1);
+  return account.balance();
+}

@@ -258,7 +258,9 @@ TEST(MachineBasicTest, BuiltMachineSurvivesRelocation) {
   }
   EXPECT_EQ(handlers[7]->size(), 2u);
   for (int i = 0; i < 16; ++i) {
-    if (i != 7) EXPECT_EQ(handlers[i]->size(), 0u);
+    if (i != 7) {
+      EXPECT_EQ(handlers[i]->size(), 0u);
+    }
   }
 }
 

@@ -7,8 +7,8 @@
 // is hammered with the subscriber-population shape it hash-conses. Designed
 // for overnight runs:
 //
-//   ./difftest_main --iterations 100000 --seed 1 --workload all \
-//       --repro-dir difftest_repros
+//   ./difftest_main --iterations 100000 --seed 1 --workload all
+//       --repro-dir difftest_repros   (one command line)
 //
 // Every iteration draws one document from the selected workload generator
 // and a batch of fuzzed queries from the matching tag alphabet, then

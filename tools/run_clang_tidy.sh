@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# clang-tidy driver for the static-analysis gate (DESIGN.md §11).
+#
+# Runs the curated .clang-tidy check set over the library sources using
+# the compile database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS
+# is always ON). Findings are errors: the gate passes only at zero.
+#
+#   tools/run_clang_tidy.sh [-p <build dir>] [--diff [<base ref>]] [files...]
+#
+#   -p <dir>     build directory holding compile_commands.json
+#                (default: build)
+#   --diff [ref] lint only files changed relative to <ref> (default:
+#                origin/main, falling back to HEAD~1) — the fast local
+#                loop. CI lints the full tree.
+#   files...     explicit files to lint (overrides both modes)
+#
+# Only .cc files under src/ are linted (headers are covered through their
+# includers via HeaderFilterRegex). Files outside the compile database —
+# e.g. the negative-compile TUs in tests/analysis/ — are skipped.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+diff_mode=0
+diff_base=""
+explicit_files=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    -p)
+      build_dir="$2"
+      shift 2
+      ;;
+    --diff)
+      diff_mode=1
+      shift
+      if [[ $# -gt 0 && "$1" != -* ]]; then
+        diff_base="$1"
+        shift
+      fi
+      ;;
+    -h|--help)
+      sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      explicit_files+=("$1")
+      shift
+      ;;
+  esac
+done
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B $build_dir -S ." >&2
+  exit 2
+fi
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null; then
+  echo "error: $tidy not found (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+declare -a files
+if [[ ${#explicit_files[@]} -gt 0 ]]; then
+  files=("${explicit_files[@]}")
+elif [[ $diff_mode -eq 1 ]]; then
+  if [[ -z "$diff_base" ]]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      diff_base=origin/main
+    else
+      diff_base=HEAD~1
+    fi
+  fi
+  mapfile -t files < <(git diff --name-only --diff-filter=d "$diff_base" -- \
+                         'src/*.cc' 'src/*/*.cc')
+else
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+# Keep only files the compile database knows how to build.
+declare -a lintable
+for f in "${files[@]:-}"; do
+  [[ -z "$f" ]] && continue
+  if grep -q "$(basename "$f")" "$build_dir/compile_commands.json"; then
+    lintable+=("$f")
+  else
+    echo "skip (not in compile db): $f" >&2
+  fi
+done
+
+if [[ ${#lintable[@]:-0} -eq 0 ]]; then
+  echo "run_clang_tidy: nothing to lint"
+  exit 0
+fi
+
+echo "run_clang_tidy: ${#lintable[@]} file(s), build dir $build_dir"
+jobs="$(nproc 2>/dev/null || echo 4)"
+printf '%s\n' "${lintable[@]}" \
+  | xargs -P "$jobs" -n 1 "$tidy" -p "$build_dir" --quiet
+echo "run_clang_tidy: clean"

@@ -56,8 +56,8 @@ void BM_ServiceThroughput(benchmark::State& state) {
   const int shards = static_cast<int>(state.range(0));
   const int subs = static_cast<int>(state.range(1));
   const int streams = static_cast<int>(state.range(2));
+  const int items_per_doc = static_cast<int>(state.range(3));
   constexpr int kDocsPerIteration = 8;
-  constexpr int kItemsPerDoc = 256;
 
   vitex::service::StreamServiceOptions options;
   options.shard_count = static_cast<size_t>(shards);
@@ -76,7 +76,7 @@ void BM_ServiceThroughput(benchmark::State& state) {
   std::vector<std::string> docs;
   uint64_t doc_bytes = 0;
   for (int d = 0; d < kDocsPerIteration; ++d) {
-    docs.push_back(MakeFeedDoc(subs, kItemsPerDoc, d));
+    docs.push_back(MakeFeedDoc(subs, items_per_doc, d));
     doc_bytes += docs.back().size();
   }
   vitex::Status status = service.Flush();  // all machines installed
@@ -117,21 +117,97 @@ void BM_ServiceThroughput(benchmark::State& state) {
                                vitex::xml::scan::ActiveScanMode())));
 }
 BENCHMARK(BM_ServiceThroughput)
-    ->ArgNames({"shards", "subs", "streams"})
+    ->ArgNames({"shards", "subs", "streams", "items"})
     // Shard-scaling axis (ISSUE 2), single ingest stream.
-    ->Args({1, 256, 1})
-    ->Args({2, 256, 1})
-    ->Args({4, 256, 1})
-    ->Args({8, 256, 1})
-    ->Args({1, 1024, 1})
-    ->Args({4, 1024, 1})
-    ->Args({8, 1024, 1})
+    ->Args({1, 256, 1, 256})
+    ->Args({2, 256, 1, 256})
+    ->Args({4, 256, 1, 256})
+    ->Args({8, 256, 1, 256})
+    ->Args({1, 1024, 1, 256})
+    ->Args({4, 1024, 1, 256})
+    ->Args({8, 1024, 1, 256})
     // Stream-scaling axis (ISSUE 6): fixed shard/sub shape, publisher
     // streams 1 -> 8. streams:1 doubles as the no-regression pin against
     // the pre-multi-stream single-parser service.
-    ->Args({4, 256, 2})
-    ->Args({4, 256, 4})
-    ->Args({4, 256, 8})
+    ->Args({4, 256, 2, 256})
+    ->Args({4, 256, 4, 256})
+    ->Args({4, 256, 8, 256})
+    // Small-docs axis (ISSUE 9): ≤1KB documents, where per-document reset
+    // and allocation overhead — not match work — dominates. The versioned
+    // O(1) reset and pooled hot path pay off here.
+    ->Args({1, 256, 1, 8})
+    ->Args({4, 256, 1, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Small-documents end-to-end (ISSUE 9 acceptance): the full pub/sub
+// pipeline fed ≤1KB documents. At this size a document is a few dozen
+// events, so fixed per-document costs — machine/store resets, dispatcher
+// doc-boundary bookkeeping, per-doc allocation — dominate the profile and
+// the generation-stamped O(1) reset shows up directly in docs_per_sec.
+// Args: {shard_count, stream_count}.
+void BM_SmallDocsE2E(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const int streams = static_cast<int>(state.range(1));
+  constexpr int kSubs = 64;
+  constexpr int kDocsPerIteration = 64;
+  constexpr int kItemsPerDoc = 4;  // ~400-byte documents
+
+  vitex::service::StreamServiceOptions options;
+  options.shard_count = static_cast<size_t>(shards);
+  options.stream_count = static_cast<size_t>(streams);
+  options.queue_capacity = 128;
+  vitex::service::StreamService service(options);
+  for (int i = 0; i < kSubs; ++i) {
+    auto id = service.Subscribe("//item" + std::to_string(i) +
+                                "/val/text()");
+    if (!id.ok()) {
+      state.SkipWithError(id.status().ToString().c_str());
+      return;
+    }
+  }
+  std::vector<std::string> docs;
+  uint64_t doc_bytes = 0;
+  for (int d = 0; d < kDocsPerIteration; ++d) {
+    docs.push_back(MakeFeedDoc(kSubs, kItemsPerDoc, d));
+    doc_bytes += docs.back().size();
+  }
+  vitex::Status status = service.Flush();
+  if (!status.ok()) {
+    state.SkipWithError(status.ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    for (const std::string& doc : docs) {
+      status = service.Publish(doc);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = service.Flush();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+
+  vitex::service::ServiceStats stats = service.stats();
+  state.SetBytesProcessed(state.iterations() * doc_bytes);
+  state.counters["doc_bytes"] =
+      static_cast<double>(doc_bytes) / kDocsPerIteration;
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(stats.events_replayed), benchmark::Counter::kIsRate);
+  state.counters["docs_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kDocsPerIteration),
+      benchmark::Counter::kIsRate);
+  state.counters["results"] =
+      static_cast<double>(stats.results_delivered) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SmallDocsE2E)
+    ->ArgNames({"shards", "streams"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 

@@ -1,10 +1,21 @@
-// MemoryTracker: live/peak byte accounting for the paper's memory experiment.
+// MemoryTracker: live/peak byte accounting for the paper's memory experiment,
+// plus the allocation-counting hook behind the zero-steady-state-allocation
+// contract (DESIGN.md §12).
 //
 // The demo paper's feature 3 reports that "the memory requirement of ViteX
 // when processing queries on a 75 MB Protein dataset is stable at 1MB".
 // Reproducing that claim (experiment E2 in DESIGN.md) requires the engine to
 // account for its own state precisely: every stack entry, candidate buffer
 // and pending output fragment reports its size here.
+//
+// The versioned-memory work (§12) adds a second, harder claim: after warmup
+// the match hot path performs NO heap allocation per document. That is
+// pinned by counting real `operator new`/`operator delete` calls, not
+// logical bytes: a test binary defines the global allocation operators to
+// bump the per-thread AllocCounters below (see tests/twigm/zero_alloc_test.cc),
+// and AllocationScope measures the delta across a region. The counters are
+// thread-local so a scope only sees its own thread's traffic — engine work
+// is single-threaded per shard, so that is exactly the hot path.
 
 #ifndef VITEX_COMMON_MEMORY_TRACKER_H_
 #define VITEX_COMMON_MEMORY_TRACKER_H_
@@ -46,6 +57,54 @@ class MemoryTracker {
  private:
   size_t live_ = 0;
   size_t peak_ = 0;
+};
+
+/// Per-thread heap traffic counters. Monotonic; callers measure deltas
+/// (AllocationScope). They only advance when the running binary installs a
+/// counting allocator — see AllocCountingInstalled().
+struct AllocCounters {
+  uint64_t allocations = 0;
+  uint64_t deallocations = 0;
+  uint64_t allocated_bytes = 0;
+};
+
+/// This thread's counters. The counting `operator new`/`delete` (when
+/// linked) and tests both mutate through this accessor.
+inline AllocCounters& ThreadAllocCounters() {
+  thread_local AllocCounters counters;
+  return counters;
+}
+
+/// Whether a counting global allocator is linked into this binary. Shared
+/// across translation units (inline function-local static); the allocator
+/// TU sets it from a static initializer. Tests gate hard 0-allocation
+/// assertions on this so they stay meaningful if run without the hook.
+inline bool& AllocCountingInstalled() {
+  static bool installed = false;
+  return installed;
+}
+
+/// Measures this thread's heap traffic between construction (or Restart())
+/// and each query. Zero-cost when no counting allocator is linked (the
+/// deltas just stay 0).
+class AllocationScope {
+ public:
+  AllocationScope() { Restart(); }
+
+  void Restart() { start_ = ThreadAllocCounters(); }
+
+  uint64_t allocations() const {
+    return ThreadAllocCounters().allocations - start_.allocations;
+  }
+  uint64_t deallocations() const {
+    return ThreadAllocCounters().deallocations - start_.deallocations;
+  }
+  uint64_t allocated_bytes() const {
+    return ThreadAllocCounters().allocated_bytes - start_.allocated_bytes;
+  }
+
+ private:
+  AllocCounters start_;
 };
 
 }  // namespace vitex

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace vitex {
 
@@ -67,10 +68,23 @@ bool ParseXPathNumber(std::string_view s, double* out) {
               c == 'e' || c == 'E';
     if (!ok) return false;
   }
-  std::string owned(trimmed);
+  // strtod needs NUL termination; realistic numeric tokens fit a stack
+  // buffer, keeping the comparison hot path allocation-free. Oversized
+  // (but still valid) spellings fall back to a heap copy.
+  char stack_buf[64];
+  std::string heap;
+  const char* cstr;
+  if (trimmed.size() < sizeof(stack_buf)) {
+    std::memcpy(stack_buf, trimmed.data(), trimmed.size());
+    stack_buf[trimmed.size()] = '\0';
+    cstr = stack_buf;
+  } else {
+    heap.assign(trimmed);
+    cstr = heap.c_str();
+  }
   char* end = nullptr;
-  double d = std::strtod(owned.c_str(), &end);
-  if (end == owned.c_str() || *end != '\0') return false;
+  double d = std::strtod(cstr, &end);
+  if (end == cstr || *end != '\0') return false;
   *out = d;
   return true;
 }

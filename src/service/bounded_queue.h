@@ -32,12 +32,24 @@
 // Every internal field is GUARDED_BY the queue mutex and every wait
 // predicate is a REQUIRES-annotated method (DESIGN.md §11), so the lock
 // discipline is checked at compile time under -Werror=thread-safety.
+//
+// Handoff latency (DESIGN.md §12): consumers spin briefly — bounded
+// lock/probe/unlock rounds with pause instructions between them — before
+// registering as condvar waiters, and producers/consumers only touch a
+// condvar when the waiter count says someone is actually asleep. In a busy
+// pipeline of small documents both sides of every handoff would otherwise
+// pay a futex syscall per item (the consumer drains faster than the
+// producer feeds, so it would sleep between every pair of items); with the
+// spin phase the wake disappears from the producer's critical path and the
+// consumer picks the item up within the probe window. An idle queue still
+// parks its consumer after one bounded spin episode.
 
 #ifndef VITEX_SERVICE_BOUNDED_QUEUE_H_
 #define VITEX_SERVICE_BOUNDED_QUEUE_H_
 
 #include <atomic>
 #include <cstddef>
+#include <thread>
 #include <cstdint>
 #include <deque>
 #include <optional>
@@ -49,6 +61,43 @@
 #include "common/thread_annotations.h"
 
 namespace vitex::service {
+
+namespace queue_internal {
+
+// Consumer spin budget before parking on the condvar: this many
+// lock/probe/unlock rounds, kRelaxPerProbe pause instructions apart. ~64
+// probes x ~(uncontended lock + 32 pauses) covers a few tens of
+// microseconds — enough to bridge the inter-document gap of a busy
+// small-document pipeline without keeping an idle core hot for long.
+inline constexpr size_t kSpinProbes = 64;
+inline constexpr int kRelaxPerProbe = 32;
+
+// Spinning only pays when the producer can make progress while the
+// consumer spins, i.e. on a machine with real parallelism. On a single
+// hardware thread every spin round steals time from the producer that
+// would fill the queue, so the budget collapses to one probe (check, then
+// park) there.
+inline size_t SpinProbes() {
+  static const size_t probes =
+      std::thread::hardware_concurrency() > 1 ? kSpinProbes : 1;
+  return probes;
+}
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+inline void RelaxBetweenProbes() {
+  for (int i = 0; i < kRelaxPerProbe; ++i) CpuRelax();
+}
+
+}  // namespace queue_internal
 
 template <typename T>
 class BoundedQueue {
@@ -62,6 +111,7 @@ class BoundedQueue {
   /// false — without enqueueing — if the queue is (or becomes) closed.
   /// Concurrent pushers are admitted strictly in arrival order.
   bool Push(T item) {
+    bool wake_consumer, wake_producers;
     {
       MutexLock lock(mu_);
       const uint64_t ticket = push_tail_++;
@@ -69,9 +119,11 @@ class BoundedQueue {
         // Backpressure stall: time only the waits, so the uncontended push
         // pays one extra predicate check and nothing else.
         const int64_t blocked_from = MonotonicNanos();
+        ++push_waiters_;
         do {
           not_full_.Wait(mu_);
         } while (!PushAdmitted(ticket));
+        --push_waiters_;
         blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
       }
       if (closed_) return false;
@@ -79,27 +131,54 @@ class BoundedQueue {
       items_.push_back(std::move(item));
       if (items_.size() > high_watermark_) high_watermark_ = items_.size();
       pushed_.fetch_add(1, std::memory_order_release);
+      // Wake only threads that are actually parked: a consumer in its spin
+      // phase (or between items) will see this item on its next probe, and
+      // signalling an empty waitqueue is a wasted syscall on the hot path.
+      wake_consumer = pop_waiters_ > 0;
+      wake_producers = push_waiters_ > 0;
     }
-    not_empty_.NotifyOne();
+    if (wake_consumer) not_empty_.NotifyOne();
     // The next ticket holder may have been waiting only for its turn; it
     // is not necessarily the waiter notify_one would pick.
-    not_full_.NotifyAll();
+    if (wake_producers) not_full_.NotifyAll();
     return true;
   }
 
   /// Blocks until an item is available and dequeues it. Returns nullopt
   /// only when the queue is closed *and* fully drained, so no enqueued
-  /// item is ever lost to a shutdown race.
+  /// item is ever lost to a shutdown race. Spins briefly before parking
+  /// (see the header comment).
   std::optional<T> Pop() {
     std::optional<T> item;
+    bool wake_producers = false;
+    const size_t spin_probes = queue_internal::SpinProbes();
+    for (size_t probe = 0; probe < spin_probes; ++probe) {
+      {
+        MutexLock lock(mu_);
+        if (closed_ && items_.empty()) return std::nullopt;
+        if (!items_.empty()) {
+          item = std::move(items_.front());
+          items_.pop_front();
+          wake_producers = push_waiters_ > 0;
+        }
+      }
+      if (item.has_value()) {
+        if (wake_producers) not_full_.NotifyAll();
+        return item;
+      }
+      queue_internal::RelaxBetweenProbes();
+    }
     {
       MutexLock lock(mu_);
+      ++pop_waiters_;
       while (!closed_ && items_.empty()) not_empty_.Wait(mu_);
+      --pop_waiters_;
       if (items_.empty()) return std::nullopt;
       item = std::move(items_.front());
       items_.pop_front();
+      wake_producers = push_waiters_ > 0;
     }
-    not_full_.NotifyAll();
+    if (wake_producers) not_full_.NotifyAll();
     return item;
   }
 
@@ -155,6 +234,10 @@ class BoundedQueue {
   CondVar not_full_;
   CondVar not_empty_;
   std::deque<T> items_ GUARDED_BY(mu_);
+  // Threads parked (or about to park) on the matching condvar; a notify is
+  // skipped entirely while the count is zero.
+  size_t push_waiters_ GUARDED_BY(mu_) = 0;
+  size_t pop_waiters_ GUARDED_BY(mu_) = 0;
   const size_t capacity_;
   // Ticket turnstile for producer FIFO admission: a pusher proceeds only
   // when its ticket is being served AND there is room.
@@ -205,6 +288,7 @@ class BoundedQueueGroup {
   /// Blocks until `lane` has room, then enqueues. Returns false — without
   /// enqueueing — if the lane is (or becomes) closed.
   bool Push(size_t lane, T item) {
+    bool wake_consumer;
     {
       MutexLock lock(mu_);
       Lane& l = lanes_[lane];
@@ -212,9 +296,11 @@ class BoundedQueueGroup {
         // A full lane means the consumer (shard) is the bottleneck; the
         // accumulated wait is the per-group backpressure stall counter.
         const int64_t blocked_from = MonotonicNanos();
+        ++push_waiters_;
         do {
           not_full_.Wait(mu_);
         } while (!LaneAdmits(l));
+        --push_waiters_;
         blocked_nanos_ += static_cast<uint64_t>(MonotonicNanos() - blocked_from);
       }
       if (l.closed) return false;
@@ -222,8 +308,11 @@ class BoundedQueueGroup {
       ++l.pushed;
       ++total_items_;
       if (total_items_ > high_watermark_) high_watermark_ = total_items_;
+      // The single consumer is either parked (wake it) or spinning in
+      // PopReady and about to find this item on its own.
+      wake_consumer = consumer_waiting_;
     }
-    ready_.NotifyOne();  // single consumer
+    if (wake_consumer) ready_.NotifyOne();  // single consumer
     return true;
   }
 
@@ -235,16 +324,35 @@ class BoundedQueueGroup {
   /// (every lane closed-and-empty or at its cap). Single consumer only.
   std::optional<Popped> PopReady(const uint64_t* limits) {
     std::optional<Popped> out;
+    bool wake_producers = false;
+    // Spin phase: bounded probe rounds before parking (header comment).
+    const size_t spin_probes = queue_internal::SpinProbes();
+    for (size_t probe = 0; probe < spin_probes; ++probe) {
+      {
+        MutexLock lock(mu_);
+        PopAttempt result = TryPopReady(limits, &out);
+        if (result == PopAttempt::kExhausted) return std::nullopt;
+        if (result == PopAttempt::kPopped) wake_producers = push_waiters_ > 0;
+      }
+      if (out.has_value()) {
+        if (wake_producers) not_full_.NotifyAll();
+        return out;
+      }
+      queue_internal::RelaxBetweenProbes();
+    }
     {
       MutexLock lock(mu_);
       while (true) {
         PopAttempt result = TryPopReady(limits, &out);
         if (result == PopAttempt::kPopped) break;
         if (result == PopAttempt::kExhausted) return std::nullopt;
+        consumer_waiting_ = true;
         ready_.Wait(mu_);
+        consumer_waiting_ = false;
       }
+      wake_producers = push_waiters_ > 0;
     }
-    not_full_.NotifyAll();
+    if (wake_producers) not_full_.NotifyAll();
     return out;
   }
 
@@ -335,6 +443,10 @@ class BoundedQueueGroup {
   mutable Mutex mu_;
   CondVar not_full_;
   CondVar ready_;  // wakes the single consumer
+  // Producers parked on not_full_ / the consumer parked on ready_; a
+  // notify is skipped entirely while nobody is parked.
+  size_t push_waiters_ GUARDED_BY(mu_) = 0;
+  bool consumer_waiting_ GUARDED_BY(mu_) = false;
   const size_t capacity_;
   const size_t lane_count_;
   std::vector<Lane> lanes_ GUARDED_BY(mu_);

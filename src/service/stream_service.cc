@@ -38,7 +38,12 @@ class StreamService::SubscriberSink : public twigm::ResultHandler {
   std::vector<Delivery> Drain() {
     std::vector<Delivery> out;
     MutexLock lock(mu_);
-    out.swap(pending_);
+    // Move the deliveries out element-wise instead of swapping vectors:
+    // pending_ keeps its capacity, so a steady drain cadence stops paying
+    // a queue reallocation per document (DESIGN.md §12).
+    out.reserve(pending_.size());
+    for (Delivery& d : pending_) out.push_back(std::move(d));
+    pending_.clear();
     return out;
   }
 

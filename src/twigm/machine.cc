@@ -135,13 +135,18 @@ const std::vector<int>* TwigMachine::FindElementMatches(Symbol symbol) const {
 }
 
 void TwigMachine::Reset() {
-  for (MachineNode& m : nodes_) m.stack.clear();
+  // Versioned memory (DESIGN.md §12): bumping the generation makes every
+  // node stack and candidate slot from the previous document stale without
+  // visiting them — TouchStack() invalidates each stack lazily on first
+  // use, and all pooled capacity (stack slots, pmasks/candidate vectors,
+  // fragment buffers, recording buffers) is retained.
+  ++generation_;
   candidates_.Reset();
   stats_ = MachineStats();
   memory_ = MemoryTracker();
   live_entries_ = 0;
   pending_text_.Clear();
-  recordings_.clear();
+  recordings_size_ = 0;
   completed_fragment_.clear();
   has_completed_fragment_ = false;
   sequence_counter_ = 0;
@@ -238,24 +243,26 @@ Status TwigMachine::CheckMemoryLimit() const {
   return Status::OK();
 }
 
-bool TwigMachine::AxisSatisfiable(const MachineNode& node, int level) const {
+bool TwigMachine::AxisSatisfiable(const MachineNode& node, int level) {
   const QueryNode* q = node.query;
   if (node.parent_id < 0) {
     // The machine root matches against a virtual document-root entry at
     // level 0: '/a' requires level 1, '//a' accepts any level.
     return q->axis == Axis::kDescendant || level == 1;
   }
-  const std::vector<StackEntry>& st = nodes_[node.parent_id].stack;
-  if (st.empty()) return false;
+  MachineNode& parent = nodes_[node.parent_id];
+  TouchStack(parent);
+  if (parent.stack_size == 0) return false;
+  const StackEntry* st = parent.stack.data();
   if (q->axis == Axis::kDescendant) {
     // A strict ancestor: some open entry at a smaller level. Entries are
     // sorted by level, so the bottom one is the smallest.
-    return st.front().level < level;
+    return st[0].level < level;
   }
   // Child axis: an open entry exactly one level up. The only entry that can
   // sit above it is one pushed for this same element (level == level), so a
   // bounded scan from the top suffices.
-  for (size_t i = st.size(); i-- > 0;) {
+  for (size_t i = parent.stack_size; i-- > 0;) {
     if (st[i].level == level - 1) return true;
     if (st[i].level < level - 1) return false;
   }
@@ -266,11 +273,14 @@ template <typename Fn>
 void TwigMachine::ForEachPropagationTarget(const MachineNode& node, int level,
                                            Fn fn) {
   if (node.parent_id < 0) return;
-  std::vector<StackEntry>& st = nodes_[node.parent_id].stack;
+  MachineNode& parent = nodes_[node.parent_id];
+  TouchStack(parent);
+  StackEntry* st = parent.stack.data();
+  const size_t n = parent.stack_size;
   const QueryNode* q = node.query;
   switch (q->axis) {
     case Axis::kChild:
-      for (size_t i = st.size(); i-- > 0;) {
+      for (size_t i = n; i-- > 0;) {
         if (st[i].level == level - 1) {
           fn(st[i]);
           return;
@@ -281,21 +291,21 @@ void TwigMachine::ForEachPropagationTarget(const MachineNode& node, int level,
     case Axis::kDescendant:
       // Every strict ancestor entry (levels < level). Entries at `level`
       // belong to this element itself and are excluded.
-      for (StackEntry& e : st) {
-        if (e.level >= level) break;
-        fn(e);
+      for (size_t i = 0; i < n; ++i) {
+        if (st[i].level >= level) break;
+        fn(st[i]);
       }
       return;
     case Axis::kAttribute:
       if (q->descendant_attribute) {
         // Descendant-or-self: the owner element or any open ancestor.
-        for (StackEntry& e : st) {
-          if (e.level > level) break;
-          fn(e);
+        for (size_t i = 0; i < n; ++i) {
+          if (st[i].level > level) break;
+          fn(st[i]);
         }
       } else {
         // The owner element's entry only (same level, pushed this event).
-        if (!st.empty() && st.back().level == level) fn(st.back());
+        if (n > 0 && st[n - 1].level == level) fn(st[n - 1]);
       }
       return;
     case Axis::kSelf:
@@ -304,11 +314,24 @@ void TwigMachine::ForEachPropagationTarget(const MachineNode& node, int level,
 }
 
 void TwigMachine::PushEntry(MachineNode& node, int level, uint64_t sequence) {
-  node.stack.push_back(StackEntry{level, 0, sequence, {}, {}});
+  TouchStack(node);
+  if (node.stack_size == node.stack.size()) {
+    node.stack.emplace_back();  // warmup growth only; slot is then pooled
+  }
+  StackEntry& e = node.stack[node.stack_size++];
+  e.level = level;
+  e.child_bits = 0;
+  e.sequence = sequence;
+  // A reused slot may carry CandidateRefs from a document that aborted
+  // mid-element; their slot ids are stale in the versioned store (no Unref
+  // owed — the store's Reset already reclaimed everything).
+  e.candidates.clear();
   size_t extra = 0;
   if (bindings_ != nullptr && node.pchild_count > 0) {
-    node.stack.back().pmasks.assign(static_cast<size_t>(node.pchild_count), 0);
+    e.pmasks.assign(static_cast<size_t>(node.pchild_count), 0);
     extra = static_cast<size_t>(node.pchild_count) * sizeof(uint64_t);
+  } else {
+    e.pmasks.clear();
   }
   ++live_entries_;
   ++stats_.pushes;
@@ -318,9 +341,8 @@ void TwigMachine::PushEntry(MachineNode& node, int level, uint64_t sequence) {
   memory_.Add(sizeof(StackEntry) + extra);
 }
 
-StackEntry TwigMachine::PopEntry(MachineNode& node) {
-  StackEntry e = std::move(node.stack.back());
-  node.stack.pop_back();
+StackEntry& TwigMachine::PopEntry(MachineNode& node) {
+  StackEntry& e = node.stack[--node.stack_size];
   --live_entries_;
   ++stats_.pops;
   memory_.Release(sizeof(StackEntry) + e.pmasks.size() * sizeof(uint64_t));
@@ -334,49 +356,59 @@ StackEntry TwigMachine::PopEntry(MachineNode& node) {
 void TwigMachine::RecordingsOnStart(const xml::StartElementEvent& event,
                                     bool output_pushed) {
   if (output_pushed && output_is_element_) {
-    recordings_.push_back(Recording{event.depth, std::string(), false});
+    if (recordings_size_ == recordings_.size()) {
+      recordings_.emplace_back();  // warmup growth only
+    }
+    Recording& r = recordings_[recordings_size_++];
+    r.level = event.depth;
+    r.buffer.clear();  // pooled buffer, capacity retained
+    r.start_tag_open = false;
   }
-  if (recordings_.empty()) return;
-  // Build the tag once, then append to every active recording.
-  std::string tag;
-  tag.push_back('<');
-  tag.append(event.name);
+  if (recordings_size_ == 0) return;
+  // Build the tag once (pooled scratch), then append to every recording.
+  tag_scratch_.clear();
+  tag_scratch_.push_back('<');
+  tag_scratch_.append(event.name);
   for (const xml::Attribute& a : event.attributes) {
-    tag.push_back(' ');
-    tag.append(a.name);
-    tag.append("=\"");
-    tag.append(xml::EscapeAttribute(a.value));
-    tag.push_back('"');
+    tag_scratch_.push_back(' ');
+    tag_scratch_.append(a.name);
+    tag_scratch_.append("=\"");
+    xml::EscapeAttributeInto(a.value, &tag_scratch_);
+    tag_scratch_.push_back('"');
   }
-  for (Recording& r : recordings_) {
+  for (size_t ri = 0; ri < recordings_size_; ++ri) {
+    Recording& r = recordings_[ri];
     size_t before = r.buffer.size();
     if (r.start_tag_open) {
       r.buffer.push_back('>');
       r.start_tag_open = false;
     }
-    r.buffer.append(tag);
+    r.buffer.append(tag_scratch_);
     r.start_tag_open = true;
     memory_.Add(r.buffer.size() - before);
   }
 }
 
 void TwigMachine::RecordingsOnText(std::string_view text) {
-  if (recordings_.empty()) return;
-  std::string escaped = xml::EscapeText(text);
-  for (Recording& r : recordings_) {
+  if (recordings_size_ == 0) return;
+  text_escape_scratch_.clear();
+  xml::EscapeTextInto(text, &text_escape_scratch_);
+  for (size_t ri = 0; ri < recordings_size_; ++ri) {
+    Recording& r = recordings_[ri];
     size_t before = r.buffer.size();
     if (r.start_tag_open) {
       r.buffer.push_back('>');
       r.start_tag_open = false;
     }
-    r.buffer.append(escaped);
+    r.buffer.append(text_escape_scratch_);
     memory_.Add(r.buffer.size() - before);
   }
 }
 
 void TwigMachine::RecordingsOnEnd(std::string_view name, int depth) {
-  if (recordings_.empty()) return;
-  for (Recording& r : recordings_) {
+  if (recordings_size_ == 0) return;
+  for (size_t ri = 0; ri < recordings_size_; ++ri) {
+    Recording& r = recordings_[ri];
     size_t before = r.buffer.size();
     if (r.start_tag_open) {
       r.buffer.append("/>");
@@ -388,11 +420,14 @@ void TwigMachine::RecordingsOnEnd(std::string_view name, int depth) {
     }
     memory_.Add(r.buffer.size() - before);
   }
-  if (recordings_.back().level == depth) {
-    memory_.Release(recordings_.back().buffer.size());
-    completed_fragment_ = std::move(recordings_.back().buffer);
+  Recording& last = recordings_[recordings_size_ - 1];
+  if (last.level == depth) {
+    memory_.Release(last.buffer.size());
+    // Swap rather than move: the recording slot inherits the previous
+    // completed fragment's capacity, so both buffers stay pooled.
+    completed_fragment_.swap(last.buffer);
     has_completed_fragment_ = true;
-    recordings_.pop_back();
+    --recordings_size_;
   }
 }
 
@@ -500,7 +535,7 @@ Status TwigMachine::ProcessAttributes(const xml::StartElementEvent& event,
               ? nodes_[node.parent_id].pchild_slot[q->index_in_parent]
               : -1;
       if (is_output) {
-        cand = candidates_.Create(std::string(attr.value), attr_seq);
+        cand = candidates_.Create(attr.value, attr_seq);
       }
       ForEachPropagationTarget(node, level, [&](StackEntry& target) {
         if (parent_slot >= 0) {
@@ -538,15 +573,17 @@ Status TwigMachine::Text(const xml::TextEvent& event) {
 
 Status TwigMachine::FlushText() {
   if (pending_text_.empty()) return Status::OK();
-  std::string text = std::move(pending_text_.buffer);
+  // Swap rather than move: the coalescer keeps the scratch's old capacity
+  // for the next text node, so neither buffer reallocates in steady state.
+  text_node_scratch_.swap(pending_text_.buffer);
   int depth = pending_text_.depth;
   uint64_t seq = pending_text_.sequence != xml::kNoSequence
                      ? pending_text_.sequence
                      : sequence_counter_++;
   pending_text_.Clear();
-  memory_.Release(text.size());
-  RecordingsOnText(text);
-  return ProcessTextNode(text, depth, seq);
+  memory_.Release(text_node_scratch_.size());
+  RecordingsOnText(text_node_scratch_);
+  return ProcessTextNode(text_node_scratch_, depth, seq);
 }
 
 Status TwigMachine::TextNode(std::string_view text, int depth,
@@ -590,16 +627,17 @@ Status TwigMachine::ProcessTextNode(std::string_view text, int depth,
       }
       continue;
     }
-    std::vector<StackEntry>& stm = nodes_[node.parent_id].stack;
-    if (stm.empty()) continue;
+    MachineNode& parent = nodes_[node.parent_id];
+    TouchStack(parent);
+    if (parent.stack_size == 0) continue;
     bool is_output = q->is_output;
     int parent_slot =
         bindings_ != nullptr && parametric_[id]
-            ? nodes_[node.parent_id].pchild_slot[q->index_in_parent]
+            ? parent.pchild_slot[q->index_in_parent]
             : -1;
     CandidateId cand = 0;
     if (is_output) {
-      cand = candidates_.Create(std::string(text), seq);
+      cand = candidates_.Create(text, seq);
     }
     // Targets: child axis — the enclosing element's entry (level == depth);
     // descendant axis — every open entry (all are strict ancestors of the
@@ -618,12 +656,14 @@ Status TwigMachine::ProcessTextNode(std::string_view text, int depth,
         memory_.Add(sizeof(CandidateRef));
       }
     };
+    StackEntry* st = parent.stack.data();
+    const size_t n = parent.stack_size;
     if (q->axis == Axis::kChild) {
-      if (!stm.empty() && stm.back().level == depth) deliver(stm.back());
+      if (st[n - 1].level == depth) deliver(st[n - 1]);
     } else {
-      for (StackEntry& e : stm) {
-        if (e.level > depth) break;
-        deliver(e);
+      for (size_t ei = 0; ei < n; ++ei) {
+        if (st[ei].level > depth) break;
+        deliver(st[ei]);
       }
     }
     if (is_output) candidates_.Unref(cand);
@@ -640,9 +680,13 @@ Status TwigMachine::EndElement(std::string_view name, int depth) {
   // before any same-event parent state is examined.
   for (size_t i = nodes_.size(); i-- > 0;) {
     MachineNode& node = nodes_[i];
-    if (node.stack.empty() || node.stack.back().level != depth) continue;
+    TouchStack(node);
+    if (node.stack_size == 0 ||
+        node.stack[node.stack_size - 1].level != depth) {
+      continue;
+    }
     if (!node.query->IsElementNode()) continue;
-    StackEntry entry = PopEntry(node);
+    StackEntry& entry = PopEntry(node);
     // Satisfaction as a group mask: all-or-nothing for uniform machines and
     // uniform nodes, per-group for parametric nodes (a pop may qualify the
     // subtree for some subscriber groups and not others).
@@ -653,10 +697,12 @@ Status TwigMachine::EndElement(std::string_view name, int depth) {
     }
     ++stats_.satisfied_pops;
     if (node.query->is_output) {
-      // The recording for this element completed in RecordingsOnEnd.
+      // The recording for this element completed in RecordingsOnEnd. The
+      // store copies the fragment into a pooled slot buffer, so the
+      // completed-fragment buffer keeps its capacity for the next match.
       assert(has_completed_fragment_);
-      CandidateId cand = candidates_.Create(std::move(completed_fragment_),
-                                            entry.sequence);
+      CandidateId cand =
+          candidates_.Create(completed_fragment_, entry.sequence);
       completed_fragment_.clear();
       has_completed_fragment_ = false;
       // Full mask at birth: qualification narrows via sat_mask on each hop.
@@ -730,12 +776,13 @@ void TwigMachine::DropCandidates(StackEntry& entry) {
 Status TwigMachine::EndDocument() {
   VITEX_RETURN_IF_ERROR(FlushText());
   for (const MachineNode& node : nodes_) {
-    if (!node.stack.empty()) {
+    // A stale stack (untouched this document) is logically empty.
+    if (node.stack_gen == generation_ && node.stack_size != 0) {
       return Status::Internal(
           "TwigM invariant violation: nonempty stack at end of document");
     }
   }
-  if (!recordings_.empty()) {
+  if (recordings_size_ != 0) {
     return Status::Internal(
         "TwigM invariant violation: open recording at end of document");
   }
@@ -756,7 +803,9 @@ std::string TwigMachine::DebugString() const {
       out += q->name;
     }
     out += "): [";
-    for (size_t i = 0; i < node.stack.size(); ++i) {
+    // Read-only view: a stale stack renders empty without being touched.
+    size_t live = node.stack_gen == generation_ ? node.stack_size : 0;
+    for (size_t i = 0; i < live; ++i) {
       const StackEntry& e = node.stack[i];
       if (i > 0) out += ", ";
       out += "{L" + std::to_string(e.level) +

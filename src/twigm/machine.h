@@ -91,10 +91,20 @@ struct StackEntry {
 };
 
 /// One machine node: a query node plus its stack.
+///
+/// The stack is *pooled and versioned* (DESIGN.md §12): `stack` is storage,
+/// entries [0, stack_size) are the live ones, and slots above keep their
+/// heap capacity (pmasks/candidates vectors) for reuse. A stack whose
+/// `stack_gen` differs from the machine's current document generation
+/// belongs to a previous document and is logically empty; it is invalidated
+/// lazily on first touch (TwigMachine::TouchStack), which is what makes a
+/// whole-machine reset O(1) instead of O(nodes).
 struct MachineNode {
   const xpath::QueryNode* query = nullptr;
   int parent_id = -1;
   std::vector<StackEntry> stack;
+  size_t stack_size = 0;
+  uint64_t stack_gen = 0;
   /// pchild_slot[i] is the pmasks index of child i, or -1 for a uniform
   /// (non-parametric) child. Populated only under plan bindings.
   std::vector<int> pchild_slot;
@@ -184,7 +194,7 @@ class TwigMachine : public xml::ContentHandler {
   /// True while a match of an element-valued output node is open and its
   /// subtree is being serialized: the machine must then observe *every*
   /// event, whatever its tag. Dispatchers broadcast to active recorders.
-  bool recording_active() const { return !recordings_.empty(); }
+  bool recording_active() const { return recordings_size_ > 0; }
   /// True if the query's output node selects elements (only then can
   /// recording_active() ever become true).
   bool output_is_element() const { return output_is_element_; }
@@ -211,6 +221,14 @@ class TwigMachine : public xml::ContentHandler {
       const {
     return element_index_;
   }
+  /// True when machine node `id` (an element_index() node id) is a query
+  /// root: it matches against the virtual document-root entry, so it can
+  /// push with every stack empty. Any non-root node needs a live parent
+  /// stack entry first, which lets a dispatcher skip its symbols entirely
+  /// while the machine has no live entries (DESIGN.md §12).
+  bool node_is_root(int id) const {
+    return nodes_[static_cast<size_t>(id)].parent_id < 0;
+  }
 
   const xpath::Query& query() const { return *query_; }
   const Options& options() const { return options_; }
@@ -222,7 +240,10 @@ class TwigMachine : public xml::ContentHandler {
   /// Multi-line dump of every machine node's stack (debugging).
   std::string DebugString() const;
 
-  /// Clears all run state (stacks, candidates, counters) for a new document.
+  /// Resets all run state (stacks, candidates, counters) for a new
+  /// document. O(1): bumps the document generation, which lazily
+  /// invalidates every node stack and candidate slot while all their heap
+  /// capacity stays pooled (DESIGN.md §12).
   void Reset();
 
  private:
@@ -239,9 +260,19 @@ class TwigMachine : public xml::ContentHandler {
   Status ProcessAttributes(const xml::StartElementEvent& event,
                            uint64_t element_seq);
 
+  // Lazily invalidates `node`'s pooled stack on its first touch in the
+  // current document (versioned memory, DESIGN.md §12). Every stack access
+  // on the hot path goes through this.
+  void TouchStack(MachineNode& node) {
+    if (node.stack_gen != generation_) {
+      node.stack_gen = generation_;
+      node.stack_size = 0;
+    }
+  }
+
   // True if an entry of `node` may be pushed at `level` given the parent's
-  // stack state.
-  bool AxisSatisfiable(const MachineNode& node, int level) const;
+  // stack state. Non-const: touches the parent stack.
+  bool AxisSatisfiable(const MachineNode& node, int level);
 
   // The element query nodes testing for `symbol`, or nullptr.
   const std::vector<int>* FindElementMatches(Symbol symbol) const;
@@ -275,7 +306,10 @@ class TwigMachine : public xml::ContentHandler {
   void DropCandidates(StackEntry& entry);
 
   void PushEntry(MachineNode& node, int level, uint64_t sequence);
-  StackEntry PopEntry(MachineNode& node);
+  // Pops the top entry and returns a reference to its (still pooled) slot.
+  // Valid until the node's next push — which cannot happen during the
+  // EndElement that popped it (pops only propagate into *parent* stacks).
+  StackEntry& PopEntry(MachineNode& node);
 
   // Recording (output fragment capture).
   void RecordingsOnStart(const xml::StartElementEvent& event,
@@ -338,12 +372,25 @@ class TwigMachine : public xml::ContentHandler {
   // applies at flush).
   xml::TextCoalescer pending_text_;
 
+  // Recordings are pooled like the stacks: entries [0, recordings_size_)
+  // are live, slots above retain their buffer capacity.
   std::vector<Recording> recordings_;
+  size_t recordings_size_ = 0;
   std::string completed_fragment_;
   bool has_completed_fragment_ = false;
 
+  // Current document generation; every Reset() bumps it. Starts above the
+  // nodes' default stack_gen of 0 so a fresh machine has only stale stacks.
+  uint64_t generation_ = 1;
+
   uint64_t sequence_counter_ = 0;
   std::vector<int> match_scratch_;
+  // Pooled scratch buffers for the serialization path (tag assembly, text
+  // escaping, coalesced text nodes) — members instead of locals so their
+  // capacity survives across events.
+  std::string tag_scratch_;
+  std::string text_escape_scratch_;
+  std::string text_node_scratch_;
 };
 
 }  // namespace vitex::twigm

@@ -356,13 +356,22 @@ void MultiQueryEngine::Dispatcher::BuildIndex() {
     }
   }
   postings_.assign(posting_size, {});
+  dependent_postings_.assign(posting_size, {});
   info_.assign(n, MachineInfo());
   element_broadcast_.clear();
   attribute_machines_.clear();
   text_machines_.clear();
   visit_stamp_.assign(n, 0);
   event_id_ = 0;
+  // Every machine starts the next document untouched (stamp 0 is stale:
+  // doc_gen_ only ever advances past it).
+  machine_doc_gen_.assign(n, 0);
+  touched_machines_.clear();
   is_active_recorder_.assign(n, 0);
+  // The flags were just zeroed wholesale (and n may have changed), so the
+  // active list restarts too — no machine records across an index rebuild
+  // (rebuilds only happen at document boundaries).
+  active_recorders_.clear();
   min_memory_limit_ = 0;
   for (size_t i = 0; i < n; ++i) {
     if (owner_->instances_[i] == nullptr) continue;  // removed plan
@@ -382,7 +391,19 @@ void MultiQueryEngine::Dispatcher::BuildIndex() {
       // Query names were interned at build time, before any document tag,
       // so they are always inside the table the postings were sized to.
       assert(entry.first < postings_.size());
-      postings_[entry.first].push_back(static_cast<uint32_t>(i));
+      // A symbol goes to the entry postings if any node naming it is a
+      // query root (pushable with empty stacks); symbols named only by
+      // non-root nodes are no-ops until the machine has live entries, so
+      // they dispatch through the touched-machine gate instead.
+      bool is_entry = false;
+      for (int id : entry.second) {
+        if (m.node_is_root(id)) {
+          is_entry = true;
+          break;
+        }
+      }
+      (is_entry ? postings_ : dependent_postings_)[entry.first].push_back(
+          static_cast<uint32_t>(i));
     }
     if (mi.broadcast_elements) {
       element_broadcast_.push_back(static_cast<uint32_t>(i));
@@ -418,8 +439,13 @@ void MultiQueryEngine::Dispatcher::ResetStream() {
   index_built_ = false;
   targets_.clear();
   event_id_ = 0;
+  // The engine just reset every machine eagerly, so nothing is mid-document;
+  // the next StartDocument re-touches machines as events reach them.
+  touched_machines_.clear();
+  // Unwind the recorder flags through the active list — O(active), not
+  // O(machines) (the list names exactly the set flags).
+  for (uint32_t i : active_recorders_) is_active_recorder_[i] = 0;
   active_recorders_.clear();
-  std::fill(is_active_recorder_.begin(), is_active_recorder_.end(), 0);
   open_symbols_.clear();
   pending_text_.Clear();
 }
@@ -437,15 +463,24 @@ void MultiQueryEngine::Dispatcher::CollectTagTargets(Symbol symbol,
   ++event_id_;
   if (symbol != kNoSymbol && symbol < postings_.size()) {
     for (uint32_t i : postings_[symbol]) AddTarget(i, /*broadcast=*/false);
+    // Dependent symbols (named only by non-root query nodes) are strict
+    // no-ops for a machine with no live stack entries; the touch stamp —
+    // one contiguous load, no pointer chase into the machine — over-
+    // approximates "has live entries" within a document.
+    for (uint32_t i : dependent_postings_[symbol]) {
+      if (machine_doc_gen_[i] == doc_gen_) AddTarget(i, /*broadcast=*/false);
+    }
   }
   for (uint32_t i : element_broadcast_) AddTarget(i, /*broadcast=*/true);
   for (uint32_t i : active_recorders_) AddTarget(i, /*broadcast=*/true);
   if (with_attributes) {
     // Unanchored attribute steps can match attributes of any element, but
     // only while a context entry is open (or unconditionally for bare
-    // steps like //@id).
+    // steps like //@id). The touch stamp screens out untouched machines
+    // (live count surely 0) before the live-entry load.
     for (uint32_t i : attribute_machines_) {
-      if (info_[i].bare_attributes || machine(i).live_stack_entries() > 0) {
+      if (info_[i].bare_attributes || (machine_doc_gen_[i] == doc_gen_ &&
+                                       machine(i).live_stack_entries() > 0)) {
         AddTarget(i, /*broadcast=*/true);
       }
     }
@@ -471,7 +506,8 @@ Status MultiQueryEngine::Dispatcher::FlushTextNode() {
   targets_.clear();
   ++event_id_;
   for (uint32_t i : text_machines_) {
-    if (info_[i].bare_text || machine(i).live_stack_entries() > 0) {
+    if (info_[i].bare_text || (machine_doc_gen_[i] == doc_gen_ &&
+                               machine(i).live_stack_entries() > 0)) {
       AddTarget(i, /*broadcast=*/false);
     }
   }
@@ -480,6 +516,8 @@ Status MultiQueryEngine::Dispatcher::FlushTextNode() {
   owner_->dispatch_stats_.text_visits += targets_.size();
   Status status = Status::OK();
   for (uint32_t i : targets_) {
+    status = TouchMachine(i);
+    if (!status.ok()) break;
     status = machine(i).TextNode(pending_text_.buffer, pending_text_.depth,
                                  pending_text_.sequence);
     if (!status.ok()) break;
@@ -490,18 +528,31 @@ Status MultiQueryEngine::Dispatcher::FlushTextNode() {
 
 Status MultiQueryEngine::Dispatcher::StartDocument() {
   if (!index_built_) BuildIndex();
-  // Per-document dispatch state: machines reset below, so nothing records
-  // and no element is open. Clearing here (not only in ResetStream) lets
-  // RunEvents chain documents without an explicit stream reset.
+  // Per-document dispatch state: clearing here (not only in ResetStream)
+  // lets RunEvents chain documents without an explicit stream reset. The
+  // recorder flags unwind through the active list — O(active recorders),
+  // not O(machines) (the list names exactly the set flags).
   open_symbols_.clear();
+  for (uint32_t i : active_recorders_) is_active_recorder_[i] = 0;
   active_recorders_.clear();
-  std::fill(is_active_recorder_.begin(), is_active_recorder_.end(), 0);
   pending_text_.Clear();
-  for (auto& instance : owner_->instances_) {
-    if (instance == nullptr) continue;
-    VITEX_RETURN_IF_ERROR(instance->built->machine().StartDocument());
-  }
+  // Machines are NOT reset here: bumping doc_gen_ makes every machine's
+  // touch stamp stale, and TouchMachine() resets each one on the first
+  // event dispatched to it. A machine no event reaches stays exactly as
+  // its last document left it — stacks empty (EndDocument invariant), no
+  // recording open — so skipping it is unobservable, and the per-document
+  // floor is O(touched machines) instead of O(registered plans)
+  // (DESIGN.md §12).
+  ++doc_gen_;
+  touched_machines_.clear();
   return Status::OK();
+}
+
+Status MultiQueryEngine::Dispatcher::TouchMachine(uint32_t i) {
+  if (machine_doc_gen_[i] == doc_gen_) return Status::OK();
+  machine_doc_gen_[i] = doc_gen_;
+  touched_machines_.push_back(i);
+  return machine(i).StartDocument();
 }
 
 Status MultiQueryEngine::Dispatcher::StartElement(
@@ -518,6 +569,7 @@ Status MultiQueryEngine::Dispatcher::StartElement(
   ++owner_->dispatch_stats_.start_events;
   owner_->dispatch_stats_.start_visits += targets_.size();
   for (uint32_t i : targets_) {
+    VITEX_RETURN_IF_ERROR(TouchMachine(i));
     VITEX_RETURN_IF_ERROR(machine(i).StartElement(event));
     if (info_[i].output_is_element) SyncRecorder(i);
   }
@@ -534,6 +586,7 @@ Status MultiQueryEngine::Dispatcher::EndElement(std::string_view name,
   ++owner_->dispatch_stats_.end_events;
   owner_->dispatch_stats_.end_visits += targets_.size();
   for (uint32_t i : targets_) {
+    VITEX_RETURN_IF_ERROR(TouchMachine(i));
     VITEX_RETURN_IF_ERROR(machine(i).EndElement(name, depth));
     if (info_[i].output_is_element) SyncRecorder(i);
   }
@@ -562,9 +615,12 @@ Status MultiQueryEngine::Dispatcher::Text(const xml::TextEvent& event) {
 
 Status MultiQueryEngine::Dispatcher::EndDocument() {
   VITEX_RETURN_IF_ERROR(FlushTextNode());
-  for (auto& instance : owner_->instances_) {
-    if (instance == nullptr) continue;
-    VITEX_RETURN_IF_ERROR(instance->built->machine().EndDocument());
+  // Only machines the document actually reached have per-document state to
+  // finish (buffered text, the empty-stack invariant check); untouched
+  // machines were already verified clean by the last document that used
+  // them.
+  for (uint32_t i : touched_machines_) {
+    VITEX_RETURN_IF_ERROR(machine(i).EndDocument());
   }
   return Status::OK();
 }

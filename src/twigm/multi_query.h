@@ -312,6 +312,9 @@ class MultiQueryEngine {
     void CollectTagTargets(Symbol symbol, bool with_attributes);
     void SyncRecorder(size_t i);
     Status FlushTextNode();
+    // Lazily starts machine `i`'s document on the first event dispatched
+    // to it (see doc_gen_ below). Must run before any event delivery.
+    Status TouchMachine(uint32_t i);
 
     MultiQueryEngine* owner_;
     bool index_built_ = false;
@@ -321,7 +324,17 @@ class MultiQueryEngine {
     // document-only symbols can never match, and not reading the table here
     // lets shards rebuild their index while another thread interns new
     // query vocabulary into a shared table (DESIGN.md §5).
+    //
+    // Split by reachability: postings_ holds *entry* symbols — tags that
+    // match a query-root node, which can push with every stack empty — and
+    // dependent_postings_ holds tags only named by non-root nodes, which
+    // are strict no-ops until the machine has a live stack entry. Dependent
+    // postings are dispatched only to machines already touched this
+    // document, so a tag shared by many queries (`//itemN/val` × 1000: all
+    // name `val`) costs per event only the machines whose root actually
+    // opened, not every subscriber of the tag.
     std::vector<std::vector<uint32_t>> postings_;
+    std::vector<std::vector<uint32_t>> dependent_postings_;
     std::vector<MachineInfo> info_;
     std::vector<uint32_t> element_broadcast_;  // wildcard machines
     std::vector<uint32_t> attribute_machines_;
@@ -331,6 +344,19 @@ class MultiQueryEngine {
     std::vector<uint32_t> targets_;
     std::vector<uint64_t> visit_stamp_;
     uint64_t event_id_ = 0;
+
+    // Lazy per-document machine activation (DESIGN.md §12): StartDocument
+    // bumps doc_gen_ instead of resetting every registered machine, and a
+    // machine is reset when the document's first event actually reaches it
+    // (TouchMachine). Untouched machines are left exactly as their last
+    // document ended — stacks empty by the EndDocument invariant — so
+    // per-document engine cost scales with the machines the document
+    // touches, not with the number of registered plans. touched_machines_
+    // names the machines started this document; only they are finished at
+    // EndDocument.
+    std::vector<uint64_t> machine_doc_gen_;
+    std::vector<uint32_t> touched_machines_;
+    uint64_t doc_gen_ = 0;
 
     // Machines with an open output recording: broadcast set, maintained
     // after every dispatched event (recordings open/close only then).

@@ -18,6 +18,13 @@
 namespace vitex::twigm {
 
 /// Receiver for query solutions.
+///
+/// Allocation contract (DESIGN.md §12): the engine hot path performs no
+/// heap allocation per document in steady state, and `fragment` is a view
+/// into pooled engine storage valid only for the duration of the call.
+/// Handlers on that path should either not allocate (CountingResultHandler)
+/// or copy into pooled storage of their own; a handler that allocates per
+/// result is what shows up in the zero-alloc harness.
 class ResultHandler {
  public:
   virtual ~ResultHandler() = default;

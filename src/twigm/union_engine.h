@@ -10,10 +10,11 @@
 #ifndef VITEX_TWIGM_UNION_ENGINE_H_
 #define VITEX_TWIGM_UNION_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_set>
+#include <vector>
 
 #include "common/result.h"
 #include "twigm/multi_query.h"
@@ -56,25 +57,79 @@ class UnionEngine {
 
  private:
   // Forwards the first emission per document-order key, counts the rest.
+  //
+  // The seen-set is a versioned open-addressing table (DESIGN.md §12):
+  // every entry is stamped with the document generation, so Clear() is a
+  // counter bump — stale entries read as empty and are overwritten in
+  // place, and the table keeps its capacity across documents instead of
+  // rebuilding a hash set from scratch each time.
   class DedupHandler : public ResultHandler {
    public:
     explicit DedupHandler(ResultHandler* out) : out_(out) {}
     void OnResult(std::string_view fragment, uint64_t sequence) override {
-      if (!seen_.insert(sequence).second) {
+      if (!Insert(sequence)) {
         ++suppressed_;
         return;
       }
       if (out_ != nullptr) out_->OnResult(fragment, sequence);
     }
+    /// O(1): new documents see an empty set; suppression restarts.
     void Clear() {
-      seen_.clear();
+      ++generation_;
+      size_ = 0;
       suppressed_ = 0;
     }
     uint64_t suppressed() const { return suppressed_; }
 
    private:
+    struct SeenSlot {
+      uint64_t key = 0;
+      uint64_t generation = 0;  // 0 never matches generation_ (starts at 1)
+    };
+
+    static uint64_t Hash(uint64_t x) {
+      // splitmix64 finalizer: sequence keys are near-consecutive integers,
+      // so they need real mixing before masking into a power-of-two table.
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    }
+
+    // Inserts `key`; false if it was already present this generation.
+    bool Insert(uint64_t key) {
+      if (slots_.size() < 2 * (size_ + 1)) Grow();  // load factor <= 1/2
+      size_t mask = slots_.size() - 1;
+      size_t i = static_cast<size_t>(Hash(key)) & mask;
+      while (true) {
+        SeenSlot& s = slots_[i];
+        if (s.generation != generation_) {  // empty or stale: claim it
+          s.key = key;
+          s.generation = generation_;
+          ++size_;
+          return true;
+        }
+        if (s.key == key) return false;
+        i = (i + 1) & mask;
+      }
+    }
+
+    void Grow() {
+      std::vector<SeenSlot> old = std::move(slots_);
+      slots_.assign(old.empty() ? 64 : old.size() * 2, SeenSlot{});
+      size_t mask = slots_.size() - 1;
+      for (const SeenSlot& s : old) {
+        if (s.generation != generation_) continue;  // stale: drop
+        size_t i = static_cast<size_t>(Hash(s.key)) & mask;
+        while (slots_[i].generation == generation_) i = (i + 1) & mask;
+        slots_[i] = s;
+      }
+    }
+
     ResultHandler* out_;
-    std::unordered_set<uint64_t> seen_;
+    std::vector<SeenSlot> slots_;  // power-of-two size
+    size_t size_ = 0;              // current-generation entries
+    uint64_t generation_ = 1;
     uint64_t suppressed_ = 0;
   };
 

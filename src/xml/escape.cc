@@ -4,36 +4,44 @@
 
 namespace vitex::xml {
 
-std::string EscapeText(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
+void EscapeTextInto(std::string_view text, std::string* out) {
   for (char c : text) {
     switch (c) {
       case '&':
-        out += "&amp;";
+        *out += "&amp;";
         break;
       case '<':
-        out += "&lt;";
+        *out += "&lt;";
         break;
       case '>':
-        out += "&gt;";
+        *out += "&gt;";
         break;
       case '"':
-        out += "&quot;";
+        *out += "&quot;";
         break;
       case '\'':
-        out += "&apos;";
+        *out += "&apos;";
         break;
       default:
-        out.push_back(c);
+        out->push_back(c);
     }
   }
+}
+
+void EscapeAttributeInto(std::string_view value, std::string* out) {
+  // Attribute values additionally normalize tabs/newlines in full XML; for
+  // our writer it suffices to escape specials (we always double-quote).
+  EscapeTextInto(value, out);
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  EscapeTextInto(text, &out);
   return out;
 }
 
 std::string EscapeAttribute(std::string_view value) {
-  // Attribute values additionally normalize tabs/newlines in full XML; for
-  // our writer it suffices to escape specials (we always double-quote).
   return EscapeText(value);
 }
 

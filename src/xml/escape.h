@@ -17,6 +17,12 @@ std::string EscapeText(std::string_view text);
 /// Escapes text for use inside a double-quoted attribute value.
 std::string EscapeAttribute(std::string_view value);
 
+/// Appending variants for pooled buffers: escape `text` onto the end of
+/// `*out` without creating a temporary string (the serialization hot path
+/// reuses one scratch buffer per machine — DESIGN.md §12).
+void EscapeTextInto(std::string_view text, std::string* out);
+void EscapeAttributeInto(std::string_view value, std::string* out);
+
 /// Decodes predefined entities (&amp; &lt; &gt; &apos; &quot;) and numeric
 /// character references (&#ddd; / &#xhh;, emitted as UTF-8). Returns a
 /// ParseError for unterminated or unknown references.

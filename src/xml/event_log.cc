@@ -18,7 +18,13 @@ void EventLog::Clear() {
 
 Status EventLog::Replay(ContentHandler* handler) const {
   VITEX_RETURN_IF_ERROR(handler->StartDocument());
-  StartElementEvent ev;
+  // Pooled per-thread scratch: its attributes vector keeps its capacity
+  // across documents, so steady-state replay allocates nothing
+  // (DESIGN.md §12). Thread-local rather than a member because one log may
+  // be replayed concurrently by several shard threads. Every field is
+  // overwritten before use, so views left from a previous (possibly freed)
+  // log are never read.
+  thread_local StartElementEvent ev;
   for (const Event& e : events_) {
     switch (e.kind) {
       case Kind::kStart: {

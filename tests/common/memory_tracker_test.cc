@@ -49,5 +49,39 @@ TEST(MemoryTrackerTest, ResetPeakToLive) {
   EXPECT_EQ(t.peak_bytes(), 101u);
 }
 
+// AllocationScope reads deltas of the thread-local counters. This binary
+// does not install the counting operator new (only zero_alloc_test does),
+// so the counters move exactly as much as we tick them by hand.
+TEST(AllocationScopeTest, ReportsDeltasSinceConstruction) {
+  AllocCounters& c = ThreadAllocCounters();
+  c.allocations += 5;  // pre-existing traffic, invisible to the scope
+  AllocationScope scope;
+  EXPECT_EQ(scope.allocations(), 0u);
+  c.allocations += 3;
+  c.deallocations += 2;
+  c.allocated_bytes += 128;
+  EXPECT_EQ(scope.allocations(), 3u);
+  EXPECT_EQ(scope.deallocations(), 2u);
+  EXPECT_EQ(scope.allocated_bytes(), 128u);
+}
+
+TEST(AllocationScopeTest, RestartRebaselines) {
+  AllocCounters& c = ThreadAllocCounters();
+  AllocationScope scope;
+  c.allocations += 7;
+  EXPECT_EQ(scope.allocations(), 7u);
+  scope.Restart();
+  EXPECT_EQ(scope.allocations(), 0u);
+  c.allocations += 1;
+  EXPECT_EQ(scope.allocations(), 1u);
+}
+
+TEST(AllocationScopeTest, CountingNotInstalledByDefault) {
+  // Only a TU that defines the counting operator new flips this; the
+  // zero-alloc harness asserts on it so a silently-missing hook cannot
+  // produce a vacuous pass.
+  EXPECT_FALSE(AllocCountingInstalled());
+}
+
 }  // namespace
 }  // namespace vitex

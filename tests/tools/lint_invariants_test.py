@@ -178,6 +178,52 @@ class BenchBaselineTest(FixtureTest):
         self.assertIn("bench-baseline-release", self.rules_fired())
 
 
+class ResetOkTest(FixtureTest):
+    def test_clear_on_stamped_container_is_flagged(self):
+        self.write(
+            "src/twigm/candidate_store.h",
+            "void Reset() {\n  slots_.clear();\n  free_list_.clear();\n}\n",
+        )
+        fired = lint.run(self.root)
+        self.assertEqual(
+            [rule for rule, _, _ in fired], ["reset-ok", "reset-ok"]
+        )
+
+    def test_waived_clear_is_allowed(self):
+        self.write(
+            "src/twigm/union_engine.h",
+            "void Shutdown() {\n"
+            "  seen_.clear();  // lint: reset-ok(engine teardown, not a "
+            "document reset)\n"
+            "}\n",
+        )
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_node_stack_clear_is_flagged(self):
+        self.write(
+            "src/twigm/machine.cc",
+            "void TwigMachine::Reset() {\n"
+            "  for (auto& node : nodes_) node.stack.clear();\n"
+            "}\n",
+        )
+        self.assertIn("reset-ok", self.rules_fired())
+
+    def test_unstamped_containers_are_not_flagged(self):
+        self.write(
+            "src/twigm/machine.cc",
+            "void F() {\n"
+            "  completed_fragment_.clear();\n"
+            "  e.candidates.clear();\n"
+            "  targets_.clear();\n"
+            "}\n",
+        )
+        self.assertEqual(self.rules_fired(), [])
+
+    def test_outside_twigm_is_not_flagged(self):
+        self.write("src/service/sink.cc", "void F() { slots_.clear(); }\n")
+        self.assertEqual(self.rules_fired(), [])
+
+
 class CliTest(FixtureTest):
     def test_exit_codes_and_report_shape(self):
         self.write("CMakeLists.txt", "add_test(NAME Smoke COMMAND smoke)\n")

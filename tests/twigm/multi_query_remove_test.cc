@@ -327,5 +327,58 @@ TEST(MultiQueryRemoveTest, RemoveBetweenReplayedDocuments) {
   EXPECT_EQ(Fragments(b_results), (std::vector<std::string>{"x"}));
 }
 
+// Churn regression for the dispatcher's recorder bookkeeping: a wildcard
+// element-output query (it joins element_broadcast_ and activates result
+// recorders) is removed mid-epoch — after a completed document AND an
+// aborted mid-document parse that leaves its recorder active — and then a
+// small document is published. The rebuilt dispatch index must not carry a
+// stale machine reference in element_broadcast_/targets_/active_recorders_/
+// open_symbols_; before active_recorders_ was cleared on index rebuild,
+// this interleaving unwound recorder flags against the *new* machine list
+// using indices from the old one.
+TEST(MultiQueryRemoveTest, RecorderChurnAcrossAbortAndRemoval) {
+  MultiQueryEngine engine;
+  VectorResultCollector star_results, keep_results;
+  auto star = engine.AddQuery("//*[b]", &star_results);
+  auto keep = engine.AddQuery("//a/c/text()", &keep_results);
+  ASSERT_TRUE(star.ok());
+  ASSERT_TRUE(keep.ok());
+
+  ASSERT_TRUE(engine.RunString("<r><a><b/><c>1</c></a></r>").ok());
+  EXPECT_EQ(Fragments(star_results),
+            (std::vector<std::string>{"<a><b/><c>1</c></a>"}));
+  EXPECT_EQ(Fragments(keep_results), (std::vector<std::string>{"1"}));
+
+  // Abort mid-document while the wildcard's recorder is live (it is
+  // recording <a> when the parse fails), poisoning the stream.
+  engine.ResetStream();
+  ASSERT_TRUE(engine.Feed("<r><a><b/>").ok());
+  ASSERT_FALSE(engine.Feed("</mismatch>").ok());
+  engine.ResetStream();
+
+  // Remove the recorder-owning machine, then publish a small document via
+  // the replay path the service uses.
+  ASSERT_TRUE(engine.RemoveQuery(star.value()).ok());
+  keep_results.Clear();
+  auto log = xml::RecordEvents("<a><c>2</c></a>");
+  ASSERT_TRUE(log.ok());
+  ASSERT_TRUE(engine.RunEvents(log.value()).ok());
+  EXPECT_EQ(Fragments(keep_results), (std::vector<std::string>{"2"}));
+
+  // And the reverse interleaving: add a fresh recorder query, abort again,
+  // remove the *other* query, publish.
+  VectorResultCollector star2_results;
+  auto star2 = engine.AddQuery("//*[c]", &star2_results);
+  ASSERT_TRUE(star2.ok());
+  engine.ResetStream();
+  ASSERT_TRUE(engine.Feed("<r><a><c>x</c>").ok());
+  ASSERT_FALSE(engine.Feed("</mismatch>").ok());
+  engine.ResetStream();
+  ASSERT_TRUE(engine.RemoveQuery(keep.value()).ok());
+  ASSERT_TRUE(engine.RunEvents(log.value()).ok());
+  EXPECT_EQ(Fragments(star2_results),
+            (std::vector<std::string>{"<a><c>2</c></a>"}));
+}
+
 }  // namespace
 }  // namespace vitex::twigm

@@ -114,6 +114,38 @@ TEST(UnionEngineTest, PlainParserRejectsUnion) {
   EXPECT_FALSE(Engine::Create("//a | //b", nullptr).ok());
 }
 
+// Regression (DESIGN.md §12): the dedup seen-set is per-document state. A
+// fragment selected in consecutive documents must be reported in both —
+// suppression never carries across a document boundary.
+TEST(UnionEngineTest, CrossDocumentDuplicateReportedInBothDocs) {
+  VectorResultCollector results;
+  auto engine = UnionEngine::Create("//a | //*[b]", &results);
+  ASSERT_TRUE(engine.ok());
+  const char* doc = "<r><a><b/></a><a/></r>";
+  ASSERT_TRUE(engine->RunString(doc).ok());
+  EXPECT_EQ(results.size(), 2u);
+  engine->ResetStream();
+  ASSERT_TRUE(engine->RunString(doc).ok());
+  // Identical fragments, identical sequence keys — still reported again.
+  EXPECT_EQ(results.size(), 4u);
+}
+
+// The versioned seen-set keeps suppressing within-document duplicates after
+// many document boundaries (the table is reused in place, never rebuilt).
+TEST(UnionEngineTest, DedupStableAcrossManyDocuments) {
+  VectorResultCollector results;
+  auto engine = UnionEngine::Create("//a | //*", &results);
+  ASSERT_TRUE(engine.ok());
+  for (int doc = 0; doc < 50; ++doc) {
+    results.Clear();
+    ASSERT_TRUE(engine->RunString("<r><a/><a/><a/></r>").ok());
+    // //* selects all 4 elements; //a re-selects the 3 <a/>s.
+    EXPECT_EQ(results.size(), 4u);
+    EXPECT_EQ(engine->duplicates_suppressed(), 3u);
+    engine->ResetStream();
+  }
+}
+
 TEST(UnionEngineTest, ResetStreamClearsDedupState) {
   VectorResultCollector results;
   auto engine = UnionEngine::Create("//a | //*", &results);

@@ -38,7 +38,7 @@ VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_multi_query \
 VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_protein_e2e \
   --benchmark_filter='BM_ProteinViteX/1000$' --benchmark_min_time="$MIN_TIME"
 VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_service \
-  --benchmark_filter='shards:[148]/subs:256|BM_MetricsOverhead' \
+  --benchmark_filter='shards:[148]/subs:256|BM_MetricsOverhead|BM_SmallDocsE2E' \
   --benchmark_min_time="$MIN_TIME"
 VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_difftest \
   --benchmark_filter='service:0' --benchmark_min_time="$MIN_TIME"

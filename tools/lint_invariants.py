@@ -20,6 +20,14 @@ clean and passes every test on the machine that broke it:
   bench-baseline-release  checked-in bench baselines must be stamped
                       vitex_build_type=Release; comparing a Release run
                       against a Debug baseline silently passes any gate.
+  reset-ok            generation-stamped pools in src/twigm/ (slots_,
+                      free_list_, recordings_, seen_, per-node stacks —
+                      DESIGN.md §12) must never be .clear()ed: document
+                      reset is a generation bump, and a clear() both
+                      reintroduces a per-document O(n) walk and discards
+                      the pooled capacity the zero-alloc contract depends
+                      on. Lines that intentionally drop state carry a
+                      `// lint: reset-ok(<why>)` waiver.
 
 Run `tools/lint_invariants.py --root <repo>`; exit 0 when clean, 1 with
 one `rule: path: message` line per violation. tests/tools/ has fixtures.
@@ -242,12 +250,49 @@ def check_bench_baseline_release(root):
     return violations
 
 
+RESET_WAIVER = re.compile(r"//\s*lint:\s*reset-ok\([^)\n]+\)")
+# The generation-stamped pools of DESIGN.md §12. `stack` covers the
+# MachineNode per-node entry stacks (`node.stack`), whose live prefix is
+# tracked by stack_size/stack_gen rather than the vector's own size.
+STAMPED_CLEAR = re.compile(
+    r"\b(?:slots_|free_list_|recordings_|seen_|stack)\s*\.\s*clear\s*\("
+)
+
+
+def check_reset_ok(root):
+    """Generation-stamped containers in src/twigm/ are never clear()ed."""
+    violations = []
+    twigm = root / "src" / "twigm"
+    if not twigm.is_dir():
+        return violations
+    for path in sorted(twigm.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            match = STAMPED_CLEAR.search(line)
+            if match is None or RESET_WAIVER.search(line):
+                continue
+            violations.append(
+                (
+                    "reset-ok",
+                    path,
+                    f"line {lineno}: .clear() on generation-stamped "
+                    f"container `{match.group(0).split('.')[0].strip()}`; "
+                    "reset is a generation bump (DESIGN.md §12) — add a "
+                    "`// lint: reset-ok(<why>)` waiver if the state drop "
+                    "is intentional",
+                )
+            )
+    return violations
+
+
 RULES = [
     check_avx2_isolation,
     check_ctest_timeout,
     check_relaxed_confinement,
     check_iostream_free_headers,
     check_bench_baseline_release,
+    check_reset_ok,
 ]
 
 

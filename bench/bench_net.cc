@@ -1,0 +1,122 @@
+// Experiment N1: wire overhead of the TCP serving surface. Two numbers
+// frame it:
+//
+//   * BM_NetEcho — one PING/PONG round trip over loopback: the floor the
+//     framed protocol + epoll loop adds to any request (frame encode,
+//     syscall, epoll dispatch, decode, response).
+//   * BM_NetMatchDelivery — publish-to-received-MATCH latency through the
+//     whole pipeline (PUBLISH frame -> ingest parse -> shard match ->
+//     push sink -> outbuf -> client PollMatch), the number a subscriber
+//     experiences, with a fan-out axis for the per-match cost once a
+//     document matches many standing subscriptions.
+//
+//   VITEX_BENCH_JSON=bench_out ./bench_net
+//
+// Linux-only (epoll server); off Linux the binary runs zero benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_json.h"
+
+#if defined(__linux__)
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "service/vitex.h"
+
+namespace {
+
+using vitex::net::Client;
+using vitex::net::ClientOptions;
+using vitex::net::Server;
+using vitex::net::ServerOptions;
+
+// One live service + server + connected client per benchmark run.
+struct Rig {
+  std::unique_ptr<vitex::Service> service;
+  std::unique_ptr<Server> server;
+  std::unique_ptr<Client> client;
+
+  static std::unique_ptr<Rig> Make(size_t shards, benchmark::State& state) {
+    auto rig = std::make_unique<Rig>();
+    vitex::ServiceOptions service_options;
+    service_options.shard_count = shards;
+    service_options.stream_count = 1;
+    rig->service = std::make_unique<vitex::Service>(service_options);
+    auto server = Server::Start(rig->service.get(), ServerOptions{});
+    if (!server.ok()) {
+      state.SkipWithError(server.status().ToString().c_str());
+      return nullptr;
+    }
+    rig->server = std::move(server).value();
+    auto client =
+        Client::Connect("127.0.0.1", rig->server->port(), ClientOptions{});
+    if (!client.ok()) {
+      state.SkipWithError(client.status().ToString().c_str());
+      return nullptr;
+    }
+    rig->client = std::move(client).value();
+    return rig;
+  }
+};
+
+void BM_NetEcho(benchmark::State& state) {
+  auto rig = Rig::Make(/*shards=*/1, state);
+  if (rig == nullptr) return;
+  for (auto _ : state) {
+    vitex::Status status = rig->client->Ping();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+  }
+  state.counters["pings_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetEcho)->Unit(benchmark::kMicrosecond);
+
+// Arg: number of standing subscriptions the published document matches
+// (fan-out). Measures publish -> ALL matches received on the client.
+void BM_NetMatchDelivery(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  auto rig = Rig::Make(/*shards=*/2, state);
+  if (rig == nullptr) return;
+  for (int i = 0; i < fanout; ++i) {
+    auto sub = rig->client->Subscribe("//item/val/text()");
+    if (!sub.ok()) {
+      state.SkipWithError(sub.status().ToString().c_str());
+      return;
+    }
+  }
+  const std::string doc =
+      "<doc><item><val>quote lorem ipsum dolor sit amet</val></item></doc>";
+  for (auto _ : state) {
+    vitex::Status status = rig->client->Publish(doc);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    for (int i = 0; i < fanout; ++i) {
+      auto match = rig->client->PollMatch(10000);
+      if (!match.ok() || !match->has_value()) {
+        state.SkipWithError("match did not arrive");
+        return;
+      }
+    }
+  }
+  state.counters["matches_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * fanout,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetMatchDelivery)->Arg(1)->Arg(8)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+#endif  // defined(__linux__)
+
+VITEX_BENCH_MAIN("net")

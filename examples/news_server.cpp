@@ -1,4 +1,5 @@
-// A miniature news *server*: the paper's pub/sub deployment at scale.
+// A miniature news *server*: the paper's pub/sub deployment at scale,
+// driven through the public facade (vitex::Service, service/vitex.h).
 // Hundreds of subscribers with standing XPath subscriptions, a publisher
 // pushing documents as fast as the service accepts them (bounded queues =
 // backpressure), subscribers joining and leaving while the stream runs,
@@ -16,6 +17,8 @@
 // After the dashboard the run prints the live /statsz payload (DESIGN.md
 // §10): the same Prometheus text a scrape endpoint would serve, with the
 // per-stage latency histograms and queue-watermark gauges for THIS run.
+// To serve the same thing over a real socket, see tools/vitex_server.cc
+// (the TCP front end, DESIGN.md §13).
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +27,7 @@
 
 #include "common/random.h"
 #include "common/stopwatch.h"
-#include "service/stream_service.h"
+#include "service/vitex.h"
 #include "workload/text_corpus.h"
 
 namespace {
@@ -52,36 +55,37 @@ int main(int argc, char** argv) {
   size_t streams = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 1;
   int topics = subscribers;  // disjoint-tag subscriptions
 
-  vitex::service::StreamServiceOptions options;
+  vitex::ServiceOptions options;
   options.shard_count = shards;
   options.stream_count = streams;
   options.queue_capacity = 32;
-  vitex::service::StreamService service(options);
+  vitex::Service service(options);
 
   std::printf(
       "news_server: %zu shard(s), %d subscriber(s), %d document(s), "
       "%zu publisher stream(s)\n",
       service.shard_count(), subscribers, documents, service.stream_count());
-  std::vector<vitex::service::SubscriptionId> ids;
+  std::vector<vitex::Subscription> subs;
   for (int s = 0; s < subscribers; ++s) {
-    auto id = service.Subscribe("//topic" + std::to_string(s % topics) +
-                                "/headline/text()");
-    if (!id.ok()) {
+    auto sub = service.Subscribe("//topic" + std::to_string(s % topics) +
+                                 "/headline/text()");
+    if (!sub.ok()) {
       std::fprintf(stderr, "subscribe failed: %s\n",
-                   id.status().ToString().c_str());
+                   sub.status().ToString().c_str());
       return 1;
     }
-    ids.push_back(id.value());
+    subs.push_back(std::move(sub).value());
   }
 
   vitex::Random rng(42);
   vitex::Stopwatch watch;
   for (int d = 0; d < documents; ++d) {
     // A tenth of the subscriber base churns mid-stream: the dynamic
-    // subscription lifecycle under load.
+    // subscription lifecycle under load. Unsubscribe() on the RAII handle
+    // ends the subscription right now (destruction would, too).
     if (d == documents / 2) {
       for (int s = 0; s < subscribers / 10; ++s) {
-        if (!service.Unsubscribe(ids[s]).ok()) return 1;
+        if (!subs[s].Unsubscribe().ok()) return 1;
       }
       std::printf("  [doc %d] %d subscribers left\n", d, subscribers / 10);
     }
@@ -98,12 +102,12 @@ int main(int argc, char** argv) {
   double seconds = watch.ElapsedSeconds();
 
   uint64_t pending = 0;
-  for (size_t s = subscribers / 10; s < ids.size(); ++s) {
-    auto drained = service.Drain(ids[s]);
+  for (size_t s = subscribers / 10; s < subs.size(); ++s) {
+    auto drained = subs[s].Drain();
     if (drained.ok()) pending += drained->size();
   }
 
-  vitex::service::ServiceStats stats = service.stats();
+  vitex::ServiceStats stats = service.stats();
   std::printf("\n--- ServiceStats ---\n");
   std::printf("documents: %llu published, %llu processed by all shards\n",
               static_cast<unsigned long long>(stats.documents_published),
@@ -119,14 +123,14 @@ int main(int argc, char** argv) {
               seconds, stats.documents_processed / seconds,
               stats.events_replayed / seconds / 1e6);
   for (size_t i = 0; i < stats.streams.size(); ++i) {
-    const vitex::service::StreamStatsSnapshot& st = stats.streams[i];
+    const vitex::StreamStatsSnapshot& st = stats.streams[i];
     std::printf("  stream %zu: %llu published, %llu parsed, %llu rejected\n",
                 i, static_cast<unsigned long long>(st.documents_published),
                 static_cast<unsigned long long>(st.documents_parsed),
                 static_cast<unsigned long long>(st.documents_rejected));
   }
   for (size_t i = 0; i < stats.shards.size(); ++i) {
-    const vitex::service::ShardStatsSnapshot& sh = stats.shards[i];
+    const vitex::ShardStatsSnapshot& sh = stats.shards[i];
     std::printf(
         "  shard %zu: %zu live queries, %llu docs, %llu events, "
         "%llu start-visits (%llu broadcast)\n",

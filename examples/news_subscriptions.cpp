@@ -1,17 +1,18 @@
 // "Electronic personalized newspapers" (paper §1): one news stream, many
 // subscribers, each with a standing XPath subscription. PR 1 evaluated them
 // together in a single pass (MultiQueryEngine); this demo runs the same
-// scenario through the sharded pub/sub runtime (service::StreamService):
+// scenario through the public facade (vitex::Service, service/vitex.h):
 // the stream is parsed once on the ingest thread, replayed into worker
 // shards, and — the new part — subscribers join and leave MID-STREAM, with
-// changes taking effect at exact document boundaries.
+// changes taking effect at exact document boundaries. Subscriptions are
+// RAII handles: the ones still alive at the end unsubscribe themselves.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
-#include "service/stream_service.h"
+#include "service/vitex.h"
 #include "workload/text_corpus.h"
 
 namespace {
@@ -43,11 +44,10 @@ std::string MakeArticle(vitex::Random* rng, int id) {
   return a;
 }
 
-int Deliver(vitex::service::StreamService* service, const char* name,
-            vitex::service::SubscriptionId id) {
-  auto drained = service->Drain(id);
+int Deliver(vitex::Subscription* sub, const char* name) {
+  auto drained = sub->Drain();
   if (!drained.ok()) return 0;
-  for (const vitex::service::Delivery& d : drained.value()) {
+  for (const vitex::Delivery& d : drained.value()) {
     std::printf("  -> %s receives: %s\n", name, d.fragment.c_str());
   }
   return static_cast<int>(drained->size());
@@ -56,22 +56,22 @@ int Deliver(vitex::service::StreamService* service, const char* name,
 }  // namespace
 
 int main() {
-  vitex::service::StreamServiceOptions options;
+  vitex::ServiceOptions options;
   options.shard_count = 2;
-  vitex::service::StreamService service(options);
+  vitex::Service service(options);
 
-  std::vector<vitex::service::SubscriptionId> ids;
+  std::vector<vitex::Subscription> subs;
   std::vector<int> delivered(std::size(kSubscribers), 0);
   // alice, bob and carol subscribe before the stream starts; dave joins
   // mid-stream and carol leaves mid-stream.
   for (size_t s = 0; s < 3; ++s) {
-    auto id = service.Subscribe(kSubscribers[s].subscription);
-    if (!id.ok()) {
+    auto sub = service.Subscribe(kSubscribers[s].subscription);
+    if (!sub.ok()) {
       std::fprintf(stderr, "bad subscription for %s: %s\n",
-                   kSubscribers[s].name, id.status().ToString().c_str());
+                   kSubscribers[s].name, sub.status().ToString().c_str());
       return 1;
     }
-    ids.push_back(id.value());
+    subs.push_back(std::move(sub).value());
     std::printf("%s subscribed: %s\n", kSubscribers[s].name,
                 kSubscribers[s].subscription);
   }
@@ -81,9 +81,9 @@ int main() {
   for (int i = 0; i < 12; ++i) {
     if (i == 4) {
       // dave joins mid-stream: sees articles 4.. but never 0-3.
-      auto id = service.Subscribe(kSubscribers[3].subscription);
-      if (!id.ok()) return 1;
-      ids.push_back(id.value());
+      auto sub = service.Subscribe(kSubscribers[3].subscription);
+      if (!sub.ok()) return 1;
+      subs.push_back(std::move(sub).value());
       std::printf("[article %d] dave joins: %s\n", i,
                   kSubscribers[3].subscription);
     }
@@ -93,8 +93,8 @@ int main() {
       // she was subscribed for — are fully processed before the farewell
       // drain (unsubscribing discards undrained results).
       if (!service.Flush().ok()) return 1;
-      delivered[2] += Deliver(&service, "carol", ids[2]);
-      if (!service.Unsubscribe(ids[2]).ok()) return 1;
+      delivered[2] += Deliver(&subs[2], "carol");
+      if (!subs[2].Unsubscribe().ok()) return 1;
       std::printf("[article %d] carol leaves\n", i);
     }
     if (!service.Publish(MakeArticle(&rng, i)).ok()) return 1;
@@ -106,9 +106,9 @@ int main() {
   }
 
   std::printf("\ndeliveries:\n");
-  for (size_t s = 0; s < ids.size(); ++s) {
+  for (size_t s = 0; s < subs.size(); ++s) {
     if (s == 2) continue;  // carol already drained at departure
-    delivered[s] += Deliver(&service, kSubscribers[s].name, ids[s]);
+    delivered[s] += Deliver(&subs[s], kSubscribers[s].name);
   }
   std::printf("\ntotals:\n");
   for (size_t s = 0; s < std::size(kSubscribers); ++s) {
@@ -117,7 +117,7 @@ int main() {
                 s == 2 ? " (left at article 8)"
                        : (s == 3 ? " (joined at article 4)" : ""));
   }
-  vitex::service::ServiceStats stats = service.stats();
+  vitex::ServiceStats stats = service.stats();
   std::printf(
       "service: %llu documents through %zu shards, %llu events replayed, "
       "%llu results delivered\n",

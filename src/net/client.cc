@@ -1,0 +1,378 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace vitex::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  if (left <= 0) return 0;
+  if (left > 3600 * 1000) return 3600 * 1000;
+  return static_cast<int>(left);
+}
+
+Status SetBlocking(int fd, bool blocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = blocking ? (flags & ~O_NONBLOCK) : (flags | O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                ClientOptions options) {
+  std::unique_ptr<Client> client(new Client(std::move(options)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("host must be an IPv4 literal, got \"" +
+                                   host + "\"");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  client->fd_ = fd;  // owned from here on; Close() on any error path
+
+  if (client->options_.so_rcvbuf > 0) {
+    // Before connect(): SO_RCVBUF set later would not shrink the already
+    // advertised receive window.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &client->options_.so_rcvbuf,
+                 sizeof(client->options_.so_rcvbuf));
+  }
+
+  // Connect with a deadline: non-blocking connect + poll, then back to a
+  // blocking socket (reads are poll-gated, writes may block — the server
+  // always reads).
+  VITEX_RETURN_IF_ERROR(SetBlocking(fd, false));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    pollfd pfd{fd, POLLOUT, 0};
+    int r = ::poll(&pfd, 1, client->options_.io_timeout_ms);
+    if (r == 0) return Status::IoError("connect timed out");
+    if (r < 0) return Errno("poll(connect)");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status::IoError(std::string("connect: ") + std::strerror(err));
+    }
+  }
+  VITEX_RETURN_IF_ERROR(SetBlocking(fd, true));
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  VITEX_RETURN_IF_ERROR(client->Handshake());
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::ConnectionDied(const std::string& detail) {
+  Close();
+  std::string message = detail;
+  if (bye_.has_value()) {
+    message += " (server BYE: ";
+    switch (bye_->reason) {
+      case ByeReason::kShutdown:
+        message += "shutdown";
+        break;
+      case ByeReason::kEvicted:
+        message += "evicted";
+        break;
+      case ByeReason::kProtocolError:
+        message += "protocol error";
+        break;
+      case ByeReason::kAuthFailed:
+        message += "auth failed";
+        break;
+    }
+    if (!bye_->detail.empty()) message += ", " + bye_->detail;
+    message += ")";
+  }
+  return Status::IoError(message);
+}
+
+Status Client::SendAll(std::string_view bytes) {
+  if (fd_ < 0) return ConnectionDied("connection is closed");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      if (::poll(&pfd, 1, options_.io_timeout_ms) <= 0) {
+        return ConnectionDied("send timed out");
+      }
+      continue;
+    }
+    return ConnectionDied(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<bool> Client::ReadSome(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  int r = ::poll(&pfd, 1, timeout_ms);
+  if (r == 0) return false;
+  if (r < 0) {
+    if (errno == EINTR) return false;  // caller re-checks its deadline
+    return Errno("poll");
+  }
+  char buf[65536];
+  ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n > 0) {
+    // A framing error is surfaced by NextFrame via decoder_.failed().
+    (void)decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    return true;
+  }
+  if (n == 0) {
+    eof_ = true;  // frames (e.g. the BYE) may still be buffered
+    return true;
+  }
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return false;
+  return ConnectionDied(std::string("recv: ") + std::strerror(errno));
+}
+
+Result<std::optional<Frame>> Client::NextFrame(int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (std::optional<Frame> frame = decoder_.Next()) {
+      return std::optional<Frame>(std::move(frame));
+    }
+    if (decoder_.failed()) {
+      Status status = decoder_.status();
+      (void)ConnectionDied("framing error");
+      return status;
+    }
+    if (eof_ || fd_ < 0) {
+      return ConnectionDied("connection closed by server");
+    }
+    // Always attempt at least one read: NextFrame(0) is the non-blocking
+    // "drain whatever the socket already has" mode PollMatch(0) exposes.
+    bool got = false;
+    VITEX_ASSIGN_OR_RETURN(got, ReadSome(RemainingMs(deadline)));
+    if (!got && RemainingMs(deadline) <= 0) {
+      return std::optional<Frame>(std::nullopt);
+    }
+  }
+}
+
+Result<Frame> Client::Transact(std::string request, FrameType expected,
+                               uint64_t request_id) {
+  VITEX_RETURN_IF_ERROR(SendAll(request));
+  while (true) {
+    std::optional<Frame> frame;
+    VITEX_ASSIGN_OR_RETURN(frame, NextFrame(options_.io_timeout_ms));
+    if (!frame.has_value()) {
+      return ConnectionDied("timed out waiting for response");
+    }
+    const FrameType type = static_cast<FrameType>(frame->type);
+    if (type == FrameType::kMatch) {
+      Result<MatchMsg> match = DecodeMatch(frame->payload);
+      VITEX_RETURN_IF_ERROR(match.status());
+      pending_matches_.push_back(Match{match->subscription_id,
+                                       match->sequence,
+                                       std::move(match->fragment)});
+      continue;
+    }
+    if (type == FrameType::kBye) {
+      Result<ByeMsg> bye = DecodeBye(frame->payload);
+      if (bye.ok()) bye_ = std::move(bye).value();
+      return ConnectionDied("server closed the connection");
+    }
+    if (type == FrameType::kError) {
+      Result<ErrorMsg> err = DecodeError(frame->payload);
+      VITEX_RETURN_IF_ERROR(err.status());
+      if (err->request_id != request_id) {
+        (void)ConnectionDied("protocol violation");
+        return Status::Internal("ERROR response for request " +
+                                std::to_string(err->request_id) +
+                                ", expected " + std::to_string(request_id));
+      }
+      return StatusFromWire(err->code, err->message);
+    }
+    if (type != expected) {
+      (void)ConnectionDied("protocol violation");
+      return Status::Internal("unexpected response frame type " +
+                              std::to_string(frame->type));
+    }
+    // Every response payload opens with the echoed request id.
+    WireReader reader(frame->payload);
+    Result<uint64_t> echoed = reader.U64();
+    VITEX_RETURN_IF_ERROR(echoed.status());
+    if (echoed.value() != request_id) {
+      (void)ConnectionDied("protocol violation");
+      return Status::Internal("response for request " +
+                              std::to_string(echoed.value()) +
+                              ", expected " + std::to_string(request_id));
+    }
+    return std::move(*frame);
+  }
+}
+
+Status Client::Handshake() {
+  HelloMsg hello;
+  hello.auth_token = options_.auth_token;
+  std::string request;
+  EncodeHello(&request, hello);
+  VITEX_RETURN_IF_ERROR(SendAll(request));
+  std::optional<Frame> frame;
+  VITEX_ASSIGN_OR_RETURN(frame, NextFrame(options_.io_timeout_ms));
+  if (!frame.has_value()) {
+    return ConnectionDied("timed out waiting for WELCOME");
+  }
+  switch (static_cast<FrameType>(frame->type)) {
+    case FrameType::kWelcome: {
+      Result<WelcomeMsg> welcome = DecodeWelcome(frame->payload);
+      VITEX_RETURN_IF_ERROR(welcome.status());
+      return Status::OK();
+    }
+    case FrameType::kError: {
+      Result<ErrorMsg> err = DecodeError(frame->payload);
+      VITEX_RETURN_IF_ERROR(err.status());
+      Status refused = StatusFromWire(err->code, err->message);
+      (void)ConnectionDied("handshake refused");
+      return refused;
+    }
+    case FrameType::kBye: {
+      Result<ByeMsg> bye = DecodeBye(frame->payload);
+      if (bye.ok()) bye_ = std::move(bye).value();
+      return ConnectionDied("handshake refused");
+    }
+    default:
+      (void)ConnectionDied("protocol violation");
+      return Status::Internal("unexpected handshake frame type " +
+                              std::to_string(frame->type));
+  }
+}
+
+Result<uint64_t> Client::Subscribe(std::string_view xpath) {
+  const uint64_t request_id = next_request_id_++;
+  std::string request;
+  EncodeSubscribe(&request,
+                  SubscribeMsg{request_id, std::string(xpath)});
+  Frame response{};
+  VITEX_ASSIGN_OR_RETURN(
+      response, Transact(std::move(request), FrameType::kSubscribed,
+                         request_id));
+  Result<SubscribedMsg> msg = DecodeSubscribed(response.payload);
+  VITEX_RETURN_IF_ERROR(msg.status());
+  return msg->subscription_id;
+}
+
+Status Client::Unsubscribe(uint64_t subscription_id) {
+  const uint64_t request_id = next_request_id_++;
+  std::string request;
+  EncodeUnsubscribe(&request,
+                    UnsubscribeMsg{request_id, subscription_id});
+  return Transact(std::move(request), FrameType::kAck, request_id).status();
+}
+
+Status Client::Publish(std::string_view document) {
+  return PublishToStream(kAnyStream, document);
+}
+
+Status Client::PublishToStream(uint32_t stream, std::string_view document) {
+  const uint64_t request_id = next_request_id_++;
+  std::string request;
+  EncodePublish(&request,
+                PublishMsg{request_id, stream, std::string(document)});
+  return Transact(std::move(request), FrameType::kAck, request_id).status();
+}
+
+Status Client::Ping() {
+  const uint64_t request_id = next_request_id_++;
+  std::string request;
+  EncodePing(&request, PingMsg{request_id});
+  return Transact(std::move(request), FrameType::kPong, request_id).status();
+}
+
+Result<std::string> Client::Statsz() {
+  const uint64_t request_id = next_request_id_++;
+  std::string request;
+  EncodeStats(&request, StatsMsg{request_id});
+  Frame response{};
+  VITEX_ASSIGN_OR_RETURN(
+      response,
+      Transact(std::move(request), FrameType::kStatsText, request_id));
+  Result<StatsTextMsg> msg = DecodeStatsText(response.payload);
+  VITEX_RETURN_IF_ERROR(msg.status());
+  return std::move(msg).value().text;
+}
+
+Result<std::optional<Match>> Client::PollMatch(int timeout_ms) {
+  if (!pending_matches_.empty()) {
+    Match match = std::move(pending_matches_.front());
+    pending_matches_.pop_front();
+    return std::optional<Match>(std::move(match));
+  }
+  if (fd_ < 0 && decoder_.buffered_bytes() < kFrameHeaderSize) {
+    return ConnectionDied("connection is closed");
+  }
+  while (true) {
+    std::optional<Frame> frame;
+    VITEX_ASSIGN_OR_RETURN(frame, NextFrame(timeout_ms));
+    if (!frame.has_value()) return std::optional<Match>(std::nullopt);
+    switch (static_cast<FrameType>(frame->type)) {
+      case FrameType::kMatch: {
+        Result<MatchMsg> msg = DecodeMatch(frame->payload);
+        VITEX_RETURN_IF_ERROR(msg.status());
+        return std::optional<Match>(Match{msg->subscription_id,
+                                          msg->sequence,
+                                          std::move(msg->fragment)});
+      }
+      case FrameType::kBye: {
+        Result<ByeMsg> bye = DecodeBye(frame->payload);
+        if (bye.ok()) bye_ = std::move(bye).value();
+        return ConnectionDied("server closed the connection");
+      }
+      default:
+        (void)ConnectionDied("protocol violation");
+        return Status::Internal("unsolicited frame type " +
+                                std::to_string(frame->type) +
+                                " while polling for MATCH");
+    }
+  }
+}
+
+}  // namespace vitex::net

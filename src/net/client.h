@@ -1,0 +1,138 @@
+// Blocking C++ client for the ViteX TCP protocol (net/protocol.h,
+// DESIGN.md §13) — what tests, tools and embedding applications use to
+// talk to a vitex_server.
+//
+// The client mirrors the facade (service/vitex.h) one call per request
+// frame, and every call returns the SAME Status the facade produced on
+// the server: ERROR frames carry the StatusCode 1:1, so e.g. a malformed
+// XPath surfaces here as the identical kUnsupported/kParseError it would
+// produce in-process. Transport-level failures (timeouts, resets, server
+// BYE) are kIoError.
+//
+// MATCH frames are unsolicited: the server streams them whenever shards
+// produce deliveries. Any blocking call that encounters MATCH frames
+// while waiting for its response queues them; PollMatch() consumes the
+// queue first and only then reads the socket. bye() reports the server's
+// parting BYE (e.g. kEvicted under the slow-consumer disconnect policy)
+// once the connection dies.
+//
+// Thread safety: none. One Client = one session = one owning thread (or
+// external synchronization), like a file handle.
+
+#ifndef VITEX_NET_CLIENT_H_
+#define VITEX_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace vitex::net {
+
+struct ClientOptions {
+  /// Token presented in HELLO (must match the server's, if it has one).
+  std::string auth_token;
+  /// Ceiling for SERVER frames (a /statsz payload is the largest).
+  size_t max_frame_size = kDefaultMaxFrameSize;
+  /// Deadline for each blocking operation (connect, one request/response
+  /// round trip). PollMatch takes its own timeout per call.
+  int io_timeout_ms = 30000;
+  /// When > 0, SO_RCVBUF for the socket (set before connect so the
+  /// advertised receive window honors it). A deliberately slow consumer
+  /// with a small rcvbuf pushes volume back into the server's outbuf —
+  /// how the load driver makes slow-consumer eviction deterministic
+  /// instead of racing TCP receive-window autotuning.
+  int so_rcvbuf = 0;
+};
+
+/// One streamed MATCH delivery.
+struct Match {
+  uint64_t subscription_id = 0;
+  uint64_t sequence = 0;
+  std::string fragment;
+};
+
+class Client {
+ public:
+  /// Connects, performs the HELLO/WELCOME handshake, returns a live
+  /// session. `host` is an IPv4 literal (e.g. "127.0.0.1").
+  static Result<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 ClientOptions options = {});
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Registers a standing XPath subscription; MATCH frames for it stream
+  /// until Unsubscribe. Returns the server-assigned subscription id.
+  Result<uint64_t> Subscribe(std::string_view xpath);
+  Status Unsubscribe(uint64_t subscription_id);
+
+  /// Publishes one XML document (round-robin stream). Blocks until the
+  /// server ACKs — i.e. until the document entered the ingest queues, the
+  /// same backpressure point as the in-process facade.
+  Status Publish(std::string_view document);
+  Status PublishToStream(uint32_t stream, std::string_view document);
+
+  Status Ping();
+
+  /// The server's /statsz payload (service + vitex_net_* series).
+  Result<std::string> Statsz();
+
+  /// Next MATCH: from the local queue if one is pending, else waiting up
+  /// to `timeout_ms` for the socket. nullopt = timeout (not an error).
+  /// kIoError = connection died (check bye() for the server's reason).
+  Result<std::optional<Match>> PollMatch(int timeout_ms);
+
+  /// Closes the socket (the destructor does, too).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// The underlying socket (-1 when closed). For callers that multiplex
+  /// many sessions over their own poller (e.g. tools/net_load_driver.cc):
+  /// wait for readability, then drain with PollMatch(0).
+  int fd() const { return fd_; }
+
+  /// The BYE the server sent before the connection died, if any.
+  const std::optional<ByeMsg>& bye() const { return bye_; }
+
+ private:
+  explicit Client(ClientOptions options)
+      : options_(std::move(options)), decoder_(options_.max_frame_size) {}
+
+  Status Handshake();
+  Status SendAll(std::string_view bytes);
+  /// Reads once into the decoder, waiting up to `timeout_ms`. true =
+  /// bytes arrived (or EOF was observed — eof_ is set), false = timeout.
+  Result<bool> ReadSome(int timeout_ms);
+  /// Next frame within `timeout_ms`; nullopt on timeout.
+  Result<std::optional<Frame>> NextFrame(int timeout_ms);
+  /// Runs one request/response round trip: sends `request`, queues any
+  /// MATCH frames seen on the way, returns the response frame of
+  /// `expected` type (after checking its echoed request id) or the
+  /// reconstructed Status of an ERROR response for `request_id`.
+  Result<Frame> Transact(std::string request, FrameType expected,
+                         uint64_t request_id);
+  Status ConnectionDied(const std::string& detail);
+
+  ClientOptions options_;
+  FrameDecoder decoder_;
+  int fd_ = -1;
+  bool eof_ = false;  // peer closed; frames may still be buffered
+  uint64_t next_request_id_ = 1;
+  std::deque<Match> pending_matches_;
+  std::optional<ByeMsg> bye_;
+};
+
+}  // namespace vitex::net
+
+#endif  // VITEX_NET_CLIENT_H_

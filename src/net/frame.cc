@@ -1,0 +1,153 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace vitex::net {
+
+namespace {
+
+void AppendU32LE(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+uint32_t ReadU32LE(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+void AppendFrameHeader(std::string* out, uint8_t type, size_t payload_size) {
+  AppendU32LE(out, static_cast<uint32_t>(payload_size));
+  out->push_back(static_cast<char>(type));
+}
+
+void AppendFrame(std::string* out, uint8_t type, std::string_view payload) {
+  AppendFrameHeader(out, type, payload.size());
+  out->append(payload);
+}
+
+std::string EncodeFrame(uint8_t type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+Status FrameDecoder::Feed(std::string_view bytes) {
+  if (!status_.ok()) return status_;
+  buffer_.append(bytes.data(), bytes.size());
+  // Validate the next header as soon as its 4 length bytes exist: an
+  // oversized declaration fails the stream before any payload arrives,
+  // independent of how the bytes were chunked.
+  if (buffer_.size() - consumed_ >= 4) {
+    uint32_t declared = ReadU32LE(buffer_.data() + consumed_);
+    if (declared > max_frame_size_) {
+      status_ = Status::ResourceExhausted(
+          "frame payload of " + std::to_string(declared) +
+          " bytes exceeds the " + std::to_string(max_frame_size_) +
+          "-byte frame limit");
+    }
+  }
+  return status_;
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  if (!status_.ok()) return std::nullopt;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return std::nullopt;
+  const char* head = buffer_.data() + consumed_;
+  const uint32_t payload_size = ReadU32LE(head);
+  // Feed() already poisoned oversized declarations for the FRONT frame,
+  // but a burst of bytes can contain several frames; re-check here so a
+  // later oversized header inside one Feed burst cannot slip through.
+  if (payload_size > max_frame_size_) {
+    status_ = Status::ResourceExhausted(
+        "frame payload of " + std::to_string(payload_size) +
+        " bytes exceeds the " + std::to_string(max_frame_size_) +
+        "-byte frame limit");
+    return std::nullopt;
+  }
+  if (available < kFrameHeaderSize + payload_size) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<uint8_t>(head[4]);
+  frame.payload.assign(head + kFrameHeaderSize, payload_size);
+  consumed_ += kFrameHeaderSize + payload_size;
+  // Compact once the decoded prefix dominates the buffer: amortized O(1)
+  // per byte, and a partially received frame is never copied repeatedly.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return frame;
+}
+
+void WireWriter::PutU32(uint32_t v) { AppendU32LE(&out_, v); }
+
+void WireWriter::PutU64(uint64_t v) {
+  AppendU32LE(&out_, static_cast<uint32_t>(v & 0xffffffffu));
+  AppendU32LE(&out_, static_cast<uint32_t>(v >> 32));
+}
+
+void WireWriter::PutString(std::string_view s) {
+  AppendU32LE(&out_, static_cast<uint32_t>(s.size()));
+  out_.append(s);
+}
+
+Result<uint8_t> WireReader::U8() {
+  if (data_.size() - pos_ < 1) {
+    return Status::ParseError("truncated payload: expected u8");
+  }
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> WireReader::U32() {
+  if (data_.size() - pos_ < 4) {
+    return Status::ParseError("truncated payload: expected u32");
+  }
+  uint32_t v = ReadU32LE(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireReader::U64() {
+  if (data_.size() - pos_ < 8) {
+    return Status::ParseError("truncated payload: expected u64");
+  }
+  uint64_t lo = ReadU32LE(data_.data() + pos_);
+  uint64_t hi = ReadU32LE(data_.data() + pos_ + 4);
+  pos_ += 8;
+  return lo | (hi << 32);
+}
+
+Result<std::string_view> WireReader::String() {
+  Result<uint32_t> len = U32();
+  VITEX_RETURN_IF_ERROR(len.status());
+  if (data_.size() - pos_ < len.value()) {
+    return Status::ParseError("truncated payload: string of " +
+                              std::to_string(len.value()) +
+                              " bytes declared, " +
+                              std::to_string(data_.size() - pos_) +
+                              " available");
+  }
+  std::string_view out = data_.substr(pos_, len.value());
+  pos_ += len.value();
+  return out;
+}
+
+Status WireReader::ExpectEnd() const {
+  if (pos_ != data_.size()) {
+    return Status::ParseError(std::to_string(data_.size() - pos_) +
+                              " trailing byte(s) after message payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace vitex::net

@@ -1,0 +1,143 @@
+// Length-prefixed frame codec for the ViteX wire protocol (DESIGN.md §13).
+//
+// Every message on a ViteX connection is one frame:
+//
+//     +----------------+------+------------------------+
+//     | payload length | type |        payload         |
+//     |  u32 LE        | u8   |  `length` bytes        |
+//     +----------------+------+------------------------+
+//
+// The length field counts ONLY the payload (not the 5-byte header), so an
+// empty-payload frame is exactly 5 bytes on the wire. Integers are
+// little-endian throughout — the protocol is explicitly byte-ordered, not
+// host-ordered. Frame *types* and payload layouts live one layer up in
+// net/protocol.h; this file is deliberately type-agnostic so the codec's
+// correctness properties (split invariance, bounds enforcement) can be
+// tested on raw bytes.
+//
+// FrameDecoder is an incremental decoder with the same contract the SAX
+// parser honors for documents (tests/xml/feed_split_helpers.h): the
+// decoded frame sequence — and any error — is IDENTICAL no matter how the
+// byte stream is split across Feed calls. A declared payload length
+// exceeding max_frame_size fails the stream immediately (before waiting
+// for the bytes), which is what protects the server from a 4 GiB
+// allocation conjured by a 4-byte header.
+
+#ifndef VITEX_NET_FRAME_H_
+#define VITEX_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace vitex::net {
+
+/// Hard ceiling on one frame's payload, decoder default. Large enough for
+/// any realistic published document or /statsz payload; small enough that
+/// a malicious length field cannot balloon a connection's memory.
+inline constexpr size_t kDefaultMaxFrameSize = 16u * 1024 * 1024;
+
+/// Bytes of frame header: u32 payload length + u8 type.
+inline constexpr size_t kFrameHeaderSize = 5;
+
+/// One decoded frame. `type` is opaque at this layer (net/protocol.h
+/// assigns meaning and rejects unknown values).
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Appends the frame header for `payload_size` bytes of type `type`.
+void AppendFrameHeader(std::string* out, uint8_t type, size_t payload_size);
+
+/// Appends one complete frame (header + payload copy).
+void AppendFrame(std::string* out, uint8_t type, std::string_view payload);
+
+/// One complete frame as a fresh string (convenience for tests/client).
+std::string EncodeFrame(uint8_t type, std::string_view payload);
+
+/// Incremental frame decoder. Feed() bytes as they arrive; Next() yields
+/// completed frames in order. After any error the decoder is poisoned:
+/// Feed keeps returning the same error and Next returns nothing — a
+/// framing violation is not recoverable mid-stream (the connection must
+/// be torn down).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_size = kDefaultMaxFrameSize)
+      : max_frame_size_(max_frame_size) {}
+
+  /// Consumes `bytes`. Returns the stream's (sticky) framing status.
+  Status Feed(std::string_view bytes);
+
+  /// Returns the next completed frame, or nullopt when more bytes are
+  /// needed (or the stream is poisoned).
+  std::optional<Frame> Next();
+
+  /// Bytes buffered but not yet returned as frames (partial frame).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True once Feed has reported an error (the stream is dead).
+  bool failed() const { return !status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  const size_t max_frame_size_;
+  // Undecoded input. `consumed_` is the fully-decoded prefix; the buffer
+  // is compacted when the prefix dominates, so steady-state decoding does
+  // not reallocate per frame and a half-received frame never copies.
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status status_ = Status::OK();
+};
+
+// ---------------------------------------------------------------------------
+// Payload (de)serialization primitives: explicit little-endian integers and
+// u32-length-prefixed strings. WireReader returns Status-carrying results
+// so truncated or trailing-garbage payloads surface as ParseError, never
+// as out-of-bounds reads.
+// ---------------------------------------------------------------------------
+
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// u32 byte length, then the bytes.
+  void PutString(std::string_view s);
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  /// Counterpart of WireWriter::PutString. The view aliases the payload
+  /// buffer passed to the constructor.
+  Result<std::string_view> String();
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// ParseError unless every payload byte was consumed — trailing bytes
+  /// in a decoded message are a protocol violation, not padding.
+  Status ExpectEnd() const;
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vitex::net
+
+#endif  // VITEX_NET_FRAME_H_

@@ -1,0 +1,282 @@
+#include "net/protocol.h"
+
+namespace vitex::net {
+
+Status StatusFromWire(uint8_t wire_code, std::string_view message) {
+  if (wire_code == 0) return Status::OK();
+  StatusCode code = wire_code <= kStatusCodeWireMax
+                        ? static_cast<StatusCode>(wire_code)
+                        : StatusCode::kInternal;
+  return Status(code, std::string(message));
+}
+
+namespace {
+
+// Every encoder follows the same shape: serialize the payload, then
+// append header + payload. Payloads are small (MATCH, the hot one, has a
+// dedicated in-place encoder below), so the intermediate WireWriter
+// string is fine here.
+void AppendMessage(std::string* out, FrameType type, WireWriter* payload) {
+  std::string bytes = payload->Take();
+  AppendFrame(out, static_cast<uint8_t>(type), bytes);
+}
+
+}  // namespace
+
+void EncodeHello(std::string* out, const HelloMsg& msg) {
+  WireWriter w;
+  w.PutU32(msg.magic);
+  w.PutU32(msg.version);
+  w.PutString(msg.auth_token);
+  AppendMessage(out, FrameType::kHello, &w);
+}
+
+void EncodeWelcome(std::string* out, const WelcomeMsg& msg) {
+  WireWriter w;
+  w.PutU32(msg.version);
+  w.PutString(msg.server_banner);
+  AppendMessage(out, FrameType::kWelcome, &w);
+}
+
+void EncodeSubscribe(std::string* out, const SubscribeMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  w.PutString(msg.xpath);
+  AppendMessage(out, FrameType::kSubscribe, &w);
+}
+
+void EncodeSubscribed(std::string* out, const SubscribedMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  w.PutU64(msg.subscription_id);
+  AppendMessage(out, FrameType::kSubscribed, &w);
+}
+
+void EncodeUnsubscribe(std::string* out, const UnsubscribeMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  w.PutU64(msg.subscription_id);
+  AppendMessage(out, FrameType::kUnsubscribe, &w);
+}
+
+void EncodePublish(std::string* out, const PublishMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  w.PutU32(msg.stream);
+  w.PutString(msg.document);
+  AppendMessage(out, FrameType::kPublish, &w);
+}
+
+void EncodeAck(std::string* out, const AckMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  AppendMessage(out, FrameType::kAck, &w);
+}
+
+void EncodeError(std::string* out, const ErrorMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  w.PutU8(msg.code);
+  w.PutString(msg.message);
+  AppendMessage(out, FrameType::kError, &w);
+}
+
+size_t MatchFrameSize(std::string_view fragment) {
+  // header + sub_id + sequence + (u32 length + bytes)
+  return kFrameHeaderSize + 8 + 8 + 4 + fragment.size();
+}
+
+void EncodeMatch(std::string* out, uint64_t subscription_id,
+                 uint64_t sequence, std::string_view fragment) {
+  const size_t payload_size = 8 + 8 + 4 + fragment.size();
+  out->reserve(out->size() + kFrameHeaderSize + payload_size);
+  AppendFrameHeader(out, static_cast<uint8_t>(FrameType::kMatch),
+                    payload_size);
+  WireWriter w;
+  w.PutU64(subscription_id);
+  w.PutU64(sequence);
+  w.PutString(fragment);
+  out->append(w.data());
+}
+
+void EncodePing(std::string* out, const PingMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  AppendMessage(out, FrameType::kPing, &w);
+}
+
+void EncodePong(std::string* out, const PongMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  AppendMessage(out, FrameType::kPong, &w);
+}
+
+void EncodeStats(std::string* out, const StatsMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  AppendMessage(out, FrameType::kStats, &w);
+}
+
+void EncodeStatsText(std::string* out, const StatsTextMsg& msg) {
+  WireWriter w;
+  w.PutU64(msg.request_id);
+  w.PutString(msg.text);
+  AppendMessage(out, FrameType::kStatsText, &w);
+}
+
+void EncodeBye(std::string* out, const ByeMsg& msg) {
+  WireWriter w;
+  w.PutU8(static_cast<uint8_t>(msg.reason));
+  w.PutString(msg.detail);
+  AppendMessage(out, FrameType::kBye, &w);
+}
+
+Result<HelloMsg> DecodeHello(std::string_view payload) {
+  WireReader r(payload);
+  HelloMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.magic, r.U32());
+  VITEX_ASSIGN_OR_RETURN(msg.version, r.U32());
+  std::string_view token;
+  VITEX_ASSIGN_OR_RETURN(token, r.String());
+  msg.auth_token.assign(token);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<WelcomeMsg> DecodeWelcome(std::string_view payload) {
+  WireReader r(payload);
+  WelcomeMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.version, r.U32());
+  std::string_view banner;
+  VITEX_ASSIGN_OR_RETURN(banner, r.String());
+  msg.server_banner.assign(banner);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<SubscribeMsg> DecodeSubscribe(std::string_view payload) {
+  WireReader r(payload);
+  SubscribeMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  std::string_view xpath;
+  VITEX_ASSIGN_OR_RETURN(xpath, r.String());
+  msg.xpath.assign(xpath);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<SubscribedMsg> DecodeSubscribed(std::string_view payload) {
+  WireReader r(payload);
+  SubscribedMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_ASSIGN_OR_RETURN(msg.subscription_id, r.U64());
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<UnsubscribeMsg> DecodeUnsubscribe(std::string_view payload) {
+  WireReader r(payload);
+  UnsubscribeMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_ASSIGN_OR_RETURN(msg.subscription_id, r.U64());
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<PublishMsg> DecodePublish(std::string_view payload) {
+  WireReader r(payload);
+  PublishMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_ASSIGN_OR_RETURN(msg.stream, r.U32());
+  std::string_view document;
+  VITEX_ASSIGN_OR_RETURN(document, r.String());
+  msg.document.assign(document);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<AckMsg> DecodeAck(std::string_view payload) {
+  WireReader r(payload);
+  AckMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<ErrorMsg> DecodeError(std::string_view payload) {
+  WireReader r(payload);
+  ErrorMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_ASSIGN_OR_RETURN(msg.code, r.U8());
+  std::string_view message;
+  VITEX_ASSIGN_OR_RETURN(message, r.String());
+  msg.message.assign(message);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<MatchMsg> DecodeMatch(std::string_view payload) {
+  WireReader r(payload);
+  MatchMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.subscription_id, r.U64());
+  VITEX_ASSIGN_OR_RETURN(msg.sequence, r.U64());
+  std::string_view fragment;
+  VITEX_ASSIGN_OR_RETURN(fragment, r.String());
+  msg.fragment.assign(fragment);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<PingMsg> DecodePing(std::string_view payload) {
+  WireReader r(payload);
+  PingMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<PongMsg> DecodePong(std::string_view payload) {
+  WireReader r(payload);
+  PongMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<StatsMsg> DecodeStats(std::string_view payload) {
+  WireReader r(payload);
+  StatsMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<StatsTextMsg> DecodeStatsText(std::string_view payload) {
+  WireReader r(payload);
+  StatsTextMsg msg;
+  VITEX_ASSIGN_OR_RETURN(msg.request_id, r.U64());
+  std::string_view text;
+  VITEX_ASSIGN_OR_RETURN(text, r.String());
+  msg.text.assign(text);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Result<ByeMsg> DecodeBye(std::string_view payload) {
+  WireReader r(payload);
+  ByeMsg msg;
+  uint8_t reason = 0;
+  VITEX_ASSIGN_OR_RETURN(reason, r.U8());
+  if (reason < static_cast<uint8_t>(ByeReason::kShutdown) ||
+      reason > static_cast<uint8_t>(ByeReason::kAuthFailed)) {
+    return Status::ParseError("unknown BYE reason " + std::to_string(reason));
+  }
+  msg.reason = static_cast<ByeReason>(reason);
+  std::string_view detail;
+  VITEX_ASSIGN_OR_RETURN(detail, r.String());
+  msg.detail.assign(detail);
+  VITEX_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+}  // namespace vitex::net

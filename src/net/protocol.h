@@ -1,0 +1,214 @@
+// ViteX wire protocol, message layer (DESIGN.md §13).
+//
+// Defined purely in terms of the public facade (service/vitex.h): every
+// request frame corresponds to one facade operation, every response frame
+// to its Status/Result, and streamed MATCH frames to push-mode deliveries
+// (match_sink.h). The session grammar:
+//
+//   client: HELLO                       server: WELCOME | ERROR+close
+//   client: SUBSCRIBE(xpath)            server: SUBSCRIBED(sub_id) | ERROR
+//   client: UNSUBSCRIBE(sub_id)         server: ACK | ERROR
+//   client: PUBLISH(stream?, doc)       server: ACK | ERROR
+//   client: PING                        server: PONG
+//   client: STATS                       server: STATS_TEXT(/statsz payload)
+//   server: MATCH(sub_id, seq, frag)    (streamed, unsolicited, any time
+//                                        after SUBSCRIBED)
+//   server: BYE(reason, detail)         (connection is about to close:
+//                                        shutdown, eviction, protocol
+//                                        violation)
+//
+// Requests carry a client-chosen u64 request_id echoed verbatim in the
+// response, so a client may pipeline requests; the server answers in
+// receive order. ERROR responses carry the facade's StatusCode — the SAME
+// enumeration, transported 1:1 (kStatusCodeWire below, static_asserted
+// against common/status.h), plus the human-readable message. No
+// stringly-typed errors cross the socket: net::Client rebuilds the exact
+// Status the facade returned server-side.
+
+#ifndef VITEX_NET_PROTOCOL_H_
+#define VITEX_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace vitex::net {
+
+/// Protocol magic ("VTX\1") and version, both carried by HELLO and echoed
+/// by WELCOME. A server refuses mismatches with kInvalidArgument.
+inline constexpr uint32_t kProtocolMagic = 0x31585456u;  // "VTX1" LE
+inline constexpr uint32_t kProtocolVersion = 1;
+
+enum class FrameType : uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kSubscribe = 3,
+  kSubscribed = 4,
+  kUnsubscribe = 5,
+  kPublish = 6,
+  kAck = 7,
+  kError = 8,
+  kMatch = 9,
+  kPing = 10,
+  kPong = 11,
+  kStats = 12,
+  kStatsText = 13,
+  kBye = 14,
+};
+
+/// PublishMsg::stream value meaning "any stream" (round-robin Publish).
+inline constexpr uint32_t kAnyStream = 0xffffffffu;
+
+/// Why the server is closing the connection (BYE frames).
+enum class ByeReason : uint8_t {
+  kShutdown = 1,        ///< server stopping
+  kEvicted = 2,         ///< slow consumer, disconnect policy (DESIGN.md §13)
+  kProtocolError = 3,   ///< framing/decoding violation
+  kAuthFailed = 4,      ///< HELLO rejected
+};
+
+// ---------------------------------------------------------------------------
+// StatusCode <-> wire. The wire value IS the facade enum value; the
+// static_asserts freeze the correspondence so an enum reorder in
+// common/status.h cannot silently change the protocol.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint8_t kStatusCodeWireMax = 6;
+static_assert(static_cast<uint8_t>(StatusCode::kOk) == 0);
+static_assert(static_cast<uint8_t>(StatusCode::kInvalidArgument) == 1);
+static_assert(static_cast<uint8_t>(StatusCode::kParseError) == 2);
+static_assert(static_cast<uint8_t>(StatusCode::kUnsupported) == 3);
+static_assert(static_cast<uint8_t>(StatusCode::kInternal) == 4);
+static_assert(static_cast<uint8_t>(StatusCode::kIoError) == 5);
+static_assert(static_cast<uint8_t>(StatusCode::kResourceExhausted) ==
+              kStatusCodeWireMax);
+
+inline uint8_t WireCode(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+/// Rebuilds the Status an ERROR frame transports. Unknown codes (a newer
+/// peer) degrade to kInternal rather than failing the decode: the message
+/// text still carries the detail.
+Status StatusFromWire(uint8_t wire_code, std::string_view message);
+
+// ---------------------------------------------------------------------------
+// Messages. One struct per frame type; Encode appends the COMPLETE frame
+// (header + payload) to `out`, Decode parses a frame payload.
+// ---------------------------------------------------------------------------
+
+struct HelloMsg {
+  uint32_t magic = kProtocolMagic;
+  uint32_t version = kProtocolVersion;
+  std::string auth_token;
+};
+
+struct WelcomeMsg {
+  uint32_t version = kProtocolVersion;
+  std::string server_banner;
+};
+
+struct SubscribeMsg {
+  uint64_t request_id = 0;
+  std::string xpath;
+};
+
+struct SubscribedMsg {
+  uint64_t request_id = 0;
+  uint64_t subscription_id = 0;
+};
+
+struct UnsubscribeMsg {
+  uint64_t request_id = 0;
+  uint64_t subscription_id = 0;
+};
+
+struct PublishMsg {
+  uint64_t request_id = 0;
+  uint32_t stream = kAnyStream;
+  std::string document;
+};
+
+struct AckMsg {
+  uint64_t request_id = 0;
+};
+
+struct ErrorMsg {
+  uint64_t request_id = 0;
+  uint8_t code = 0;
+  std::string message;
+};
+
+struct MatchMsg {
+  uint64_t subscription_id = 0;
+  uint64_t sequence = 0;
+  std::string fragment;
+};
+
+struct PingMsg {
+  uint64_t request_id = 0;
+};
+
+struct PongMsg {
+  uint64_t request_id = 0;
+};
+
+struct StatsMsg {
+  uint64_t request_id = 0;
+};
+
+struct StatsTextMsg {
+  uint64_t request_id = 0;
+  std::string text;
+};
+
+struct ByeMsg {
+  ByeReason reason = ByeReason::kShutdown;
+  std::string detail;
+};
+
+void EncodeHello(std::string* out, const HelloMsg& msg);
+void EncodeWelcome(std::string* out, const WelcomeMsg& msg);
+void EncodeSubscribe(std::string* out, const SubscribeMsg& msg);
+void EncodeSubscribed(std::string* out, const SubscribedMsg& msg);
+void EncodeUnsubscribe(std::string* out, const UnsubscribeMsg& msg);
+void EncodePublish(std::string* out, const PublishMsg& msg);
+void EncodeAck(std::string* out, const AckMsg& msg);
+void EncodeError(std::string* out, const ErrorMsg& msg);
+/// The hot frame: written straight into `out` (header + payload in one
+/// append sequence, no intermediate message copy) — this runs on shard
+/// threads for every delivery of every wire subscriber.
+void EncodeMatch(std::string* out, uint64_t subscription_id,
+                 uint64_t sequence, std::string_view fragment);
+void EncodePing(std::string* out, const PingMsg& msg);
+void EncodePong(std::string* out, const PongMsg& msg);
+void EncodeStats(std::string* out, const StatsMsg& msg);
+void EncodeStatsText(std::string* out, const StatsTextMsg& msg);
+void EncodeBye(std::string* out, const ByeMsg& msg);
+
+/// Exact byte size EncodeMatch will append for `fragment` (the server's
+/// outbuf admission check runs before encoding).
+size_t MatchFrameSize(std::string_view fragment);
+
+Result<HelloMsg> DecodeHello(std::string_view payload);
+Result<WelcomeMsg> DecodeWelcome(std::string_view payload);
+Result<SubscribeMsg> DecodeSubscribe(std::string_view payload);
+Result<SubscribedMsg> DecodeSubscribed(std::string_view payload);
+Result<UnsubscribeMsg> DecodeUnsubscribe(std::string_view payload);
+Result<PublishMsg> DecodePublish(std::string_view payload);
+Result<AckMsg> DecodeAck(std::string_view payload);
+Result<ErrorMsg> DecodeError(std::string_view payload);
+Result<MatchMsg> DecodeMatch(std::string_view payload);
+Result<PingMsg> DecodePing(std::string_view payload);
+Result<PongMsg> DecodePong(std::string_view payload);
+Result<StatsMsg> DecodeStats(std::string_view payload);
+Result<StatsTextMsg> DecodeStatsText(std::string_view payload);
+Result<ByeMsg> DecodeBye(std::string_view payload);
+
+}  // namespace vitex::net
+
+#endif  // VITEX_NET_PROTOCOL_H_

@@ -20,20 +20,48 @@ namespace vitex::service {
 // Internal types.
 // ---------------------------------------------------------------------------
 
-// Thread-safe per-subscriber result queue: the owning shard's machine
-// appends on its thread; the subscriber drains on any thread.
+// Per-subscriber delivery adapter between the shard's machine and the
+// caller-facing delivery mode (match_sink.h). Pull mode: a thread-safe
+// result queue the subscriber drains on any thread. Push mode: each result
+// is forwarded to the caller's MatchSink right here on the shard thread —
+// nothing buffers service-side, and a refused delivery is dropped, counted
+// and reported through OnOverflow.
 class StreamService::SubscriberSink : public twigm::ResultHandler {
  public:
-  explicit SubscriberSink(std::atomic<uint64_t>* delivered)
-      : delivered_(delivered) {}
+  SubscriberSink(SubscriptionId id, std::shared_ptr<MatchSink> push_sink,
+                 std::atomic<uint64_t>* delivered,
+                 std::atomic<uint64_t>* overflowed)
+      : id_(id),
+        push_sink_(std::move(push_sink)),
+        delivered_(delivered),
+        overflowed_(overflowed) {}
 
   void OnResult(std::string_view fragment, uint64_t sequence) override {
+    if (push_sink_ != nullptr) {
+      // Push path, shard thread. OnMatch refusing (false) is the sink's
+      // bounded-buffer signal: the delivery is dropped, not retried —
+      // backpressure toward a slow consumer must never stall the shard
+      // (every other subscription on it would pay).
+      Delivery delivery{std::string(fragment), sequence};
+      if (push_sink_->OnMatch(id_, delivery)) {
+        delivered_->fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // dropped_ needs no lock: OnResult calls for one subscription are
+        // serialized on its owning shard's thread (match_sink.h).
+        ++dropped_;
+        overflowed_->fetch_add(1, std::memory_order_relaxed);
+        push_sink_->OnOverflow(id_, dropped_);
+      }
+      return;
+    }
     {
       MutexLock lock(mu_);
       pending_.push_back(Delivery{std::string(fragment), sequence});
     }
     delivered_->fetch_add(1, std::memory_order_relaxed);
   }
+
+  bool is_push() const { return push_sink_ != nullptr; }
 
   std::vector<Delivery> Drain() {
     std::vector<Delivery> out;
@@ -48,9 +76,13 @@ class StreamService::SubscriberSink : public twigm::ResultHandler {
   }
 
  private:
+  const SubscriptionId id_;
+  const std::shared_ptr<MatchSink> push_sink_;  // null == pull mode
   Mutex mu_;
   std::vector<Delivery> pending_ GUARDED_BY(mu_);
   std::atomic<uint64_t>* delivered_;
+  std::atomic<uint64_t>* overflowed_;
+  uint64_t dropped_ = 0;  // shard-thread only (see OnResult)
 };
 
 // Barrier token for Flush(): every shard decrements once it has processed
@@ -287,12 +319,28 @@ bool StreamService::EmitControl(std::shared_ptr<ControlOp> op) {
 }
 
 Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath) {
+  return Subscribe(xpath, SinkOptions{});
+}
+
+Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath,
+                                                SinkOptions options) {
+  if (options.mode == DeliveryMode::kPush && options.sink == nullptr) {
+    return Status::InvalidArgument(
+        "push-mode subscription requires a MatchSink");
+  }
+  if (options.mode == DeliveryMode::kPull && options.sink != nullptr) {
+    return Status::InvalidArgument(
+        "pull-mode subscription must not carry a MatchSink");
+  }
   MutexLock control_lock(control_mu_);
   {
     MutexLock lock(mu_);
     if (stopped_) return Status::InvalidArgument("service is stopped");
   }
-  auto sink = std::make_shared<SubscriberSink>(&results_delivered_);
+  SubscriptionId id =
+      next_subscription_.fetch_add(1, std::memory_order_relaxed);
+  auto sink = std::make_shared<SubscriberSink>(
+      id, std::move(options.sink), &results_delivered_, &results_overflowed_);
   // Compile on this thread, under exclusive table access: parser streams
   // hold symbols_.mu() shared for the duration of a parse, so the writer
   // lock quiesces them for the (rare, O(|Q|)) moment interning happens.
@@ -309,8 +357,6 @@ Result<SubscriptionId> StreamService::Subscribe(std::string_view xpath) {
   }
   VITEX_RETURN_IF_ERROR(built->status());
 
-  SubscriptionId id =
-      next_subscription_.fetch_add(1, std::memory_order_relaxed);
   {
     MutexLock lock(mu_);
     subscriptions_[id] = sink;
@@ -357,6 +403,10 @@ Result<std::vector<Delivery>> StreamService::Drain(SubscriptionId id) {
       return Status::InvalidArgument("unknown subscription id");
     }
     sink = it->second;
+  }
+  if (sink->is_push()) {
+    return Status::InvalidArgument(
+        "subscription is push-mode; deliveries go to its MatchSink");
   }
   return sink->Drain();
 }
@@ -418,6 +468,7 @@ ServiceStats StreamService::stats() const {
   s.documents_rejected = documents_rejected_.load(std::memory_order_relaxed);
   s.events_parsed = events_parsed_.load(std::memory_order_relaxed);
   s.results_delivered = results_delivered_.load(std::memory_order_relaxed);
+  s.results_overflowed = results_overflowed_.load(std::memory_order_relaxed);
   {
     MutexLock lock(mu_);
     s.active_subscriptions = subscriptions_.size();
@@ -499,6 +550,10 @@ std::string StreamService::StatszText() const {
   w.WriteCounter("vitex_results_delivered_total",
                  "Query solutions delivered into subscriber sinks", {},
                  s.results_delivered);
+  w.WriteCounter("vitex_results_overflowed_total",
+                 "Push-mode deliveries refused by their MatchSink and "
+                 "dropped (match_sink.h overflow contract)",
+                 {}, s.results_overflowed);
   w.WriteGauge("vitex_active_subscriptions", "Live standing subscriptions",
                {}, static_cast<double>(s.active_subscriptions));
   w.WriteGauge("vitex_active_plan_machines",

@@ -61,21 +61,11 @@
 #include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "service/bounded_queue.h"
+#include "service/match_sink.h"
 #include "twigm/multi_query.h"
 #include "xml/event_log.h"
 
 namespace vitex::service {
-
-/// Identifier of one standing subscription. Never reused.
-using SubscriptionId = uint64_t;
-
-/// One query solution, as drained by the subscriber.
-struct Delivery {
-  std::string fragment;
-  /// Document-order sequence number within its document (see
-  /// twigm::ResultHandler::OnResult).
-  uint64_t sequence = 0;
-};
 
 struct StreamServiceOptions {
   /// Worker shards (each one thread + one MultiQueryEngine). Clamped to 1.
@@ -146,6 +136,9 @@ struct ServiceStats {
   uint64_t events_parsed = 0;        ///< SAX events recorded on ingest
   uint64_t events_replayed = 0;      ///< sum over shards
   uint64_t results_delivered = 0;    ///< OnResult calls across all sinks
+  /// Push-mode deliveries refused by their MatchSink and dropped (the
+  /// OnOverflow contract, match_sink.h). Disjoint from results_delivered.
+  uint64_t results_overflowed = 0;
   uint64_t active_subscriptions = 0;
   /// Sum of live plan machines over shards (<= active_subscriptions; the
   /// gap is what hash-consed plan sharing saves per event).
@@ -170,21 +163,32 @@ class StreamService {
   StreamService(const StreamService&) = delete;
   StreamService& operator=(const StreamService&) = delete;
 
-  /// Registers a standing subscription. The query compiles synchronously
-  /// on this thread — the one place the shared SymbolTable is unfrozen, so
-  /// the call briefly quiesces the parser streams — and installs in its
-  /// shard at this call's epoch boundary. The subscription receives
-  /// results for every document published after this call returns, and
-  /// none published before it was called.
+  /// Registers a standing pull-mode subscription (results collected with
+  /// Drain). Equivalent to Subscribe(xpath, SinkOptions{}).
   Result<SubscriptionId> Subscribe(std::string_view xpath);
 
+  /// Registers a standing subscription with an explicit delivery mode
+  /// (match_sink.h). The query compiles synchronously on this thread — the
+  /// one place the shared SymbolTable is unfrozen, so the call briefly
+  /// quiesces the parser streams — and installs in its shard at this
+  /// call's epoch boundary. The subscription receives results for every
+  /// document published after this call returns, and none published
+  /// before it was called. In push mode, deliveries go straight to
+  /// `options.sink` on the owning shard's thread and Drain(id) is an
+  /// error; in pull mode `options.sink` must be null.
+  Result<SubscriptionId> Subscribe(std::string_view xpath,
+                                   SinkOptions options);
+
   /// Ends a subscription at this call's epoch boundary; undrained results
-  /// are discarded and the id becomes invalid immediately.
+  /// are discarded and the id becomes invalid immediately. A push-mode
+  /// subscription's sink may still receive an already-in-flight OnMatch,
+  /// but none will start after this returns (match_sink.h).
   Status Unsubscribe(SubscriptionId id);
 
-  /// Collects the subscription's pending results (thread-safe; any
-  /// thread). Results of one document arrive only after the owning shard
-  /// finishes that document (Flush() to force completion).
+  /// Collects a pull-mode subscription's pending results (thread-safe;
+  /// any thread). Results of one document arrive only after the owning
+  /// shard finishes that document (Flush() to force completion). Calling
+  /// this on a push-mode subscription is an InvalidArgument error.
   Result<std::vector<Delivery>> Drain(SubscriptionId id);
 
   /// Publishes one complete XML document to every subscription, on a
@@ -292,6 +296,7 @@ class StreamService {
   std::atomic<uint64_t> documents_rejected_{0};
   std::atomic<uint64_t> events_parsed_{0};
   std::atomic<uint64_t> results_delivered_{0};
+  std::atomic<uint64_t> results_overflowed_{0};
   std::chrono::steady_clock::time_point start_;
 };
 

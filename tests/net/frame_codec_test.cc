@@ -1,0 +1,449 @@
+// Frame codec conformance (net/frame.h): a streaming decoder must produce
+// the same frame sequence — and the same failure — no matter where the
+// byte stream is split, and must never read past a declared bound. The
+// split-at-every-byte harness mirrors tests/xml/feed_split_helpers.h: the
+// whole-buffer parse is the canon; every two-chunk split and the
+// byte-at-a-time feed must reproduce it exactly. A seeded fuzz loop feeds
+// random garbage under random chunking and asserts decode outcomes are
+// chunking-invariant there too (crash-freedom is the implicit assertion
+// ASan/UBSan turns into a real one).
+
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace vitex::net {
+namespace {
+
+// Canonical outcome of decoding one byte stream: the frames produced
+// before any failure, plus the sticky decoder status.
+struct DecodeOutcome {
+  std::vector<Frame> frames;
+  StatusCode code = StatusCode::kOk;
+
+  bool operator==(const DecodeOutcome& other) const {
+    if (code != other.code || frames.size() != other.frames.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < frames.size(); ++i) {
+      if (frames[i].type != other.frames[i].type ||
+          frames[i].payload != other.frames[i].payload) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+DecodeOutcome DecodeChunked(const std::string& bytes,
+                            const std::vector<size_t>& chunk_sizes,
+                            size_t max_frame_size = kDefaultMaxFrameSize) {
+  FrameDecoder decoder(max_frame_size);
+  DecodeOutcome outcome;
+  size_t pos = 0;
+  size_t chunk_index = 0;
+  while (pos < bytes.size()) {
+    size_t len = chunk_sizes.empty()
+                     ? bytes.size()
+                     : std::min(chunk_sizes[chunk_index % chunk_sizes.size()],
+                                bytes.size() - pos);
+    ++chunk_index;
+    if (len == 0) len = 1;
+    (void)decoder.Feed(std::string_view(bytes).substr(pos, len));
+    pos += len;
+    while (true) {
+      auto frame = decoder.Next();
+      if (!frame.has_value()) break;
+      outcome.frames.push_back(std::move(*frame));
+    }
+    if (decoder.failed()) break;
+  }
+  outcome.code = decoder.status().code();
+  return outcome;
+}
+
+DecodeOutcome DecodeWhole(const std::string& bytes,
+                          size_t max_frame_size = kDefaultMaxFrameSize) {
+  return DecodeChunked(bytes, {bytes.size()}, max_frame_size);
+}
+
+// Asserts whole-buffer decode == every two-chunk split == byte-at-a-time.
+void ExpectSplitInvariant(const std::string& bytes,
+                          size_t max_frame_size = kDefaultMaxFrameSize) {
+  DecodeOutcome canon = DecodeWhole(bytes, max_frame_size);
+  for (size_t split = 1; split < bytes.size(); ++split) {
+    DecodeOutcome split_outcome =
+        DecodeChunked(bytes, {split, bytes.size() - split}, max_frame_size);
+    ASSERT_EQ(canon, split_outcome) << "two-chunk split at byte " << split;
+  }
+  DecodeOutcome byte_at_a_time = DecodeChunked(bytes, {1}, max_frame_size);
+  ASSERT_EQ(canon, byte_at_a_time) << "byte-at-a-time";
+}
+
+std::string FrameBytes(FrameType type, std::string_view payload) {
+  return EncodeFrame(static_cast<uint8_t>(type), payload);
+}
+
+TEST(NetFrameCodecTest, HeaderRoundTrip) {
+  std::string bytes = FrameBytes(FrameType::kPing, "abc");
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + 3);
+  // Little-endian length then type.
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 3);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[2]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[3]), 0);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]),
+            static_cast<uint8_t>(FrameType::kPing));
+
+  DecodeOutcome outcome = DecodeWhole(bytes);
+  ASSERT_EQ(outcome.code, StatusCode::kOk);
+  ASSERT_EQ(outcome.frames.size(), 1u);
+  EXPECT_EQ(outcome.frames[0].type, static_cast<uint8_t>(FrameType::kPing));
+  EXPECT_EQ(outcome.frames[0].payload, "abc");
+}
+
+TEST(NetFrameCodecTest, EmptyPayloadFrame) {
+  DecodeOutcome outcome = DecodeWhole(FrameBytes(FrameType::kPong, ""));
+  ASSERT_EQ(outcome.code, StatusCode::kOk);
+  ASSERT_EQ(outcome.frames.size(), 1u);
+  EXPECT_TRUE(outcome.frames[0].payload.empty());
+}
+
+TEST(NetFrameCodecTest, BackToBackFramesSplitEverywhere) {
+  std::string bytes;
+  bytes += FrameBytes(FrameType::kHello, "hello-payload");
+  bytes += FrameBytes(FrameType::kMatch, std::string(300, 'x'));
+  bytes += FrameBytes(FrameType::kPong, "");
+  bytes += FrameBytes(FrameType::kBye, "b");
+  ExpectSplitInvariant(bytes);
+
+  DecodeOutcome canon = DecodeWhole(bytes);
+  ASSERT_EQ(canon.frames.size(), 4u);
+  EXPECT_EQ(canon.frames[1].payload.size(), 300u);
+}
+
+TEST(NetFrameCodecTest, TruncatedStreamsYieldNoFrame) {
+  std::string whole = FrameBytes(FrameType::kPublish, "document-bytes");
+  // Every proper prefix decodes zero frames and no error: the decoder
+  // just waits for the rest.
+  for (size_t len = 0; len < whole.size(); ++len) {
+    DecodeOutcome outcome = DecodeWhole(whole.substr(0, len));
+    EXPECT_EQ(outcome.code, StatusCode::kOk) << "prefix " << len;
+    EXPECT_TRUE(outcome.frames.empty()) << "prefix " << len;
+  }
+}
+
+TEST(NetFrameCodecTest, OversizedDeclaredLengthPoisonsAtHeader) {
+  // A 4-byte header declaring more than max_frame_size must fail the
+  // decoder BEFORE any payload arrives (it never buffers toward a bound
+  // it would refuse), and the failure must be sticky.
+  constexpr size_t kMax = 64;
+  WireWriter writer;
+  writer.PutU32(kMax + 1);
+  FrameDecoder decoder(kMax);
+  (void)decoder.Feed(writer.data());
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_EQ(decoder.status().code(), StatusCode::kResourceExhausted);
+  // Sticky: later (well-formed) bytes cannot resurrect the stream.
+  (void)decoder.Feed(FrameBytes(FrameType::kPing, ""));
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(NetFrameCodecTest, MaxFrameSizeBoundaryIsInclusive) {
+  constexpr size_t kMax = 128;
+  std::string at_limit = FrameBytes(FrameType::kMatch, std::string(kMax, 'a'));
+  DecodeOutcome ok = DecodeWhole(at_limit, kMax);
+  EXPECT_EQ(ok.code, StatusCode::kOk);
+  ASSERT_EQ(ok.frames.size(), 1u);
+  EXPECT_EQ(ok.frames[0].payload.size(), kMax);
+
+  std::string over = FrameBytes(FrameType::kMatch, std::string(kMax + 1, 'a'));
+  DecodeOutcome bad = DecodeWhole(over, kMax);
+  EXPECT_EQ(bad.code, StatusCode::kResourceExhausted);
+  EXPECT_TRUE(bad.frames.empty());
+}
+
+TEST(NetFrameCodecTest, OversizedFailureIsSplitInvariant) {
+  constexpr size_t kMax = 64;
+  std::string bytes = FrameBytes(FrameType::kPing, "ok");
+  bytes += FrameBytes(FrameType::kMatch, std::string(kMax + 7, 'z'));
+  bytes += FrameBytes(FrameType::kPing, "never-reached");
+  ExpectSplitInvariant(bytes, kMax);
+  DecodeOutcome canon = DecodeWhole(bytes, kMax);
+  ASSERT_EQ(canon.frames.size(), 1u);  // the good frame before the poison
+  EXPECT_EQ(canon.code, StatusCode::kResourceExhausted);
+}
+
+TEST(NetFrameCodecTest, BufferedBytesTracksUndecodedInput) {
+  FrameDecoder decoder(kDefaultMaxFrameSize);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  (void)decoder.Feed(std::string_view("\x02\x00", 2));
+  EXPECT_EQ(decoder.buffered_bytes(), 2u);
+  (void)decoder.Next();  // still a partial header
+  EXPECT_EQ(decoder.buffered_bytes(), 2u);
+}
+
+TEST(NetFrameCodecTest, LargeBurstThroughSmallChunksCompacts) {
+  // Enough traffic to force the decoder through several internal
+  // compactions; every frame must still come out intact and in order.
+  std::string bytes;
+  constexpr int kFrames = 200;
+  for (int i = 0; i < kFrames; ++i) {
+    bytes += FrameBytes(FrameType::kMatch,
+                        "payload-" + std::to_string(i) + std::string(97, 'p'));
+  }
+  DecodeOutcome outcome = DecodeChunked(bytes, {1024});
+  ASSERT_EQ(outcome.code, StatusCode::kOk);
+  ASSERT_EQ(outcome.frames.size(), static_cast<size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) {
+    EXPECT_EQ(outcome.frames[static_cast<size_t>(i)].payload.substr(0, 8 + 1),
+              ("payload-" + std::to_string(i)).substr(0, 9));
+  }
+}
+
+TEST(NetFrameCodecTest, FuzzGarbageIsChunkingInvariantAndCrashFree) {
+  // Deterministic fuzz: random byte soups (sometimes seeded with valid
+  // frame fragments) decoded whole vs. under random chunking. The decoder
+  // may produce frames or fail — but identically for both feeds.
+  std::mt19937 rng(0x5eed1u);
+  constexpr size_t kMax = 512;
+  for (int round = 0; round < 300; ++round) {
+    std::string bytes;
+    int pieces = 1 + static_cast<int>(rng() % 4);
+    for (int p = 0; p < pieces; ++p) {
+      if (rng() % 2 == 0) {
+        size_t len = rng() % 64;
+        for (size_t i = 0; i < len; ++i) {
+          bytes += static_cast<char>(rng() & 0xff);
+        }
+      } else {
+        bytes += EncodeFrame(static_cast<uint8_t>(1 + rng() % 14),
+                             std::string(rng() % 80, 'f'));
+      }
+    }
+    DecodeOutcome canon = DecodeWhole(bytes, kMax);
+    std::vector<size_t> chunks;
+    for (int c = 0; c < 4; ++c) chunks.push_back(1 + rng() % 37);
+    DecodeOutcome chunked = DecodeChunked(bytes, chunks, kMax);
+    ASSERT_EQ(canon, chunked) << "fuzz round " << round;
+  }
+}
+
+TEST(NetWireCodecTest, ScalarAndStringRoundTrip) {
+  WireWriter writer;
+  writer.PutU8(0xab);
+  writer.PutU32(0xdeadbeefu);
+  writer.PutU64(0x0123456789abcdefull);
+  writer.PutString("vitex");
+  writer.PutString("");
+  const std::string bytes = writer.Take();
+
+  WireReader reader(bytes);
+  auto u8 = reader.U8();
+  ASSERT_TRUE(u8.ok());
+  EXPECT_EQ(u8.value(), 0xab);
+  auto u32 = reader.U32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(u32.value(), 0xdeadbeefu);
+  auto u64 = reader.U64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(u64.value(), 0x0123456789abcdefull);
+  auto s = reader.String();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value(), "vitex");
+  auto empty = reader.String();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.ExpectEnd().ok());
+}
+
+TEST(NetWireCodecTest, TruncationFailsEveryPrefix) {
+  WireWriter writer;
+  writer.PutU64(42);
+  writer.PutString("payload");
+  const std::string bytes = writer.Take();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WireReader reader(std::string_view(bytes).substr(0, len));
+    auto u64 = reader.U64();
+    if (!u64.ok()) {
+      EXPECT_EQ(u64.status().code(), StatusCode::kParseError);
+      continue;
+    }
+    auto s = reader.String();
+    ASSERT_FALSE(s.ok()) << "prefix " << len;
+    EXPECT_EQ(s.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(NetWireCodecTest, TrailingBytesAreAProtocolError) {
+  WireWriter writer;
+  writer.PutU32(7);
+  writer.PutU8(1);  // the stray byte
+  const std::string bytes = writer.Take();
+  WireReader reader(bytes);
+  ASSERT_TRUE(reader.U32().ok());
+  EXPECT_FALSE(reader.AtEnd());
+  EXPECT_EQ(reader.ExpectEnd().code(), StatusCode::kParseError);
+}
+
+// Encode* appends the COMPLETE frame; strip the header to get the
+// payload a Decode* expects.
+template <typename Msg, typename EncodeFn>
+std::string PayloadOf(EncodeFn encode, const Msg& msg) {
+  std::string whole;
+  encode(&whole, msg);
+  return whole.substr(kFrameHeaderSize);
+}
+
+TEST(NetProtocolTest, HelloWelcomeRoundTrip) {
+  HelloMsg hello;
+  hello.auth_token = "secret";
+  auto decoded = DecodeHello(PayloadOf(EncodeHello, hello));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->magic, kProtocolMagic);
+  EXPECT_EQ(decoded->version, kProtocolVersion);
+  EXPECT_EQ(decoded->auth_token, "secret");
+
+  WelcomeMsg welcome;
+  welcome.server_banner = "vitex-test";
+  auto w = DecodeWelcome(PayloadOf(EncodeWelcome, welcome));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->server_banner, "vitex-test");
+}
+
+TEST(NetProtocolTest, SubscribeLifecycleRoundTrip) {
+  SubscribeMsg sub;
+  sub.request_id = 9;
+  sub.xpath = "//a/b[c]";
+  auto s = DecodeSubscribe(PayloadOf(EncodeSubscribe, sub));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->request_id, 9u);
+  EXPECT_EQ(s->xpath, "//a/b[c]");
+
+  SubscribedMsg subd;
+  subd.request_id = 9;
+  subd.subscription_id = 1234;
+  auto sd = DecodeSubscribed(PayloadOf(EncodeSubscribed, subd));
+  ASSERT_TRUE(sd.ok());
+  EXPECT_EQ(sd->subscription_id, 1234u);
+
+  UnsubscribeMsg unsub;
+  unsub.request_id = 10;
+  unsub.subscription_id = 1234;
+  auto u = DecodeUnsubscribe(PayloadOf(EncodeUnsubscribe, unsub));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->subscription_id, 1234u);
+}
+
+TEST(NetProtocolTest, MatchInPlaceEncodeMatchesDecoder) {
+  std::string out;
+  EncodeMatch(&out, /*subscription_id=*/7, /*sequence=*/3, "<m>x</m>");
+  EXPECT_EQ(out.size(), MatchFrameSize("<m>x</m>"));
+
+  FrameDecoder decoder(kDefaultMaxFrameSize);
+  (void)decoder.Feed(out);
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, static_cast<uint8_t>(FrameType::kMatch));
+  auto match = DecodeMatch(frame->payload);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->subscription_id, 7u);
+  EXPECT_EQ(match->sequence, 3u);
+  EXPECT_EQ(match->fragment, "<m>x</m>");
+}
+
+TEST(NetProtocolTest, ErrorCarriesStatusCodeOneToOne) {
+  // Every StatusCode the facade can produce must survive the wire
+  // unchanged — the satellite-3 contract.
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kParseError, StatusCode::kUnsupported,
+        StatusCode::kInvalidArgument, StatusCode::kResourceExhausted,
+        StatusCode::kIoError, StatusCode::kInternal}) {
+    ErrorMsg error;
+    error.request_id = 5;
+    error.code = WireCode(code);
+    error.message = "m";
+    auto decoded = DecodeError(PayloadOf(EncodeError, error));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(StatusFromWire(decoded->code, "m").code(), code);
+  }
+  // Unknown wire codes must not round-trip into something misleading.
+  EXPECT_EQ(StatusFromWire(250, "m").code(), StatusCode::kInternal);
+}
+
+TEST(NetProtocolTest, ByeReasonValidation) {
+  ByeMsg bye;
+  bye.reason = ByeReason::kEvicted;
+  bye.detail = "slow";
+  auto ok = DecodeBye(PayloadOf(EncodeBye, bye));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->reason, ByeReason::kEvicted);
+  EXPECT_EQ(ok->detail, "slow");
+
+  // Out-of-range reason byte: reject, don't alias.
+  WireWriter writer;
+  writer.PutU8(99);
+  writer.PutString("d");
+  EXPECT_FALSE(DecodeBye(writer.data()).ok());
+}
+
+TEST(NetProtocolTest, EveryDecoderRejectsTruncationAndTrailingBytes) {
+  struct Case {
+    const char* name;
+    std::string payload;
+    std::function<bool(std::string_view)> decode_ok;
+  };
+  std::vector<Case> cases;
+  {
+    SubscribeMsg m;
+    m.request_id = 1;
+    m.xpath = "//x";
+    cases.push_back({"subscribe", PayloadOf(EncodeSubscribe, m),
+                     [](std::string_view p) { return DecodeSubscribe(p).ok(); }});
+  }
+  {
+    PublishMsg m;
+    m.request_id = 2;
+    m.stream = kAnyStream;
+    m.document = "<d/>";
+    cases.push_back({"publish", PayloadOf(EncodePublish, m),
+                     [](std::string_view p) { return DecodePublish(p).ok(); }});
+  }
+  {
+    std::string whole;
+    EncodeMatch(&whole, /*subscription_id=*/3, /*sequence=*/1, "<f/>");
+    cases.push_back({"match", whole.substr(kFrameHeaderSize),
+                     [](std::string_view p) { return DecodeMatch(p).ok(); }});
+  }
+  {
+    ErrorMsg m;
+    m.request_id = 4;
+    m.code = WireCode(StatusCode::kParseError);
+    m.message = "bad";
+    cases.push_back({"error", PayloadOf(EncodeError, m),
+                     [](std::string_view p) { return DecodeError(p).ok(); }});
+  }
+  for (const Case& c : cases) {
+    ASSERT_TRUE(c.decode_ok(c.payload)) << c.name;
+    for (size_t len = 0; len < c.payload.size(); ++len) {
+      EXPECT_FALSE(c.decode_ok(std::string_view(c.payload).substr(0, len)))
+          << c.name << " prefix " << len;
+    }
+    std::string padded = c.payload + "!";
+    EXPECT_FALSE(c.decode_ok(padded)) << c.name << " trailing byte";
+  }
+}
+
+}  // namespace
+}  // namespace vitex::net

@@ -27,7 +27,8 @@ MIN_TIME=${BENCH_MIN_TIME:-0.05}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
   -DVITEX_BUILD_TESTS=OFF -DVITEX_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j --target \
-  bench_multi_query bench_protein_e2e bench_service bench_difftest bench_sax
+  bench_multi_query bench_protein_e2e bench_service bench_difftest bench_sax \
+  bench_net
 
 mkdir -p "$OUT_DIR"
 # Keep these invocations in lockstep with .github/workflows/ci.yml
@@ -44,6 +45,8 @@ VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_difftest \
   --benchmark_filter='service:0' --benchmark_min_time="$MIN_TIME"
 VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_sax \
   --benchmark_filter='BM_SaxThroughput' --benchmark_min_time="$MIN_TIME"
+VITEX_BENCH_JSON="$OUT_DIR" "$BUILD_DIR"/bench_net \
+  --benchmark_min_time="$MIN_TIME"
 
 if [[ "${1:-}" == "--dry-run" ]]; then
   python3 tools/bench_compare.py --baseline bench/baseline \

@@ -1,0 +1,614 @@
+// net_load_driver: loopback load test for the ViteX TCP serving surface
+// (DESIGN.md §13) with a built-in correctness oracle.
+//
+// The driver runs everything in one process: a vitex::Service, a
+// net::Server on an ephemeral port, publisher connections pushing
+// documents, and a fleet of subscriber connections multiplexed over one
+// epoll loop — thousands to tens of thousands of concurrent sessions on
+// a single box.
+//
+//   ./net_load_driver [--subscribers N] [--subs-per-conn K] [--topics T]
+//                     [--documents D] [--duration SECONDS] [--publishers P]
+//                     [--shards N] [--streams N] [--churn-percent PCT]
+//                     [--stalled K] [--outbuf BYTES]
+//                     [--policy disconnect|drop]
+//
+// --subscribers counts standing SUBSCRIPTIONS; --subs-per-conn packs K of
+// them onto each session (the protocol multiplexes subscriptions per
+// connection), so e.g. --subscribers 50000 --subs-per-conn 8 is 50k
+// concurrent subscribers over 6250 sockets — past what one process could
+// address with a socket per subscriber under common fd limits.
+//
+// Correctness (the differential check): every published document carries
+// one uniquely doc-stamped text fragment per topic, and one PULL-mode
+// oracle subscription per topic — registered on the same Service, before
+// any wire subscriber — records the ground-truth delivery list. At the
+// end, each healthy wire subscriber's received fragments are compared
+// against the oracle:
+//
+//   * never-churned subscribers must match the oracle EXACTLY (no lost,
+//     no duplicated MATCH frame);
+//   * churned subscribers (their session was closed and re-created mid
+//     stream) must match an exact SUFFIX of the oracle list when
+//     --streams 1 (per-subscription delivery order is publish order), and
+//     a duplicate-free subset otherwise;
+//   * stalled subscribers (subscribe, then never read) must be EVICTED
+//     under the disconnect policy — their BYE must say so — while every
+//     healthy subscriber above still verifies, proving one dead reader
+//     cannot stall ingest or corrupt anyone else's stream.
+//
+// Exit status 0 = all checks passed. The summary includes the server's
+// own /statsz counters fetched OVER THE WIRE (STATS frame), so the run
+// also exercises the observability path end to end.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if !defined(__linux__)
+int main() {
+  std::fprintf(stderr, "net_load_driver requires linux (epoll)\n");
+  return 2;
+}
+#else  // defined(__linux__)
+
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "service/vitex.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using vitex::net::Client;
+using vitex::net::ClientOptions;
+using vitex::net::Match;
+
+struct Config {
+  int subscribers = 1000;   // standing subscriptions, not sockets
+  int subs_per_conn = 1;    // subscriptions multiplexed per session
+  int topics = 64;
+  int documents = 300;     // ignored when duration_s > 0
+  int duration_s = 0;      // publish until deadline instead of doc count
+  int publishers = 2;
+  size_t shards = 2;
+  size_t streams = 1;
+  int churn_percent = 10;  // % of subscribers that churn once mid-run
+  int stalled = 2;
+  // Small enough that the default run's stalled readers overflow it (the
+  // eviction path is part of every run, not a special mode).
+  size_t outbuf_bytes = 64 * 1024;
+  vitex::net::SlowConsumerPolicy policy =
+      vitex::net::SlowConsumerPolicy::kDisconnect;
+};
+
+// One wire session (current incarnation) carrying one or more
+// subscriptions; the parallel vectors are indexed by local subscription.
+struct Slot {
+  std::unique_ptr<Client> client;
+  std::vector<int> topics;       // topic per local subscription
+  std::vector<uint64_t> sub_ids; // server-assigned id per local subscription
+  std::vector<std::vector<std::string>> fragments;  // received, per sub
+  bool churns = false;     // scheduled to churn once
+  bool churned = false;    // has churned (current incarnation is 2nd)
+  bool dead = false;       // connection failed / closed
+  std::string death_note;
+};
+
+std::string Stamp(int doc, int topic) {
+  return "d" + std::to_string(doc) + ".t" + std::to_string(topic);
+}
+
+// One document: every topic appears once, uniquely stamped, so each doc
+// produces exactly one MATCH per standing subscription.
+std::string MakeDocument(int doc, int topics) {
+  std::string out = "<doc>";
+  for (int t = 0; t < topics; ++t) {
+    out += "<topic" + std::to_string(t) + "><m>" + Stamp(doc, t) +
+           "</m></topic" + std::to_string(t) + ">";
+  }
+  out += "</doc>";
+  return out;
+}
+
+std::string TopicXPath(int topic) {
+  return "//topic" + std::to_string(topic) + "/m/text()";
+}
+
+void RaiseFdLimit() {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) == 0 && lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    setrlimit(RLIMIT_NOFILE, &lim);
+  }
+}
+
+// Drains every MATCH the socket has ready right now into the slot.
+// Returns false when the connection died (slot marked accordingly).
+bool DrainSlot(Slot* slot) {
+  while (true) {
+    vitex::Result<std::optional<Match>> match = slot->client->PollMatch(0);
+    if (!match.ok()) {
+      slot->dead = true;
+      slot->death_note = match.status().message();
+      return false;
+    }
+    if (!match->has_value()) return true;
+    // A session carries few subscriptions; a linear id scan beats a map.
+    size_t j = 0;
+    while (j < slot->sub_ids.size() &&
+           slot->sub_ids[j] != (*match)->subscription_id) {
+      ++j;
+    }
+    if (j == slot->sub_ids.size()) {
+      slot->dead = true;
+      slot->death_note = "MATCH for a subscription id this session never made";
+      return false;
+    }
+    slot->fragments[j].push_back(std::move((*match)->fragment));
+  }
+}
+
+size_t TotalFragments(const Slot& slot) {
+  size_t n = 0;
+  for (const auto& f : slot.fragments) n += f.size();
+  return n;
+}
+
+struct Failure {
+  int slot = -1;
+  std::string what;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--subscribers") cfg.subscribers = std::atoi(next());
+    else if (arg == "--subs-per-conn")
+      cfg.subs_per_conn = std::max(1, std::atoi(next()));
+    else if (arg == "--topics") cfg.topics = std::atoi(next());
+    else if (arg == "--documents") cfg.documents = std::atoi(next());
+    else if (arg == "--duration") cfg.duration_s = std::atoi(next());
+    else if (arg == "--publishers") cfg.publishers = std::atoi(next());
+    else if (arg == "--shards") cfg.shards = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--streams")
+      cfg.streams = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--churn-percent") cfg.churn_percent = std::atoi(next());
+    else if (arg == "--stalled") cfg.stalled = std::atoi(next());
+    else if (arg == "--outbuf")
+      cfg.outbuf_bytes = std::strtoul(next(), nullptr, 10);
+    else if (arg == "--policy") {
+      std::string p = next();
+      cfg.policy = p == "drop" ? vitex::net::SlowConsumerPolicy::kDropMatches
+                               : vitex::net::SlowConsumerPolicy::kDisconnect;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  cfg.topics = std::max(1, std::min(cfg.topics, cfg.subscribers));
+  RaiseFdLimit();
+
+  // --- service + server + oracle -----------------------------------------
+  vitex::ServiceOptions service_options;
+  service_options.shard_count = cfg.shards;
+  service_options.stream_count = cfg.streams;
+  vitex::Service service(service_options);
+
+  vitex::net::ServerOptions server_options;
+  server_options.max_outbuf_bytes = cfg.outbuf_bytes;
+  server_options.slow_consumer_policy = cfg.policy;
+  // Bound the kernel's share of each connection's buffering so the
+  // outbuf cap (not TCP autotuning) decides when a reader is stalled.
+  server_options.so_sndbuf = 32 * 1024;
+  auto started = vitex::net::Server::Start(&service, server_options);
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  vitex::net::Server* server = started.value().get();
+  const uint16_t port = server->port();
+
+  std::vector<vitex::Subscription> oracle;
+  oracle.reserve(static_cast<size_t>(cfg.topics));
+  for (int t = 0; t < cfg.topics; ++t) {
+    auto sub = service.Subscribe(TopicXPath(t));
+    if (!sub.ok()) {
+      std::fprintf(stderr, "oracle subscribe: %s\n",
+                   sub.status().ToString().c_str());
+      return 1;
+    }
+    oracle.push_back(std::move(sub).value());
+  }
+
+  // --- subscriber fleet ----------------------------------------------------
+  const int conns =
+      (cfg.subscribers + cfg.subs_per_conn - 1) / cfg.subs_per_conn;
+  std::printf("net_load_driver: %d subscribers over %d connections "
+              "(%d topics), %d stalled, churn %d%%, port %u\n",
+              cfg.subscribers, conns, cfg.topics, cfg.stalled,
+              cfg.churn_percent, port);
+  std::fflush(stdout);
+
+  ClientOptions client_options;
+  std::vector<Slot> slots(static_cast<size_t>(conns));
+  int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd < 0) {
+    std::perror("epoll_create1");
+    return 1;
+  }
+  auto connect_slot = [&](int index) -> bool {
+    Slot& slot = slots[static_cast<size_t>(index)];
+    auto client = Client::Connect("127.0.0.1", port, client_options);
+    if (!client.ok()) {
+      std::fprintf(stderr, "subscriber %d connect: %s\n", index,
+                   client.status().ToString().c_str());
+      return false;
+    }
+    slot.client = std::move(client).value();
+    slot.sub_ids.clear();
+    for (int topic : slot.topics) {
+      auto sub = slot.client->Subscribe(TopicXPath(topic));
+      if (!sub.ok()) {
+        std::fprintf(stderr, "subscriber %d subscribe: %s\n", index,
+                     sub.status().ToString().c_str());
+        return false;
+      }
+      slot.sub_ids.push_back(sub.value());
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<uint32_t>(index);
+    if (::epoll_ctl(epfd, EPOLL_CTL_ADD, slot.client->fd(), &ev) != 0) {
+      std::perror("epoll_ctl(subscriber)");
+      return false;
+    }
+    return true;
+  };
+  int assigned = 0;
+  for (int s = 0; s < conns; ++s) {
+    Slot& slot = slots[static_cast<size_t>(s)];
+    const int k = std::min(cfg.subs_per_conn, cfg.subscribers - assigned);
+    for (int j = 0; j < k; ++j) slot.topics.push_back((assigned + j) % cfg.topics);
+    slot.fragments.resize(static_cast<size_t>(k));
+    assigned += k;
+    // A fixed sample of sessions churns once, spread across the run.
+    slot.churns = cfg.churn_percent > 0 && (s % 100) < cfg.churn_percent;
+    if (!connect_slot(s)) return 1;
+    if (s % 1000 == 999) {
+      std::printf("  ... %d connections up (%d subscribers)\n", s + 1,
+                  assigned);
+      std::fflush(stdout);
+    }
+  }
+
+  // Stalled readers: subscribe to EVERY topic to maximize pressure, then
+  // never read. Under the disconnect policy the server must evict them.
+  // A small rcvbuf on their side caps what TCP autotuning can absorb:
+  // pending volume lands in the server's outbuf, so the cap — not the
+  // publish rate — decides eviction even at low per-reader throughput.
+  ClientOptions stalled_options = client_options;
+  stalled_options.so_rcvbuf = 16 * 1024;
+  std::vector<std::unique_ptr<Client>> stalled;
+  for (int k = 0; k < cfg.stalled; ++k) {
+    auto client = Client::Connect("127.0.0.1", port, stalled_options);
+    if (!client.ok()) {
+      std::fprintf(stderr, "stalled %d connect: %s\n", k,
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    for (int t = 0; t < cfg.topics; ++t) {
+      auto sub = client.value()->Subscribe(TopicXPath(t));
+      if (!sub.ok()) {
+        std::fprintf(stderr, "stalled %d subscribe: %s\n", k,
+                     sub.status().ToString().c_str());
+        return 1;
+      }
+    }
+    stalled.push_back(std::move(client).value());
+  }
+
+  // --- publishers ----------------------------------------------------------
+  std::atomic<int> docs_published{0};
+  std::atomic<bool> publish_failed{false};
+  const Clock::time_point publish_deadline =
+      Clock::now() + std::chrono::seconds(cfg.duration_s);
+  std::vector<std::thread> publishers;
+  const Clock::time_point start = Clock::now();
+  for (int p = 0; p < cfg.publishers; ++p) {
+    publishers.emplace_back([&, p] {
+      auto client = Client::Connect("127.0.0.1", port, client_options);
+      if (!client.ok()) {
+        publish_failed.store(true);
+        return;
+      }
+      for (int doc = p;; doc += cfg.publishers) {
+        if (cfg.duration_s > 0) {
+          if (Clock::now() >= publish_deadline) break;
+        } else if (doc >= cfg.documents) {
+          break;
+        }
+        vitex::Status status =
+            client.value()->Publish(MakeDocument(doc, cfg.topics));
+        if (!status.ok()) {
+          std::fprintf(stderr, "publish doc %d: %s\n", doc,
+                       status.ToString().c_str());
+          publish_failed.store(true);
+          return;
+        }
+        docs_published.fetch_add(1);
+      }
+    });
+  }
+
+  // --- main loop: drain subscribers, churn mid-run -------------------------
+  const int churn_total =
+      cfg.churn_percent > 0 ? conns * std::min(cfg.churn_percent, 100) / 100
+                            : 0;
+  int churned = 0;
+  bool publishing = true;
+  Clock::time_point quiet_since = Clock::now();
+  epoll_event events[512];
+  uint64_t drained_total = 0;
+
+  while (true) {
+    int n = ::epoll_wait(epfd, events, 512, 20);
+    bool any = false;
+    for (int i = 0; i < n; ++i) {
+      int index = static_cast<int>(events[i].data.u32);
+      Slot& slot = slots[static_cast<size_t>(index)];
+      if (slot.dead || slot.client == nullptr) continue;
+      size_t before = TotalFragments(slot);
+      if (!DrainSlot(&slot)) {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, slot.client->fd(), nullptr);
+      }
+      any = any || TotalFragments(slot) != before;
+    }
+    drained_total += static_cast<uint64_t>(n);
+
+    if (publishing) {
+      // Churn: spread the cohort's single churn event across the
+      // publishing phase, a few per loop iteration.
+      int to_churn = churn_total > 0 && docs_published.load() > 0 ? 2 : 0;
+      for (int c = 0; c < to_churn && churned < churn_total; ++c) {
+        // Pick the next scheduled slot that has not churned yet.
+        int index = -1;
+        for (int s = churned; s < conns; ++s) {
+          Slot& cand = slots[static_cast<size_t>(s)];
+          if (cand.churns && !cand.churned && !cand.dead) {
+            index = s;
+            break;
+          }
+        }
+        if (index < 0) {
+          churned = churn_total;  // nobody left
+          break;
+        }
+        Slot& slot = slots[static_cast<size_t>(index)];
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, slot.client->fd(), nullptr);
+        slot.client.reset();        // closes the session mid-stream
+        for (auto& f : slot.fragments) f.clear();  // fresh incarnation
+        slot.churned = true;
+        ++churned;
+        if (!connect_slot(index)) {
+          slot.dead = true;
+          slot.death_note = "reconnect failed";
+        }
+      }
+      bool done = publish_failed.load();
+      if (!done) {
+        if (cfg.duration_s > 0) {
+          done = Clock::now() >= publish_deadline;
+        } else {
+          done = docs_published.load() >= cfg.documents;
+        }
+      }
+      if (done) {
+        for (auto& t : publishers) t.join();
+        publishers.clear();
+        publishing = false;
+        // Everything published is now in the queues; force it through.
+        vitex::Status flushed = service.Flush();
+        if (!flushed.ok()) {
+          std::fprintf(stderr, "flush: %s\n", flushed.ToString().c_str());
+          return 1;
+        }
+        quiet_since = Clock::now();
+      }
+    } else {
+      if (any) {
+        quiet_since = Clock::now();
+      } else if (Clock::now() - quiet_since > std::chrono::milliseconds(500)) {
+        break;  // flushed AND the wire has been quiet: all frames landed
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // --- differential check --------------------------------------------------
+  // Ground truth: the oracle subscriptions saw every delivery, in
+  // per-subscription delivery order.
+  std::vector<std::vector<std::string>> truth(
+      static_cast<size_t>(cfg.topics));
+  for (int t = 0; t < cfg.topics; ++t) {
+    auto drained = oracle[static_cast<size_t>(t)].Drain();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "oracle drain: %s\n",
+                   drained.status().ToString().c_str());
+      return 1;
+    }
+    auto& list = truth[static_cast<size_t>(t)];
+    list.reserve(drained->size());
+    for (auto& delivery : *drained) list.push_back(delivery.fragment);
+  }
+
+  std::vector<Failure> failures;
+  uint64_t frames_received = 0;
+  int healthy = 0;
+  for (int s = 0; s < conns; ++s) {
+    Slot& slot = slots[static_cast<size_t>(s)];
+    if (slot.dead) {
+      failures.push_back({s, "connection died: " + slot.death_note});
+      continue;
+    }
+    healthy += static_cast<int>(slot.topics.size());
+    frames_received += TotalFragments(slot);
+    for (size_t j = 0; j < slot.topics.size(); ++j) {
+      const std::vector<std::string>& got = slot.fragments[j];
+      const std::vector<std::string>& expected =
+          truth[static_cast<size_t>(slot.topics[j])];
+      if (!slot.churned) {
+        if (got != expected) {
+          failures.push_back(
+              {s, "stable subscriber mismatch: got " +
+                      std::to_string(got.size()) + " frames, oracle " +
+                      std::to_string(expected.size())});
+        }
+        continue;
+      }
+      // Churned: the incarnation started mid-stream.
+      if (cfg.streams == 1) {
+        // Delivery order == publish order, so the incarnation must have
+        // received an exact suffix of the oracle list.
+        size_t offset = expected.size() - got.size();
+        if (got.size() > expected.size() ||
+            !std::equal(got.begin(), got.end(),
+                        expected.begin() + static_cast<long>(offset))) {
+          failures.push_back({s, "churned subscriber is not an oracle suffix"});
+        }
+      } else {
+        // Cross-stream order is unspecified: require a duplicate-free
+        // subset of the oracle.
+        std::map<std::string, int> budget;
+        for (const auto& f : expected) ++budget[f];
+        for (const auto& f : got) {
+          if (--budget[f] < 0) {
+            failures.push_back(
+                {s, "churned subscriber duplicate/unknown: " + f});
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Stalled readers: drain, then PROBE. Eviction closes the server's end
+  // against a zero-window peer, so the socket lingers in FIN-WAIT-1 with
+  // the farewell stuck behind kilobytes of undeliverable backlog —
+  // whether this side ever sees the BYE (or even the FIN) within a polite
+  // drain is kernel timing, not protocol. A PING forces the kernel's
+  // hand: data sent to a close()d peer draws an immediate RST, while a
+  // genuinely live server answers PONG. "Evicted" therefore means: BYE
+  // said so, or the probe found a dead peer.
+  int evicted_confirmed = 0;
+  for (size_t k = 0; k < stalled.size(); ++k) {
+    Client* client = stalled[k].get();
+    while (client->connected()) {
+      auto match = client->PollMatch(500);
+      if (!match.ok() || !match->has_value()) break;
+    }
+    if (cfg.policy == vitex::net::SlowConsumerPolicy::kDisconnect) {
+      const bool alive = client->connected() && client->Ping().ok();
+      if (client->bye().has_value() &&
+          client->bye()->reason == vitex::net::ByeReason::kEvicted) {
+        ++evicted_confirmed;
+      } else if (alive) {
+        failures.push_back(
+            {-1, "stalled reader " + std::to_string(k) + " was not evicted"});
+      } else {
+        // Connection died without a parseable BYE (reset racing the BYE
+        // write): count it via the server's own eviction counter below.
+        ++evicted_confirmed;
+      }
+    }
+  }
+
+  vitex::net::NetStatsSnapshot net = server->stats();
+  if (cfg.policy == vitex::net::SlowConsumerPolicy::kDisconnect &&
+      net.connections_evicted < static_cast<uint64_t>(cfg.stalled)) {
+    failures.push_back({-1, "server evicted " +
+                                std::to_string(net.connections_evicted) +
+                                " connections, expected >= " +
+                                std::to_string(cfg.stalled)});
+  }
+
+  // /statsz over the wire: must arrive and must carry the net series.
+  {
+    auto client = Client::Connect("127.0.0.1", port, client_options);
+    if (client.ok()) {
+      auto statsz = client.value()->Statsz();
+      if (!statsz.ok()) {
+        failures.push_back({-1, "STATS over wire: " +
+                                    statsz.status().ToString()});
+      } else if (statsz->find("vitex_net_connections_accepted_total") ==
+                 std::string::npos) {
+        failures.push_back({-1, "wire statsz is missing vitex_net_* series"});
+      }
+    } else {
+      failures.push_back({-1, "statsz connect: " +
+                                  client.status().ToString()});
+    }
+  }
+
+  // --- report --------------------------------------------------------------
+  const int docs = docs_published.load();
+  std::printf(
+      "published %d docs in %.2fs (%.0f docs/s); %d/%d healthy subscribers, "
+      "%llu MATCH frames verified (%.0f frames/s)\n",
+      docs, seconds, docs / std::max(seconds, 1e-9), healthy,
+      cfg.subscribers, static_cast<unsigned long long>(frames_received),
+      frames_received / std::max(seconds, 1e-9));
+  std::printf(
+      "server: %llu accepted, %llu evicted (%d confirmed by BYE), "
+      "%llu matches sent, %llu dropped at outbuf cap, high watermark %llu B\n",
+      static_cast<unsigned long long>(net.connections_accepted),
+      static_cast<unsigned long long>(net.connections_evicted),
+      evicted_confirmed,
+      static_cast<unsigned long long>(net.matches_sent),
+      static_cast<unsigned long long>(net.matches_dropped),
+      static_cast<unsigned long long>(net.outbuf_high_watermark));
+  if (publish_failed.load()) {
+    std::fprintf(stderr, "FAIL: a publisher aborted\n");
+    return 1;
+  }
+  if (!failures.empty()) {
+    size_t show = std::min<size_t>(failures.size(), 10);
+    for (size_t f = 0; f < show; ++f) {
+      std::fprintf(stderr, "FAIL[slot %d]: %s\n", failures[f].slot,
+                   failures[f].what.c_str());
+    }
+    std::fprintf(stderr, "FAIL: %zu check(s) failed\n", failures.size());
+    return 1;
+  }
+  std::printf("PASS: zero lost, zero duplicated MATCH frames across %d "
+              "healthy subscribers\n",
+              healthy);
+  ::close(epfd);
+  return 0;
+}
+
+#endif  // defined(__linux__)

@@ -1,0 +1,119 @@
+// vitex_server: the ViteX TCP front end as a standalone process
+// (DESIGN.md §13).
+//
+// Runs an in-process vitex::Service and serves the framed wire protocol
+// (net/protocol.h) plus HTTP GET /statsz on one port:
+//
+//   ./vitex_server [--port N] [--shards N] [--streams N] [--queue N]
+//                  [--auth TOKEN] [--outbuf BYTES] [--policy disconnect|drop]
+//                  [--duration SECONDS]
+//
+// With --port 0 (default) the kernel picks a port, printed on stdout as
+//     LISTENING <port>
+// so scripts (and the load driver's --connect mode) can parse it. The
+// process runs until SIGINT/SIGTERM, or --duration seconds if given.
+//
+// Scrape while it runs:   curl http://127.0.0.1:<port>/statsz
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "service/vitex.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void OnSignal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vitex::ServiceOptions service_options;
+  vitex::net::ServerOptions server_options;
+  int duration_s = 0;  // 0 = run until signaled
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      server_options.port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--shards") {
+      service_options.shard_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--streams") {
+      service_options.stream_count = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--queue") {
+      service_options.queue_capacity = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--auth") {
+      server_options.auth_token = next();
+    } else if (arg == "--outbuf") {
+      server_options.max_outbuf_bytes = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--policy") {
+      std::string policy = next();
+      if (policy == "disconnect") {
+        server_options.slow_consumer_policy =
+            vitex::net::SlowConsumerPolicy::kDisconnect;
+      } else if (policy == "drop") {
+        server_options.slow_consumer_policy =
+            vitex::net::SlowConsumerPolicy::kDropMatches;
+      } else {
+        std::fprintf(stderr, "--policy must be disconnect or drop\n");
+        return 2;
+      }
+    } else if (arg == "--duration") {
+      duration_s = std::atoi(next());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  vitex::Service service(service_options);
+  auto server = vitex::net::Server::Start(&service, server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::printf("LISTENING %u\n", server.value()->port());
+  std::printf("vitex_server: %zu shard(s), %zu stream(s); "
+              "scrape http://%s:%u/statsz\n",
+              service.shard_count(), service.stream_count(),
+              server_options.bind_address.c_str(), server.value()->port());
+  std::fflush(stdout);
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(duration_s);
+  while (!g_stop.load()) {
+    if (duration_s > 0 && std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  vitex::net::NetStatsSnapshot net = server.value()->stats();
+  vitex::Status stopped = server.value()->Stop();
+  std::printf("vitex_server: stopped (%s); %llu conns accepted, "
+              "%llu evicted, %llu matches sent, %llu dropped\n",
+              stopped.ToString().c_str(),
+              static_cast<unsigned long long>(net.connections_accepted),
+              static_cast<unsigned long long>(net.connections_evicted),
+              static_cast<unsigned long long>(net.matches_sent),
+              static_cast<unsigned long long>(net.matches_dropped));
+  return 0;
+}
